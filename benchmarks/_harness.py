@@ -1,0 +1,90 @@
+"""Shared utilities for the paper-reproduction benchmark harness.
+
+Every benchmark regenerates one table or figure from the paper's
+evaluation: it runs the experiment on the simulated machines, prints the
+same rows/series the paper reports (with the paper's numbers alongside
+for comparison), writes the output under ``benchmarks/results/``, and
+asserts the qualitative *shape* (orderings, rough factors, crossovers).
+"""
+
+from __future__ import annotations
+
+import io
+import os
+from contextlib import redirect_stdout
+from typing import Callable, Sequence
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def run_and_report(benchmark, name: str, experiment: Callable[[], object]) -> object:
+    """Run an experiment exactly once under pytest-benchmark.
+
+    The experiment's stdout is captured and mirrored both to the test
+    output and to ``benchmarks/results/<name>.txt``.
+    """
+    outputs: dict[str, object] = {}
+
+    def once() -> None:
+        buffer = io.StringIO()
+        with redirect_stdout(buffer):
+            outputs["result"] = experiment()
+        outputs["text"] = buffer.getvalue()
+
+    benchmark.pedantic(once, rounds=1, iterations=1)
+    text = sanitize(str(outputs.get("text", "")))
+    print()
+    print(text)
+    save_result(name, text)
+    return outputs["result"]
+
+
+def save_result(name: str, text: str) -> str:
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{name}.txt")
+    with open(path, "w") as handle:
+        handle.write(sanitize(text))
+    return path
+
+
+def sanitize(text: str) -> str:
+    """Replace control characters (mis-recovered secret bytes can carry
+    NULs etc.) so result files stay plain text."""
+    return "".join(
+        ch if ch in "\n\t" or ord(ch) >= 32 else "?" for ch in text
+    )
+
+
+def format_table(
+    title: str,
+    columns: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    widths: Sequence[int] | None = None,
+) -> str:
+    """Render a fixed-width ASCII table."""
+    if widths is None:
+        widths = [
+            max(len(str(col)), *(len(_cell(row[i])) for row in rows)) + 2
+            for i, col in enumerate(columns)
+        ]
+    lines = [title]
+    header = "".join(str(col).ljust(widths[i]) for i, col in enumerate(columns))
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in rows:
+        lines.append("".join(_cell(cell).ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+def kbps_cell(kbps: float) -> str:
+    return f"{kbps:.2f}"
+
+
+def pct_cell(rate: float) -> str:
+    return f"{rate * 100:.2f}%"

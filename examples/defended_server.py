@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Scenario: choosing a mitigation for a multi-tenant server (extension).
+
+An operator hosting mutually-distrusting tenants on hyper-threaded cores
+asks: which frontend-channel mitigation should I deploy, and what does it
+cost?  This example runs the library's defense evaluator over the
+mitigation catalogue and prints the decision matrix — which attack
+classes survive, whether the cross-thread set-selective side channel is
+closed, and what the benign workload pays.
+
+Run:  python examples/defended_server.py
+"""
+
+from __future__ import annotations
+
+from repro.defense import ALL_MITIGATIONS, DefenseEvaluator
+
+
+def main() -> None:
+    evaluator = DefenseEvaluator(message_bits=32)
+    reports = evaluator.evaluate_all(ALL_MITIGATIONS)
+
+    print(f"{'mitigation':22s} {'deploy':10s} {'MT chans':9s} {'set leak':>9s} "
+          f"{'slowdown':>9s} {'energy':>7s}")
+    print("-" * 72)
+    for report in reports:
+        mt_outcomes = [
+            o.status for o in report.outcomes if o.channel_name.startswith("mt-")
+        ]
+        mt_summary = (
+            "blocked" if all(s == "blocked" for s in mt_outcomes) else
+            "intact" if all(s == "intact" for s in mt_outcomes) else "mixed"
+        )
+        print(
+            f"{report.mitigation_name:22s} {report.deployment:10s} "
+            f"{mt_summary:9s} {report.set_leak_accuracy * 100:>8.0f}% "
+            f"x{report.benign_slowdown:>7.2f} x{report.benign_energy_ratio:>5.2f}"
+        )
+
+    print()
+    print("reading the matrix:")
+    print(" - disable-smt blocks all cross-thread channels at the cost of")
+    print("   half the hardware threads (what Azure did on the E-2288G);")
+    print(" - disable-lsd (the shipped microcode route) blocks nothing -")
+    print("   it removes the fingerprint signal and costs energy;")
+    print(" - isolate-dsb closes the set-selective side channel for free,")
+    print("   but cooperating tenants can still signal via raw activity;")
+    print(" - uniform-path-timing kills path-timing channels at >2x cost,")
+    print("   and work-volume channels still survive.")
+    print()
+    print("conclusion: no single cheap knob closes the frontend; the paper's")
+    print("call to treat the frontend as a first-class security surface holds.")
+
+
+if __name__ == "__main__":
+    main()

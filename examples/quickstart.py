@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Quickstart: transmit a secret message over a frontend covert channel.
+
+Demonstrates the library's core loop in under a minute:
+
+1. build a simulated Table I machine (Intel Xeon Gold 6226);
+2. construct the paper's fastest attack — the non-MT misalignment-based
+   covert channel (Section IV-D, up to 1.4 Mbps on real hardware);
+3. calibrate the decoding threshold with an alternating training
+   pattern (Section V-B);
+4. transmit an ASCII message and report rate + Wagner-Fischer error.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import GOLD_6226, Machine
+from repro.analysis.bits import bits_to_string, string_to_bits
+from repro.channels import NonMtMisalignmentChannel
+
+
+def text_to_bits(text: str) -> list[int]:
+    return string_to_bits("".join(format(byte, "08b") for byte in text.encode()))
+
+
+def bits_to_text(bits: list[int]) -> str:
+    raw = bits_to_string(bits)
+    data = bytes(int(raw[i : i + 8], 2) for i in range(0, len(raw) - 7, 8))
+    return data.decode(errors="replace")
+
+
+def main() -> None:
+    machine = Machine(GOLD_6226, seed=42)
+    print(f"machine : {machine}")
+
+    channel = NonMtMisalignmentChannel(machine, variant="fast")
+    print(f"channel : {channel.name} (d={channel.config.d}, M={channel.config.M})")
+
+    secret = "leaky frontends!"
+    result = channel.transmit(text_to_bits(secret))
+
+    print(f"sent    : {secret!r}")
+    print(f"received: {bits_to_text(result.received_bits)!r}")
+    print(f"rate    : {result.kbps:.1f} Kbps "
+          f"(paper's fastest attack reaches ~1410 Kbps)")
+    print(f"error   : {result.error_rate * 100:.2f}% (Wagner-Fischer)")
+    print(f"decoder : threshold {result.decoder.threshold:.0f} cycles, "
+          f"1 is {'slow' if result.decoder.one_is_high else 'fast'}")
+
+    # The headline stealth property: the whole transmission caused no
+    # instruction-cache misses beyond the initial cold fills.
+    stats = machine.core.l1i.stats
+    print(f"L1I     : {stats.misses} misses / {stats.accesses} fetches "
+          "(cold fills only - the channel lives entirely in the DSB/LSD)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Scenario: exfiltration from a timer-coarsened sandbox (extension).
+
+Sandboxes (browsers, some runtimes) coarsen or remove precise timers to
+frustrate microarchitectural attacks.  The paper's threat model already
+anticipates the counter-move: a *counting thread* on the sibling
+hyper-thread.  This example combines:
+
+* the counting-thread timer (coarse, drifty, occasionally descheduled),
+* the eviction channel (large margin, so coarseness is survivable), and
+* repetition coding + Manchester coding to mop up the residual errors,
+
+and shows the sandboxed attacker still moving hundreds of Kbps.
+
+Run:  python examples/sandboxed_attacker.py
+"""
+
+from __future__ import annotations
+
+from repro import GOLD_6226, Machine
+from repro.analysis.bits import random_bits
+from repro.analysis.capacity import ChannelCapacity, information_rate
+from repro.channels import (
+    CodedChannel,
+    ManchesterCode,
+    NonMtEvictionChannel,
+    RepetitionCode,
+)
+from repro.measure import CountingThreadTimer
+
+
+def sandboxed_machine(seed: int) -> Machine:
+    machine = Machine(GOLD_6226, seed=seed)
+    # No rdtscp in the sandbox: time through a sibling counting thread
+    # with ~2.5-cycle granularity and occasional descheduling.
+    machine.timer = CountingThreadTimer(
+        machine.rngs.stream("counting-thread"),
+        ticks_per_cycle=0.4,
+        deschedule_rate=0.002,
+    )
+    return machine
+
+
+def main() -> None:
+    payload = random_bits(96, Machine(GOLD_6226, seed=0).rngs.stream("payload"))
+
+    print("attacker in a timer-coarsened sandbox (counting-thread timer):\n")
+    print(f"{'scheme':28s} {'payload Kbps':>13s} {'error':>8s} {'info Kbit/s':>12s}")
+    print("-" * 66)
+
+    # Raw channel through the coarse timer.
+    channel = NonMtEvictionChannel(sandboxed_machine(1), variant="stealthy")
+    raw = channel.transmit(payload)
+    print(f"{'raw eviction channel':28s} {raw.kbps:>13.1f} "
+          f"{raw.error_rate * 100:>7.2f}% "
+          f"{information_rate(raw.kbps, raw.error_rate):>12.1f}")
+
+    # Repetition-coded.
+    channel = NonMtEvictionChannel(sandboxed_machine(2), variant="stealthy")
+    rep = CodedChannel(channel, RepetitionCode(3)).transmit(payload)
+    print(f"{'repetition-3 coded':28s} {rep.kbps:>13.1f} "
+          f"{rep.error_rate * 100:>7.2f}% "
+          f"{information_rate(rep.kbps, rep.error_rate):>12.1f}")
+
+    # Manchester-coded (drift-immune: counting threads drift).
+    channel = NonMtEvictionChannel(sandboxed_machine(3), variant="stealthy")
+    man = CodedChannel(channel, ManchesterCode()).transmit(payload)
+    print(f"{'manchester coded':28s} {man.kbps:>13.1f} "
+          f"{man.error_rate * 100:>7.2f}% "
+          f"{information_rate(man.kbps, man.error_rate):>12.1f}")
+
+    print()
+    capacity = ChannelCapacity.from_result(raw)
+    print(f"raw channel capacity view: {capacity}")
+    print("removing rdtscp does not close the frontend channels - the")
+    print("eviction margin (hundreds of cycles) dwarfs counting-thread noise.")
+
+
+if __name__ == "__main__":
+    main()

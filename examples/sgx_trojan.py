@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Scenario: a Trojan inside an SGX enclave exfiltrates a key (Section VII).
+
+The enclave is supposed to protect its contents even from a hostile OS —
+but the processor frontend is shared between enclave and non-enclave
+code.  A sender Trojan inside the enclave modulates DSB set pressure
+according to secret bits; the receiver outside simply times each enclave
+call (one EENTER/EEXIT per bit) and never sees enclave memory at all.
+
+Run:  python examples/sgx_trojan.py
+"""
+
+from __future__ import annotations
+
+from repro import Machine, XEON_E2286G
+from repro.analysis.bits import bits_to_string, string_to_bits
+from repro.sgx import SgxNonMtAttack
+
+
+def main() -> None:
+    machine = Machine(XEON_E2286G, seed=7)
+    print(f"machine : {machine.spec.name} (SGX: {machine.spec.sgx})")
+
+    attack = SgxNonMtAttack(machine, mechanism="eviction", variant="stealthy")
+    print(
+        f"attack  : {attack.name} "
+        f"(p=q={attack.config.p} iterations per bit; "
+        f"EENTER/EEXIT ~{attack.enclave.params.round_trip_cycles:.0f} cycles, "
+        f"enclave slowdown x{attack.enclave.params.slowdown})"
+    )
+
+    # A 64-bit enclave-held key the Trojan wants to leak.
+    key = 0xDEAD_BEEF_CAFE_F00D
+    key_bits = string_to_bits(format(key, "064b"))
+
+    result = attack.transmit(key_bits)
+    recovered = int(bits_to_string(result.received_bits), 2)
+
+    print(f"key     : {key:#018x}")
+    print(f"leaked  : {recovered:#018x}")
+    print(f"rate    : {result.kbps:.2f} Kbps "
+          "(paper band: ~19-35 Kbps for non-MT SGX attacks)")
+    print(f"error   : {result.error_rate * 100:.2f}%")
+    print(f"ecalls  : {attack.enclave.transitions // 2} enclave round trips")
+    if recovered == key:
+        print("the enclave key was exfiltrated bit-perfectly through the frontend.")
+    else:
+        flipped = bin(recovered ^ key).count("1")
+        print(f"{flipped} of 64 bits flipped in transit.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Scenario: Spectre v1 through the frontend vs cache channels (Section VIII).
+
+Recovers a sandboxed victim's secret with the classic bounds-check-bypass
+gadget, transmitting each 5-bit chunk by transiently executing an
+instruction mix block that maps to DSB set = chunk value.  Then runs the
+same attack over the classic cache channels and compares L1 miss rates —
+the detector-visible footprint — reproducing the paper's Table VII
+result: the frontend channel is the stealthiest.
+
+Run:  python examples/spectre_frontend.py
+"""
+
+from __future__ import annotations
+
+from repro import GOLD_6226, Machine
+from repro.spectre import ALL_SPECTRE_CHANNELS, FrontendDsbChannel, SpectreV1Attack
+
+SECRET = b"sandbox-escape-key"
+
+
+def main() -> None:
+    print(f"victim secret: {SECRET!r} (read out of bounds, 5-bit chunks)\n")
+
+    print(f"{'channel':22s} {'recovered':22s} {'accuracy':>9s} {'L1 miss rate':>13s}")
+    print("-" * 72)
+    frontend_rate = None
+    worst_cache_rate = 0.0
+    for cls in ALL_SPECTRE_CHANNELS:
+        machine = Machine(GOLD_6226, seed=1337)
+        channel = cls(machine)
+        report = SpectreV1Attack(machine, channel, SECRET).run()
+        print(
+            f"{channel.name:22s} {report.recovered.decode(errors='replace')!r:22s} "
+            f"{report.accuracy * 100:>8.1f}% {report.l1_miss_rate * 100:>12.3f}%"
+        )
+        if isinstance(channel, FrontendDsbChannel):
+            frontend_rate = report.l1_miss_rate
+        else:
+            worst_cache_rate = max(worst_cache_rate, report.l1_miss_rate)
+
+    print()
+    assert frontend_rate is not None
+    print(
+        f"the frontend channel leaves a {worst_cache_rate / frontend_rate:.0f}x "
+        "smaller L1 footprint than the noisiest cache channel - "
+        "cache-miss-based detectors never see it."
+    )
+
+
+if __name__ == "__main__":
+    main()

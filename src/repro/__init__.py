@@ -1,0 +1,81 @@
+"""repro — reproduction of "Leaky Frontends" (HPCA 2022).
+
+A production-quality simulation study of the security vulnerabilities in
+Intel processor frontends described by Deng, Huang and Szefer: timing and
+power covert channels built from the MITE / DSB / LSD micro-op delivery
+paths, their application against SGX enclaves and inside Spectre v1, and
+microcode-patch fingerprinting.
+
+Quickstart::
+
+    from repro import Machine, GOLD_6226
+    from repro.channels import NonMtEvictionChannel
+
+    machine = Machine(GOLD_6226, seed=42)
+    channel = NonMtEvictionChannel(machine)
+    result = channel.transmit([1, 0, 1, 1, 0])
+    print(result.received_bits, result.kbps, result.error_rate)
+
+See DESIGN.md for the full system inventory and EXPERIMENTS.md for the
+paper-vs-measured comparison of every table and figure.
+"""
+
+from repro.errors import (
+    ChannelError,
+    ConfigurationError,
+    EnclaveError,
+    ExecutionError,
+    LayoutError,
+    MeasurementError,
+    ReproError,
+    SpectreError,
+)
+from repro.machine import (
+    ALL_SPECS,
+    GOLD_6226,
+    XEON_E2174G,
+    XEON_E2286G,
+    XEON_E2288G,
+    Machine,
+    MachineSpec,
+    spec_by_name,
+)
+from repro.frontend import DeliveryPath, FrontendParams, EnergyParams, LoopReport
+from repro.isa import BlockChainLayout, LoopProgram, MixBlock, standard_mix_block
+from repro.rng import RngFactory
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # errors
+    "ReproError",
+    "ConfigurationError",
+    "LayoutError",
+    "ExecutionError",
+    "MeasurementError",
+    "ChannelError",
+    "EnclaveError",
+    "SpectreError",
+    # machines
+    "Machine",
+    "MachineSpec",
+    "GOLD_6226",
+    "XEON_E2174G",
+    "XEON_E2286G",
+    "XEON_E2288G",
+    "ALL_SPECS",
+    "spec_by_name",
+    # frontend
+    "DeliveryPath",
+    "FrontendParams",
+    "EnergyParams",
+    "LoopReport",
+    # isa
+    "BlockChainLayout",
+    "LoopProgram",
+    "MixBlock",
+    "standard_mix_block",
+    # infrastructure
+    "RngFactory",
+]

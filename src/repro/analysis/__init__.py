@@ -1,0 +1,46 @@
+"""Analysis utilities: edit distance, bit handling, thresholds, statistics.
+
+The paper evaluates channel error rates with the Wagner–Fischer edit
+distance between sent and received bit strings (Section V), and decodes
+bits by thresholding timing averages calibrated from an alternating
+0/1 training pattern (Section V-B).  Both live here.
+"""
+
+from repro.analysis.wagner_fischer import edit_distance, error_rate
+from repro.analysis.bits import (
+    bits_to_string,
+    string_to_bits,
+    alternating_bits,
+    random_bits,
+    pack_chunks,
+    unpack_chunks,
+)
+from repro.analysis.threshold import ThresholdDecoder, calibrate_threshold
+from repro.analysis.stats import summarize, Summary, separation, trimmed
+from repro.analysis.capacity import (
+    ChannelCapacity,
+    binary_entropy,
+    bsc_capacity,
+    information_rate,
+)
+
+__all__ = [
+    "edit_distance",
+    "error_rate",
+    "bits_to_string",
+    "string_to_bits",
+    "alternating_bits",
+    "random_bits",
+    "pack_chunks",
+    "unpack_chunks",
+    "ThresholdDecoder",
+    "calibrate_threshold",
+    "summarize",
+    "Summary",
+    "separation",
+    "trimmed",
+    "ChannelCapacity",
+    "binary_entropy",
+    "bsc_capacity",
+    "information_rate",
+]

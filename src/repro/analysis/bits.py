@@ -1,0 +1,111 @@
+"""Bit-string helpers for channel messages.
+
+The paper evaluates four message patterns (Table II): all 0s, all 1s,
+alternating 0s and 1s, and random.  The Spectre attack additionally packs
+the secret into 5-bit chunks, one per DSB set (Section VIII).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ChannelError
+
+__all__ = [
+    "bits_to_string",
+    "string_to_bits",
+    "alternating_bits",
+    "constant_bits",
+    "random_bits",
+    "pack_chunks",
+    "unpack_chunks",
+    "MESSAGE_PATTERNS",
+]
+
+
+def bits_to_string(bits: Sequence[int]) -> str:
+    """``[1, 0, 1]`` -> ``"101"``."""
+    return "".join("1" if b else "0" for b in bits)
+
+
+def string_to_bits(text: str) -> list[int]:
+    """``"101"`` -> ``[1, 0, 1]``; validates characters."""
+    bits = []
+    for ch in text:
+        if ch not in "01":
+            raise ChannelError(f"bit strings may only contain 0/1, got {ch!r}")
+        bits.append(int(ch))
+    return bits
+
+
+def alternating_bits(length: int, start: int = 0) -> list[int]:
+    """``0101...`` (or ``1010...``) of the given length."""
+    if length < 0:
+        raise ChannelError(f"length must be >= 0, got {length}")
+    return [(start + i) % 2 for i in range(length)]
+
+
+def constant_bits(length: int, value: int) -> list[int]:
+    """All-0s or all-1s message."""
+    if value not in (0, 1):
+        raise ChannelError(f"bit value must be 0 or 1, got {value}")
+    return [value] * length
+
+
+def random_bits(length: int, rng: np.random.Generator) -> list[int]:
+    """Uniform random message from a seeded stream."""
+    return [int(b) for b in rng.integers(0, 2, size=length)]
+
+
+def pack_chunks(data: bytes, chunk_bits: int = 5) -> list[int]:
+    """Split ``data`` into ``chunk_bits``-wide integer chunks, MSB first.
+
+    The Spectre variant transmits 5-bit chunks (values 0..31), one DSB set
+    per value (Section VIII).  Trailing bits are zero-padded.
+    """
+    if not 1 <= chunk_bits <= 16:
+        raise ChannelError(f"chunk_bits must be 1..16, got {chunk_bits}")
+    bitstream = []
+    for byte in data:
+        bitstream.extend((byte >> (7 - i)) & 1 for i in range(8))
+    while len(bitstream) % chunk_bits:
+        bitstream.append(0)
+    chunks = []
+    for offset in range(0, len(bitstream), chunk_bits):
+        value = 0
+        for bit in bitstream[offset : offset + chunk_bits]:
+            value = (value << 1) | bit
+        chunks.append(value)
+    return chunks
+
+
+def unpack_chunks(chunks: Sequence[int], n_bytes: int, chunk_bits: int = 5) -> bytes:
+    """Inverse of :func:`pack_chunks`, truncating padding to ``n_bytes``."""
+    if not 1 <= chunk_bits <= 16:
+        raise ChannelError(f"chunk_bits must be 1..16, got {chunk_bits}")
+    bitstream: list[int] = []
+    for chunk in chunks:
+        if not 0 <= chunk < (1 << chunk_bits):
+            raise ChannelError(
+                f"chunk {chunk} out of range for {chunk_bits}-bit chunks"
+            )
+        bitstream.extend((chunk >> (chunk_bits - 1 - i)) & 1 for i in range(chunk_bits))
+    data = bytearray()
+    for offset in range(0, n_bytes * 8, 8):
+        byte = 0
+        for bit in bitstream[offset : offset + 8]:
+            byte = (byte << 1) | bit
+        data.append(byte)
+    return bytes(data)
+
+
+def MESSAGE_PATTERNS(length: int, rng: np.random.Generator) -> dict[str, list[int]]:
+    """The four Table II message patterns at the given length."""
+    return {
+        "all_zeros": constant_bits(length, 0),
+        "all_ones": constant_bits(length, 1),
+        "alternating": alternating_bits(length),
+        "random": random_bits(length, rng),
+    }

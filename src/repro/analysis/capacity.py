@@ -1,0 +1,81 @@
+"""Channel-capacity estimation for the covert channels.
+
+Raw bit rate and error rate are awkward to compare across channels (a
+fast channel at 20% error may carry less *information* than a slower
+clean one).  Modelling each covert channel as a binary symmetric channel
+(BSC) with crossover probability p gives the standard capacity::
+
+    C = 1 - H(p),   H(p) = -p log2 p - (1-p) log2 (1-p)
+
+and the information throughput ``raw_rate * C`` in Kbit/s — the right
+figure of merit for the coding trade-off study.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.errors import ChannelError
+
+if TYPE_CHECKING:  # avoid a circular import: channels also use analysis
+    from repro.channels.base import TransmissionResult
+
+__all__ = ["binary_entropy", "bsc_capacity", "information_rate", "ChannelCapacity"]
+
+
+def binary_entropy(p: float) -> float:
+    """H(p) in bits; H(0) = H(1) = 0."""
+    if not 0.0 <= p <= 1.0:
+        raise ChannelError(f"probability must be in [0, 1], got {p}")
+    if p in (0.0, 1.0):
+        return 0.0
+    return -p * math.log2(p) - (1.0 - p) * math.log2(1.0 - p)
+
+
+def bsc_capacity(crossover: float) -> float:
+    """Capacity of a binary symmetric channel, bits per channel use.
+
+    Symmetric in ``crossover`` around 0.5 (a channel that is wrong 90%
+    of the time carries as much information as one right 90%).
+    """
+    return 1.0 - binary_entropy(min(max(crossover, 0.0), 1.0))
+
+
+def information_rate(raw_kbps: float, error_rate: float) -> float:
+    """Information throughput in Kbit/s under the BSC model.
+
+    ``error_rate`` above 0.5 is clamped to 0.5 for the throughput view:
+    a systematically inverted channel would be re-calibrated, not used
+    upside down.
+    """
+    if raw_kbps < 0:
+        raise ChannelError(f"raw rate must be non-negative, got {raw_kbps}")
+    crossover = min(max(error_rate, 0.0), 0.5)
+    return raw_kbps * bsc_capacity(crossover)
+
+
+@dataclass(frozen=True)
+class ChannelCapacity:
+    """Capacity summary of one measured transmission."""
+
+    raw_kbps: float
+    error_rate: float
+    capacity_per_use: float
+    information_kbps: float
+
+    @classmethod
+    def from_result(cls, result: "TransmissionResult") -> "ChannelCapacity":
+        return cls(
+            raw_kbps=result.kbps,
+            error_rate=result.error_rate,
+            capacity_per_use=bsc_capacity(min(result.error_rate, 0.5)),
+            information_kbps=information_rate(result.kbps, result.error_rate),
+        )
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{self.raw_kbps:.1f} Kbps raw x {self.capacity_per_use:.3f} "
+            f"bit/use = {self.information_kbps:.1f} Kbit/s information"
+        )

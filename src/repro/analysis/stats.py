@@ -1,0 +1,75 @@
+"""Small statistics helpers for experiment reports."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import MeasurementError
+
+__all__ = ["Summary", "summarize", "separation", "trimmed"]
+
+
+def trimmed(samples: Sequence[float], fraction: float = 0.05) -> list[float]:
+    """Drop the top ``fraction`` of samples (interrupt-spike robustness).
+
+    Timing sample sets contain rare, large positive outliers from
+    interrupt-like events; comparisons of distribution *modes* (as in the
+    paper's histograms) should not let a handful of spikes dominate the
+    pooled variance.
+    """
+    if not 0.0 <= fraction < 0.5:
+        raise MeasurementError(f"fraction must be in [0, 0.5), got {fraction}")
+    ordered = sorted(samples)
+    keep = max(1, int(len(ordered) * (1.0 - fraction)))
+    return ordered[:keep]
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Five-number-ish summary of a sample set."""
+
+    n: int
+    mean: float
+    std: float
+    minimum: float
+    median: float
+    maximum: float
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"n={self.n} mean={self.mean:.1f} std={self.std:.1f} "
+            f"min={self.minimum:.1f} med={self.median:.1f} max={self.maximum:.1f}"
+        )
+
+
+def summarize(samples: Sequence[float]) -> Summary:
+    """Summary statistics; raises on empty input."""
+    if not len(samples):
+        raise MeasurementError("cannot summarize an empty sample set")
+    arr = np.asarray(samples, dtype=float)
+    return Summary(
+        n=int(arr.size),
+        mean=float(arr.mean()),
+        std=float(arr.std(ddof=1)) if arr.size > 1 else 0.0,
+        minimum=float(arr.min()),
+        median=float(np.median(arr)),
+        maximum=float(arr.max()),
+    )
+
+
+def separation(a: Sequence[float], b: Sequence[float]) -> float:
+    """Cohen's-d-style separation between two sample sets.
+
+    Used by tests to assert two frontend paths are distinguishable
+    (|mean difference| over pooled standard deviation).  Returns ``inf``
+    for noiseless, distinct samples.
+    """
+    sa, sb = summarize(a), summarize(b)
+    pooled = ((sa.std**2 + sb.std**2) / 2) ** 0.5
+    diff = abs(sa.mean - sb.mean)
+    if pooled == 0.0:
+        return float("inf") if diff > 0 else 0.0
+    return diff / pooled

@@ -1,0 +1,24 @@
+"""Backend (out-of-order engine) model.
+
+The paper's channels require the *frontend* to be the bottleneck, which
+only holds for carefully chosen instruction mixes (Section III-A4).  This
+package models the two backend limits that matter:
+
+* the rename/retire cap of 4 uops per cycle, and
+* the 8 execution ports with per-kind port bindings.
+
+:func:`repro.backend.analysis.is_frontend_bound` verifies that a loop
+body keeps every port below saturation so observed timing differences are
+attributable to the frontend path, exactly the property the paper's
+4-mov+1-jmp block is constructed to have.
+"""
+
+from repro.backend.ports import PortModel, PortPressure
+from repro.backend.analysis import backend_bound_cycles, is_frontend_bound
+
+__all__ = [
+    "PortModel",
+    "PortPressure",
+    "backend_bound_cycles",
+    "is_frontend_bound",
+]

@@ -1,0 +1,67 @@
+"""Frontend-boundedness analysis of loop bodies (Section III-A4).
+
+The paper's channels only work when instruction delivery — not execution —
+limits throughput.  These helpers compute the backend-bound cycle count of
+a loop body (retire cap vs port pressure) so callers can assert the
+frontend signal is observable.
+"""
+
+from __future__ import annotations
+
+from itertools import chain
+
+from repro.backend.ports import PortModel
+from repro.frontend.params import FrontendParams
+from repro.isa.program import LoopProgram
+from repro.isa.uops import Uop
+
+__all__ = ["backend_bound_cycles", "is_frontend_bound", "iteration_uops"]
+
+
+def iteration_uops(program: LoopProgram) -> list[Uop]:
+    """All uops of one loop-body iteration, in program order."""
+    return list(
+        chain.from_iterable(
+            instruction.uops
+            for block in program.body
+            for instruction in block.instructions
+        )
+    )
+
+
+def backend_bound_cycles(
+    program: LoopProgram, params: FrontendParams | None = None
+) -> float:
+    """Cycles per iteration imposed by the backend alone.
+
+    The larger of the rename/retire cap (4 uops/cycle) and the execution
+    port pressure.  Branch uops also face the 1-taken-branch-per-cycle
+    limit, which the port model captures via the port-0/6 binding.
+    """
+    params = params or FrontendParams()
+    uops = iteration_uops(program)
+    retire = len(uops) / params.issue_width
+    pressure = PortModel().pressure(uops).cycles
+    return max(retire, pressure)
+
+
+def is_frontend_bound(
+    program: LoopProgram,
+    params: FrontendParams | None = None,
+    slack: float = 1.05,
+) -> bool:
+    """True when port pressure leaves the retire cap as the binding limit.
+
+    The paper's mix blocks are chosen so execution ports are *not* the
+    bottleneck: the retire cap (which every path shares) dominates, so any
+    extra cycles are attributable to the frontend path taken.  ``slack``
+    tolerates small imbalances.
+    """
+    params = params or FrontendParams()
+    uops = iteration_uops(program)
+    if not uops:
+        return False
+    retire = len(uops) / params.issue_width
+    pressure = PortModel().pressure(uops).cycles
+    memory_uops = sum(1 for u in uops if u.touches_memory)
+    return pressure <= retire * slack and memory_uops == 0

@@ -1,0 +1,20 @@
+"""Cache models: L1I, L1D, and a small hierarchy for the Spectre baselines.
+
+The frontend attacks are designed *not* to perturb these caches (Figure 5:
+a DSB-set chain strides 1024 bytes, touching distinct L1I sets), which the
+test suite asserts.  The Spectre comparison (Table VII) additionally needs
+data caches for the Flush+Reload / Prime+Probe / LRU baseline channels.
+"""
+
+from repro.caches.sa_cache import SetAssociativeCache, CacheStats
+from repro.caches.presets import l1i_cache, l1d_cache
+from repro.caches.hierarchy import MemoryHierarchy, AccessResult
+
+__all__ = [
+    "SetAssociativeCache",
+    "CacheStats",
+    "l1i_cache",
+    "l1d_cache",
+    "MemoryHierarchy",
+    "AccessResult",
+]

@@ -1,0 +1,140 @@
+"""Generic set-associative cache with true-LRU replacement.
+
+Used for both the L1 instruction cache (whose *non*-interference the
+frontend attacks depend on) and the L1 data cache (whose LRU metadata the
+Table VII baseline "LRU channel" exploits — hits reorder the LRU stack
+without causing misses, and that ordering is observable via a later
+conflict pattern).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+__all__ = ["SetAssociativeCache", "CacheStats"]
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/eviction counters."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    flushes: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+    def snapshot(self) -> "CacheStats":
+        return CacheStats(self.hits, self.misses, self.evictions, self.flushes)
+
+    def delta(self, earlier: "CacheStats") -> "CacheStats":
+        return CacheStats(
+            self.hits - earlier.hits,
+            self.misses - earlier.misses,
+            self.evictions - earlier.evictions,
+            self.flushes - earlier.flushes,
+        )
+
+
+class SetAssociativeCache:
+    """A physically-indexed set-associative cache with LRU replacement.
+
+    Parameters
+    ----------
+    sets / ways / line_bytes:
+        Geometry.  ``sets`` must be a power of two.
+    name:
+        Used in reprs and error messages.
+    """
+
+    def __init__(self, sets: int, ways: int, line_bytes: int, name: str = "cache") -> None:
+        if sets < 1 or sets & (sets - 1):
+            raise ConfigurationError(f"{name}: sets must be a power of two, got {sets}")
+        if ways < 1:
+            raise ConfigurationError(f"{name}: ways must be >= 1, got {ways}")
+        if line_bytes < 1 or line_bytes & (line_bytes - 1):
+            raise ConfigurationError(
+                f"{name}: line_bytes must be a power of two, got {line_bytes}"
+            )
+        self.sets = sets
+        self.ways = ways
+        self.line_bytes = line_bytes
+        self.name = name
+        # Per set: line_addr -> None, ordered LRU-oldest first.
+        self._data: list[OrderedDict[int, None]] = [OrderedDict() for _ in range(sets)]
+        self.stats = CacheStats()
+
+    # ------------------------------------------------------------------
+    def line_addr(self, addr: int) -> int:
+        return addr - (addr % self.line_bytes)
+
+    def set_index(self, addr: int) -> int:
+        return (addr // self.line_bytes) % self.sets
+
+    @property
+    def size_bytes(self) -> int:
+        return self.sets * self.ways * self.line_bytes
+
+    # ------------------------------------------------------------------
+    def access(self, addr: int) -> bool:
+        """Access ``addr``; fill on miss.  Returns True on hit."""
+        line = self.line_addr(addr)
+        entry_set = self._data[self.set_index(addr)]
+        if line in entry_set:
+            entry_set.move_to_end(line)
+            self.stats.hits += 1
+            return True
+        self.stats.misses += 1
+        if len(entry_set) >= self.ways:
+            entry_set.popitem(last=False)
+            self.stats.evictions += 1
+        entry_set[line] = None
+        return False
+
+    def probe(self, addr: int) -> bool:
+        """Check residency without filling or touching LRU state."""
+        line = self.line_addr(addr)
+        return line in self._data[self.set_index(addr)]
+
+    def flush_line(self, addr: int) -> bool:
+        """``clflush``: evict one line if present."""
+        line = self.line_addr(addr)
+        entry_set = self._data[self.set_index(addr)]
+        if line in entry_set:
+            del entry_set[line]
+            self.stats.flushes += 1
+            return True
+        return False
+
+    def flush_all(self) -> None:
+        for entry_set in self._data:
+            entry_set.clear()
+        self.stats.flushes += 1
+
+    # ------------------------------------------------------------------
+    def lru_stack(self, set_index: int) -> list[int]:
+        """Line addresses in set ``set_index``, LRU-oldest first.
+
+        Exposed for the LRU-state covert channel baseline: the *ordering*
+        leaks victim activity even when all accesses hit.
+        """
+        return list(self._data[set_index])
+
+    def occupancy(self, set_index: int) -> int:
+        return len(self._data[set_index])
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"SetAssociativeCache({self.name}: {self.sets}x{self.ways}, "
+            f"{self.line_bytes}B lines)"
+        )

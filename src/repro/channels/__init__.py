@@ -1,0 +1,78 @@
+"""Frontend covert channels — the paper's core contribution (Section IV).
+
+Every channel follows the three-step protocol of Section IV:
+
+* **Init** — the receiver (or sender, for non-MT internal-interference
+  attacks) places micro-ops into a chosen frontend path;
+* **Encode** — the sender perturbs (or doesn't) the frontend state
+  according to the secret bit;
+* **Decode** — a timing (or power) measurement reveals which path now
+  delivers the probed micro-ops.
+
+Concrete channels:
+
+========================  =========================  ====================
+class                      mechanism                  setting
+========================  =========================  ====================
+MtEvictionChannel          DSB set eviction           hyper-threaded
+MtMisalignmentChannel      LSD misalign collision     hyper-threaded
+NonMtEvictionChannel       DSB eviction, own thread   time-sliced
+NonMtMisalignmentChannel   LSD collision, own thread  time-sliced
+SlowSwitchChannel          LCP stalls + DSB switches  time-sliced
+PowerEvictionChannel       DSB eviction via RAPL      time-sliced
+PowerMisalignmentChannel   LSD collision via RAPL     time-sliced
+========================  =========================  ====================
+
+Non-MT channels take ``variant="stealthy"`` (encode a 0 by touching a
+*different* DSB set) or ``variant="fast"`` (encode a 0 by doing nothing).
+"""
+
+from repro.channels.base import (
+    BitSample,
+    ChannelConfig,
+    CovertChannel,
+    TransmissionResult,
+)
+from repro.channels.probes import PathProbe, path_timing_samples, path_power_samples
+from repro.channels.eviction import MtEvictionChannel, NonMtEvictionChannel
+from repro.channels.misalignment import (
+    MtMisalignmentChannel,
+    NonMtMisalignmentChannel,
+)
+from repro.channels.slow_switch import SlowSwitchChannel
+from repro.channels.power import PowerEvictionChannel, PowerMisalignmentChannel
+from repro.channels.coding import (
+    CodedChannel,
+    DifferentialCode,
+    LineCode,
+    ManchesterCode,
+    RepetitionCode,
+)
+from repro.channels.streamline import RingBufferChannel
+from repro.channels.framing import FramedProtocol, FrameResult, crc8
+
+__all__ = [
+    "BitSample",
+    "ChannelConfig",
+    "CovertChannel",
+    "TransmissionResult",
+    "PathProbe",
+    "path_timing_samples",
+    "path_power_samples",
+    "MtEvictionChannel",
+    "NonMtEvictionChannel",
+    "MtMisalignmentChannel",
+    "NonMtMisalignmentChannel",
+    "SlowSwitchChannel",
+    "PowerEvictionChannel",
+    "PowerMisalignmentChannel",
+    "LineCode",
+    "RepetitionCode",
+    "ManchesterCode",
+    "DifferentialCode",
+    "CodedChannel",
+    "RingBufferChannel",
+    "FramedProtocol",
+    "FrameResult",
+    "crc8",
+]

@@ -1,0 +1,152 @@
+"""Eviction-based covert channels (Sections IV-A and IV-C).
+
+Both channels transmit a bit by either overflowing a DSB set (``m=1``:
+``N+1`` blocks now compete for ``N`` ways, evictions redirect delivery to
+MITE+DSB and flush the LSD) or leaving it intact (``m=0``: delivery stays
+on the fast LSD/DSB path).
+
+* :class:`MtEvictionChannel` — sender and receiver are *hyper-threads of
+  the same core*.  The receiver loops over its ``d`` blocks, timing each
+  pass; when the sender runs its ``N+1-d`` same-set blocks on the sibling
+  thread, the SMT-folded DSB makes their lines compete with the
+  receiver's, producing sustained receiver-visible thrash (Figure 7).
+* :class:`NonMtEvictionChannel` — single hardware thread,
+  internal-interference (Figure 9): the sender's own init/encode/decode
+  sequence overflows (or not) the target set; the receiver times the
+  whole sequence.  The ``stealthy`` variant encodes a 0 with equal work
+  on a decoy set; the ``fast`` variant simply skips the encode step.
+"""
+
+from __future__ import annotations
+
+from repro.channels.base import BitSample, ChannelConfig, CovertChannel
+from repro.errors import ChannelError
+from repro.isa.blocks import MixBlock
+from repro.isa.program import LoopProgram
+from repro.machine.machine import Machine
+
+__all__ = ["MtEvictionChannel", "NonMtEvictionChannel"]
+
+
+class NonMtEvictionChannel(CovertChannel):
+    """Non-MT eviction channel (Section IV-C), stealthy or fast variant."""
+
+    requires_smt = False
+
+    def __init__(
+        self,
+        machine: Machine,
+        config: ChannelConfig | None = None,
+        variant: str = "stealthy",
+    ) -> None:
+        if variant not in ("stealthy", "fast"):
+            raise ChannelError(f"variant must be 'stealthy' or 'fast', got {variant!r}")
+        self.variant = variant
+        self.name = f"non-mt-{variant}-eviction"
+        super().__init__(machine, config)
+        ways = machine.spec.dsb_ways
+        if not 1 <= self.config.d <= ways:
+            raise ChannelError(
+                f"d must be in 1..{ways} for eviction channels, got {self.config.d}"
+            )
+        layout = machine.layout()
+        d = self.config.d
+        # Blocks 0..N map to the target set: the receiver's d plus the
+        # sender's N+1-d overflow the set's N ways exactly by one.
+        all_blocks = layout.chain(self.config.target_set, ways + 1, label="evict.x")
+        self._probe_blocks: list[MixBlock] = all_blocks[:d]
+        self._encode_blocks: list[MixBlock] = all_blocks[d:]
+        self._decoy_blocks: list[MixBlock] = layout.chain(
+            self.config.decoy_set,
+            ways + 1 - d,
+            first_slot=d,
+            label="evict.y",
+        )
+
+    def bit_body(self, m: int) -> list[MixBlock]:
+        """The Init + Encode + Decode block sequence for one bit value."""
+        m = self._validate_bit(m)
+        if m:
+            encode = self._encode_blocks
+        elif self.variant == "stealthy":
+            encode = self._decoy_blocks
+        else:
+            encode = []
+        return self._probe_blocks + encode + self._probe_blocks
+
+    def send_bit(self, m: int) -> BitSample:
+        body = self.bit_body(m)
+        program = LoopProgram(body, self.config.p, label=f"{self.name}.bit{m}")
+        report = self.machine.run_loop(program)
+        true_cycles = report.cycles + self._disturbance()
+        measured = self.machine.timer.measure(true_cycles).measured_cycles
+        elapsed = true_cycles + self.config.bit_overhead_cycles
+        return BitSample(measurement=measured, elapsed_cycles=elapsed, sent=m)
+
+
+class MtEvictionChannel(CovertChannel):
+    """Hyper-threaded eviction channel (Section IV-A, Figure 7)."""
+
+    name = "mt-eviction"
+    requires_smt = True
+
+    #: Default iteration counts for the MT setting (Section V-A):
+    #: p = 1000 receiver decode traversals, q = 100 sender encode steps.
+    MT_DEFAULTS = {"p": 1000, "q": 100}
+
+    def __init__(self, machine: Machine, config: ChannelConfig | None = None) -> None:
+        if config is None:
+            config = ChannelConfig(**self.MT_DEFAULTS)
+        super().__init__(machine, config)
+        ways = machine.spec.dsb_ways
+        if not 1 <= self.config.d <= ways:
+            raise ChannelError(
+                f"d must be in 1..{ways} for eviction channels, got {self.config.d}"
+            )
+        layout = machine.layout()
+        d = self.config.d
+        all_blocks = layout.chain(self.config.target_set, ways + 1, label="mt-evict.x")
+        self._receiver_blocks = all_blocks[:d]
+        self._sender_blocks = all_blocks[d:]
+
+    def _receiver_program(self, iterations: int) -> LoopProgram:
+        return LoopProgram(self._receiver_blocks, iterations, "mt-evict.recv")
+
+    def _sender_program(self, iterations: int) -> LoopProgram:
+        return LoopProgram(self._sender_blocks, iterations, "mt-evict.send")
+
+    def send_bit(self, m: int) -> BitSample:
+        m = self._validate_bit(m)
+        cfg = self.config
+        # Synchronisation slip: sender and receiver windows only
+        # partially overlap (m=1), or stray sibling activity bleeds into
+        # an idle slot (m=0).  This is the dominant MT error source.
+        slipped = self._rng.random() < self._slip_rate(m)
+        if m:
+            overlap = self._rng.uniform(0.25, 0.75) if slipped else 1.0
+        else:
+            overlap = self._rng.uniform(0.05, 0.40) if slipped else 0.0
+
+        receiver_cycles = 0.0
+        wall_cycles = 0.0
+        overlap_q = round(cfg.q * overlap)
+        overlap_p = round(cfg.p * overlap)
+        if overlap_q >= 1 and overlap_p >= 1:
+            result = self.machine.run_smt(
+                self._receiver_program(overlap_p),
+                self._sender_program(overlap_q),
+            )
+            receiver_cycles += result.primary.cycles
+            wall_cycles += result.total_cycles
+        solo_p = cfg.p - max(overlap_p, 0)
+        if solo_p >= 1:
+            report = self.machine.run_loop(self._receiver_program(solo_p))
+            receiver_cycles += report.cycles
+            wall_cycles += report.cycles
+        measured = self.machine.smt_timer.measure(receiver_cycles).measured_cycles
+        elapsed = (
+            self._slotted(wall_cycles)
+            + cfg.p * cfg.measurement_overhead_cycles
+            + cfg.bit_overhead_cycles
+        )
+        return BitSample(measurement=measured, elapsed_cycles=elapsed, sent=m)

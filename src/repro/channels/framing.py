@@ -1,0 +1,146 @@
+"""Message framing for covert-channel exfiltration.
+
+Raw channels move bits; real exfiltration needs to know *which* bits:
+where a message starts, how long it is, and whether it survived the
+channel.  :class:`FramedProtocol` wraps any
+:class:`~repro.channels.base.CovertChannel` with a classic frame::
+
+    [ preamble 0xAA ][ length byte ][ payload bytes ... ][ CRC-8 ]
+
+* the **preamble** lets the receiver detect and discard a mis-locked
+  start (it also doubles as threshold-refresh traffic);
+* the **length byte** delimits the payload (up to 255 bytes per frame;
+  longer messages fragment across frames);
+* the **CRC-8** (polynomial 0x07, as in ATM HEC) rejects frames the
+  channel corrupted, so the receiver never silently accepts garbage —
+  at ~1% channel BER, undetected corruption becomes vanishingly rare.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.channels.base import CovertChannel
+from repro.errors import ChannelError
+
+__all__ = ["crc8", "FrameResult", "FramedProtocol", "PREAMBLE"]
+
+#: Frame start marker (10101010 — also a threshold-friendly pattern).
+PREAMBLE = 0xAA
+
+#: CRC-8/ATM polynomial.
+_CRC_POLY = 0x07
+
+
+def crc8(data: bytes) -> int:
+    """CRC-8 with polynomial 0x07, init 0x00, no reflection."""
+    crc = 0
+    for byte in data:
+        crc ^= byte
+        for _ in range(8):
+            crc = ((crc << 1) ^ _CRC_POLY) & 0xFF if crc & 0x80 else (crc << 1) & 0xFF
+    return crc
+
+
+def _byte_to_bits(byte: int) -> list[int]:
+    return [(byte >> (7 - i)) & 1 for i in range(8)]
+
+
+def _bits_to_byte(bits: list[int]) -> int:
+    value = 0
+    for bit in bits:
+        value = (value << 1) | bit
+    return value
+
+
+@dataclass(frozen=True)
+class FrameResult:
+    """Outcome of receiving one frame."""
+
+    ok: bool
+    payload: bytes
+    reason: str = ""
+    raw_bits: tuple[int, ...] = ()
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        if self.ok:
+            return f"frame ok: {self.payload!r}"
+        return f"frame rejected ({self.reason})"
+
+
+class FramedProtocol:
+    """Frame-level send/receive over any covert channel."""
+
+    #: Maximum payload bytes per frame (length fits one byte).
+    MAX_PAYLOAD = 255
+
+    def __init__(self, channel: CovertChannel) -> None:
+        self.channel = channel
+
+    # ------------------------------------------------------------------
+    # encoding
+    # ------------------------------------------------------------------
+    @classmethod
+    def frame_bits(cls, payload: bytes) -> list[int]:
+        """Bits of one frame around ``payload``."""
+        if not payload:
+            raise ChannelError("frame payload must be non-empty")
+        if len(payload) > cls.MAX_PAYLOAD:
+            raise ChannelError(
+                f"payload exceeds {cls.MAX_PAYLOAD} bytes; fragment it"
+            )
+        body = bytes([len(payload)]) + payload
+        bits = _byte_to_bits(PREAMBLE)
+        for byte in body:
+            bits.extend(_byte_to_bits(byte))
+        bits.extend(_byte_to_bits(crc8(body)))
+        return bits
+
+    @classmethod
+    def parse_bits(cls, bits: list[int]) -> FrameResult:
+        """Validate and strip a frame from received bits."""
+        raw = tuple(int(b) for b in bits)
+        if len(raw) < 24:
+            return FrameResult(False, b"", "truncated frame", raw)
+        if _bits_to_byte(list(raw[:8])) != PREAMBLE:
+            return FrameResult(False, b"", "bad preamble", raw)
+        length = _bits_to_byte(list(raw[8:16]))
+        expected = 8 + 8 + length * 8 + 8
+        if length == 0 or len(raw) < expected:
+            return FrameResult(False, b"", "bad length", raw)
+        body_bits = raw[8 : 16 + length * 8]
+        body = bytes(
+            _bits_to_byte(list(body_bits[i : i + 8]))
+            for i in range(0, len(body_bits), 8)
+        )
+        received_crc = _bits_to_byte(list(raw[16 + length * 8 : expected]))
+        if crc8(body) != received_crc:
+            return FrameResult(False, b"", "crc mismatch", raw)
+        return FrameResult(True, body[1:], "", raw)
+
+    # ------------------------------------------------------------------
+    # transport
+    # ------------------------------------------------------------------
+    def send(self, payload: bytes, calibrate: bool = True) -> FrameResult:
+        """Transmit one frame; returns the receiver's verdict.
+
+        Long messages should be split by the caller into
+        ``MAX_PAYLOAD``-byte fragments and sent as successive frames.
+        """
+        bits = self.frame_bits(payload)
+        result = self.channel.transmit(bits, calibrate=calibrate)
+        return self.parse_bits(result.received_bits)
+
+    def send_message(self, message: bytes, fragment_size: int = 32) -> list[FrameResult]:
+        """Fragment, frame, and send a message; one result per fragment."""
+        if not message:
+            raise ChannelError("message must be non-empty")
+        if not 1 <= fragment_size <= self.MAX_PAYLOAD:
+            raise ChannelError(
+                f"fragment_size must be in 1..{self.MAX_PAYLOAD}"
+            )
+        results = []
+        for offset in range(0, len(message), fragment_size):
+            fragment = message[offset : offset + fragment_size]
+            results.append(self.send(fragment, calibrate=(offset == 0)))
+        return results

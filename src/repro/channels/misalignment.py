@@ -1,0 +1,154 @@
+"""Misalignment-based covert channels (Sections IV-B and IV-D).
+
+Instead of overflowing a DSB set, these channels exploit the LSD's
+intolerance of window-spanning ("misaligned") blocks: a handful of
+blocks offset 16 bytes past their window boundary collide in the LSD
+*without* causing DSB evictions, redirecting delivery from the LSD to the
+DSB.  Sender + receiver together touch only ``M <= N`` blocks, one fewer
+access per iteration than the eviction channels — which is why the paper's
+fastest attack (1.4 Mbps) is the non-MT misalignment channel.
+
+* :class:`MtMisalignmentChannel` (Figure 8): the receiver's aligned
+  ``d``-block loop streams from its LSD; the sender's misaligned
+  same-set blocks on the sibling thread disturb that stream.
+* :class:`NonMtMisalignmentChannel`: internal interference on one
+  thread; the ``stealthy`` variant encodes a 0 with *aligned* blocks of
+  the same count, the ``fast`` variant with no encode accesses.
+"""
+
+from __future__ import annotations
+
+from repro.channels.base import BitSample, ChannelConfig, CovertChannel
+from repro.errors import ChannelError
+from repro.isa.program import LoopProgram
+from repro.machine.machine import Machine
+
+__all__ = ["MtMisalignmentChannel", "NonMtMisalignmentChannel"]
+
+#: Paper defaults for misalignment channels: d=5, M=8 (Section V-C).
+MISALIGN_DEFAULTS = {"d": 5, "M": 8}
+
+
+def _check_misalign_params(machine: Machine, config: ChannelConfig) -> None:
+    ways = machine.spec.dsb_ways
+    if not 1 <= config.d < config.M:
+        raise ChannelError(
+            f"misalignment channels need 1 <= d < M (got d={config.d}, M={config.M})"
+        )
+    if config.M > ways:
+        raise ChannelError(
+            f"misalignment channels need M <= N={ways} so no evictions occur "
+            f"(got M={config.M})"
+        )
+
+
+class NonMtMisalignmentChannel(CovertChannel):
+    """Non-MT misalignment channel (Section IV-D), stealthy or fast."""
+
+    requires_smt = False
+
+    def __init__(
+        self,
+        machine: Machine,
+        config: ChannelConfig | None = None,
+        variant: str = "stealthy",
+    ) -> None:
+        if variant not in ("stealthy", "fast"):
+            raise ChannelError(f"variant must be 'stealthy' or 'fast', got {variant!r}")
+        self.variant = variant
+        self.name = f"non-mt-{variant}-misalignment"
+        if config is None:
+            config = ChannelConfig(**MISALIGN_DEFAULTS)
+        super().__init__(machine, config)
+        _check_misalign_params(machine, self.config)
+        layout = machine.layout()
+        d, M = self.config.d, self.config.M
+        target = self.config.target_set
+        self._probe_blocks = layout.chain(target, d, label="mis.probe")
+        self._encode_misaligned = layout.chain(
+            target, M - d, misaligned=True, first_slot=d, label="mis.enc1"
+        )
+        self._encode_aligned = layout.chain(
+            target, M - d, first_slot=d, label="mis.enc0"
+        )
+
+    def bit_body(self, m: int) -> list:
+        """The Init + Encode + Decode block sequence for one bit value."""
+        m = self._validate_bit(m)
+        if m:
+            encode = self._encode_misaligned
+        elif self.variant == "stealthy":
+            encode = self._encode_aligned
+        else:
+            encode = []
+        return self._probe_blocks + encode + self._probe_blocks
+
+    def send_bit(self, m: int) -> BitSample:
+        body = self.bit_body(m)
+        program = LoopProgram(body, self.config.p, label=f"{self.name}.bit{m}")
+        report = self.machine.run_loop(program)
+        true_cycles = report.cycles + self._disturbance()
+        measured = self.machine.timer.measure(true_cycles).measured_cycles
+        elapsed = true_cycles + self.config.bit_overhead_cycles
+        return BitSample(measurement=measured, elapsed_cycles=elapsed, sent=m)
+
+
+class MtMisalignmentChannel(CovertChannel):
+    """Hyper-threaded misalignment channel (Section IV-B, Figure 8)."""
+
+    name = "mt-misalignment"
+    requires_smt = True
+
+    MT_DEFAULTS = {"p": 1000, "q": 100, **MISALIGN_DEFAULTS}
+
+    def __init__(self, machine: Machine, config: ChannelConfig | None = None) -> None:
+        if config is None:
+            config = ChannelConfig(**self.MT_DEFAULTS)
+        super().__init__(machine, config)
+        _check_misalign_params(machine, self.config)
+        layout = machine.layout()
+        d, M = self.config.d, self.config.M
+        target = self.config.target_set
+        self._receiver_blocks = layout.chain(target, d, label="mt-mis.recv")
+        self._sender_blocks = layout.chain(
+            target, M - d, misaligned=True, first_slot=d, label="mt-mis.send"
+        )
+
+    def _receiver_program(self, iterations: int) -> LoopProgram:
+        return LoopProgram(self._receiver_blocks, iterations, "mt-mis.recv")
+
+    def _sender_program(self, iterations: int) -> LoopProgram:
+        return LoopProgram(self._sender_blocks, iterations, "mt-mis.send")
+
+    def send_bit(self, m: int) -> BitSample:
+        m = self._validate_bit(m)
+        cfg = self.config
+        slipped = self._rng.random() < self._slip_rate(m)
+        if m:
+            overlap = self._rng.uniform(0.25, 0.75) if slipped else 1.0
+        else:
+            overlap = self._rng.uniform(0.05, 0.40) if slipped else 0.0
+
+        receiver_cycles = 0.0
+        wall_cycles = 0.0
+        overlap_q = round(cfg.q * overlap)
+        overlap_p = round(cfg.p * overlap)
+        if overlap_q >= 1 and overlap_p >= 1:
+            result = self.machine.run_smt(
+                self._receiver_program(overlap_p),
+                self._sender_program(overlap_q),
+            )
+            receiver_cycles += result.primary.cycles
+            wall_cycles += result.total_cycles
+        solo_p = cfg.p - max(overlap_p, 0)
+        if solo_p >= 1:
+            report = self.machine.run_loop(self._receiver_program(solo_p))
+            receiver_cycles += report.cycles
+            wall_cycles += report.cycles
+        measured = self.machine.smt_timer.measure(receiver_cycles).measured_cycles
+        elapsed = (
+            self._slotted(wall_cycles)
+            + cfg.p * cfg.measurement_overhead_cycles
+            + cfg.bit_overhead_cycles
+        )
+        return BitSample(measurement=measured, elapsed_cycles=elapsed, sent=m)

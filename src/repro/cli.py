@@ -1,0 +1,317 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Gives each of the library's headline capabilities a one-line invocation:
+
+* ``machines``    — list the simulated Table I CPUs;
+* ``transmit``    — run a covert channel end to end;
+* ``probe``       — time the three frontend paths (Figure 4 style);
+* ``fingerprint`` — detect the machine's microcode/LSD state;
+* ``spectre``     — recover a secret via Spectre v1 over a chosen channel;
+* ``sgx``         — run an SGX enclave attack;
+* ``defense``     — print the mitigation/attack matrix;
+* ``validate``    — run the 10-point model-invariant checklist;
+* ``report``      — assemble benchmark results into REPORT.md.
+
+All commands accept ``--seed`` for exact reproducibility.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.analysis.bits import alternating_bits, random_bits, string_to_bits
+from repro.channels.eviction import MtEvictionChannel, NonMtEvictionChannel
+from repro.channels.misalignment import (
+    MtMisalignmentChannel,
+    NonMtMisalignmentChannel,
+)
+from repro.channels.power import PowerEvictionChannel, PowerMisalignmentChannel
+from repro.channels.probes import path_timing_samples
+from repro.channels.slow_switch import SlowSwitchChannel
+from repro.errors import ReproError
+from repro.frontend.paths import DeliveryPath
+from repro.machine.machine import Machine
+from repro.machine.specs import ALL_SPECS, spec_by_name
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Leaky Frontends (HPCA 2022) reproduction toolkit",
+    )
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument("--seed", type=int, default=0, help="experiment seed")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser(
+        "machines", help="list the simulated Table I CPUs", parents=[common]
+    )
+
+    transmit = sub.add_parser(
+        "transmit", help="run a covert channel", parents=[common]
+    )
+    transmit.add_argument("--machine", default="Gold 6226")
+    transmit.add_argument(
+        "--channel",
+        default="eviction",
+        choices=[
+            "eviction",
+            "misalignment",
+            "slow-switch",
+            "mt-eviction",
+            "mt-misalignment",
+            "power-eviction",
+            "power-misalignment",
+        ],
+    )
+    transmit.add_argument(
+        "--variant", default="stealthy", choices=["stealthy", "fast"]
+    )
+    transmit.add_argument("--message", default=None, help="bit string, e.g. 0110")
+    transmit.add_argument("--bits", type=int, default=64, help="random-bit count")
+
+    probe = sub.add_parser(
+        "probe", help="time the three frontend paths", parents=[common]
+    )
+    probe.add_argument("--machine", default="Gold 6226")
+    probe.add_argument("--samples", type=int, default=100)
+
+    fingerprint = sub.add_parser(
+        "fingerprint", help="detect the microcode/LSD state", parents=[common]
+    )
+    fingerprint.add_argument("--machine", default="Gold 6226")
+    fingerprint.add_argument(
+        "--patch", default=None, choices=[None, "patch1", "patch2"],
+        help="apply a microcode patch before probing",
+    )
+
+    spectre = sub.add_parser(
+        "spectre", help="Spectre v1 secret recovery", parents=[common]
+    )
+    spectre.add_argument("--machine", default="Gold 6226")
+    spectre.add_argument("--secret", default="SecretKey!")
+    spectre.add_argument(
+        "--channel",
+        default="frontend-dsb",
+        choices=[
+            "mem-flush-reload",
+            "l1d-flush-reload",
+            "l1d-lru",
+            "l1i-flush-reload",
+            "l1i-prime-probe",
+            "frontend-dsb",
+        ],
+    )
+
+    sgx = sub.add_parser("sgx", help="attack an SGX enclave", parents=[common])
+    sgx.add_argument("--machine", default="Xeon E-2174G")
+    sgx.add_argument(
+        "--mode", default="non-mt", choices=["non-mt", "mt", "power"]
+    )
+    sgx.add_argument(
+        "--mechanism", default="eviction", choices=["eviction", "misalignment"]
+    )
+    sgx.add_argument("--bits", type=int, default=32)
+
+    defense = sub.add_parser(
+        "defense", help="mitigation/attack matrix", parents=[common]
+    )
+    defense.add_argument("--bits", type=int, default=32)
+
+    sub.add_parser(
+        "validate",
+        help="check the model's paper invariants (10-point checklist)",
+        parents=[common],
+    )
+
+    report = sub.add_parser(
+        "report",
+        help="assemble benchmarks/results/ into REPORT.md",
+        parents=[common],
+    )
+    report.add_argument(
+        "--results", default="benchmarks/results", help="results directory"
+    )
+    report.add_argument("--output", default="REPORT.md")
+
+    return parser
+
+
+# ----------------------------------------------------------------------
+# command implementations
+# ----------------------------------------------------------------------
+def _cmd_machines(_args) -> int:
+    print(f"{'model':14s} {'uarch':13s} {'freq':>7s} {'LSD':>9s} {'SMT':>4s} {'SGX':>4s}")
+    for spec in ALL_SPECS:
+        lsd = str(spec.lsd_entries) if spec.lsd_enabled else "disabled"
+        print(
+            f"{spec.name:14s} {spec.microarchitecture:13s} "
+            f"{spec.frequency_ghz:>6.1f}G {lsd:>9s} "
+            f"{'yes' if spec.smt else 'no':>4s} {'yes' if spec.sgx else 'no':>4s}"
+        )
+    return 0
+
+
+def _build_channel(machine: Machine, name: str, variant: str):
+    builders = {
+        "eviction": lambda: NonMtEvictionChannel(machine, variant=variant),
+        "misalignment": lambda: NonMtMisalignmentChannel(machine, variant=variant),
+        "slow-switch": lambda: SlowSwitchChannel(machine),
+        "mt-eviction": lambda: MtEvictionChannel(machine),
+        "mt-misalignment": lambda: MtMisalignmentChannel(machine),
+        "power-eviction": lambda: PowerEvictionChannel(machine, variant=variant),
+        "power-misalignment": lambda: PowerMisalignmentChannel(
+            machine, variant=variant
+        ),
+    }
+    return builders[name]()
+
+
+def _cmd_transmit(args) -> int:
+    machine = Machine(spec_by_name(args.machine), seed=args.seed)
+    channel = _build_channel(machine, args.channel, args.variant)
+    if args.message:
+        bits = string_to_bits(args.message)
+    else:
+        bits = random_bits(args.bits, machine.rngs.stream("cli-payload"))
+    result = channel.transmit(bits)
+    print(f"channel : {channel.name} on {machine.spec.name}")
+    print(f"sent    : {result.sent_string}")
+    print(f"received: {result.received_string}")
+    print(f"rate    : {result.kbps:.2f} Kbps")
+    print(f"error   : {result.error_rate * 100:.2f}% (Wagner-Fischer)")
+    return 0
+
+
+def _cmd_probe(args) -> int:
+    machine = Machine(spec_by_name(args.machine), seed=args.seed)
+    samples = path_timing_samples(machine, samples=args.samples)
+    print(f"frontend path timings on {machine.spec.name} "
+          f"(LSD {'on' if machine.core.lsd_enabled else 'off'}):")
+    for path in (DeliveryPath.LSD, DeliveryPath.DSB, DeliveryPath.MITE):
+        observations = sorted(samples[path])
+        median = observations[len(observations) // 2]
+        label = "MITE+DSB" if path is DeliveryPath.MITE else str(path)
+        print(f"  {label:9s} median {median:8.1f} cycles "
+              f"(min {observations[0]:.1f}, max {observations[-1]:.1f})")
+    return 0
+
+
+def _cmd_fingerprint(args) -> int:
+    from repro.fingerprint import PATCH1, PATCH2, LsdFingerprint, apply_patch
+
+    machine = Machine(spec_by_name(args.machine), seed=args.seed)
+    if args.patch:
+        apply_patch(machine, PATCH1 if args.patch == "patch1" else PATCH2)
+    result = LsdFingerprint().detect(machine)
+    reading = result.reading
+    print(f"machine      : {machine.spec.name}")
+    print(f"timing ratio : {reading.timing_ratio:.3f}")
+    print(f"power ratio  : {reading.power_ratio:.3f}")
+    print(f"verdict      : LSD {'ENABLED' if result.lsd_enabled else 'DISABLED'}")
+    patch = result.matching_patch((PATCH1, PATCH2))
+    print(f"microcode    : consistent with {patch}")
+    if not patch.mitigated_cves:
+        print(f"vulnerable to: {', '.join(PATCH2.mitigated_cves)}")
+    return 0
+
+
+def _cmd_spectre(args) -> int:
+    from repro.spectre import ALL_SPECTRE_CHANNELS, SpectreV1Attack
+
+    machine = Machine(spec_by_name(args.machine), seed=args.seed)
+    channel_cls = {cls.name: cls for cls in ALL_SPECTRE_CHANNELS}[args.channel]
+    channel = channel_cls(machine)
+    report = SpectreV1Attack(machine, channel, args.secret.encode()).run()
+    print(f"channel     : {channel.name}")
+    print(f"secret      : {args.secret!r}")
+    print(f"recovered   : {report.recovered.decode(errors='replace')!r}")
+    print(f"accuracy    : {report.accuracy * 100:.1f}% of chunks")
+    print(f"L1 miss rate: {report.l1_miss_rate * 100:.3f}%")
+    return 0
+
+
+def _cmd_sgx(args) -> int:
+    from repro.sgx import SgxMtAttack, SgxNonMtAttack, SgxPowerAttack
+
+    machine = Machine(spec_by_name(args.machine), seed=args.seed)
+    if args.mode == "mt":
+        attack = SgxMtAttack(machine, mechanism=args.mechanism)
+    elif args.mode == "power":
+        attack = SgxPowerAttack(machine, mechanism=args.mechanism)
+    else:
+        attack = SgxNonMtAttack(machine, mechanism=args.mechanism)
+    result = attack.transmit(alternating_bits(args.bits))
+    print(f"attack  : {attack.name} on {machine.spec.name}")
+    print(f"rate    : {result.kbps:.2f} Kbps")
+    print(f"error   : {result.error_rate * 100:.2f}%")
+    return 0
+
+
+def _cmd_validate(_args) -> int:
+    from repro.validate import run_validation
+
+    results = run_validation(verbose=True)
+    return 0 if all(result.passed for result in results) else 1
+
+
+def _cmd_report(args) -> int:
+    from repro.reporting import write_report
+
+    path = write_report(args.results, args.output)
+    print(f"wrote {path}")
+    return 0
+
+
+def _cmd_defense(args) -> int:
+    from repro.defense import ALL_MITIGATIONS, DefenseEvaluator
+
+    evaluator = DefenseEvaluator(seed=args.seed, message_bits=args.bits)
+    for report in evaluator.evaluate_all(ALL_MITIGATIONS):
+        print(
+            f"{report.mitigation_name:22s} slowdown x{report.benign_slowdown:4.2f} "
+            f"energy x{report.benign_energy_ratio:4.2f} "
+            f"set-leak {report.set_leak_accuracy * 100:3.0f}%"
+        )
+        for outcome in report.outcomes:
+            print(
+                f"    {outcome.channel_name:22s} {outcome.status:9s}"
+                + (
+                    f" {outcome.kbps:9.1f} Kbps, err {outcome.error_rate * 100:5.1f}%"
+                    if outcome.status != "blocked"
+                    else ""
+                )
+            )
+    return 0
+
+
+_COMMANDS = {
+    "machines": _cmd_machines,
+    "transmit": _cmd_transmit,
+    "probe": _cmd_probe,
+    "fingerprint": _cmd_fingerprint,
+    "spectre": _cmd_spectre,
+    "sgx": _cmd_sgx,
+    "defense": _cmd_defense,
+    "validate": _cmd_validate,
+    "report": _cmd_report,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,59 @@
+"""Countermeasures against frontend channels, and their evaluation.
+
+The paper's conclusion — "the whole processor frontend needs to be
+considered when ensuring the security of processor architectures" —
+motivates this extension: a catalogue of candidate mitigations at the
+microcode/OS/hardware level and a harness that measures, for each one,
+
+* which attack classes it blocks or degrades (channel bandwidth and
+  error before/after), and
+* what it costs a benign, frontend-friendly workload.
+
+Mitigations modelled:
+
+* :class:`~repro.defense.mitigations.DisableSmt` — no sibling thread,
+  kills every MT channel (what the Azure E-2288G ships with);
+* :class:`~repro.defense.mitigations.DisableLsd` — the microcode-patch
+  route; removes the LSD-vs-DSB signal (and the fingerprint);
+* :class:`~repro.defense.mitigations.IsolateDsbPerThread` — exclusive
+  DSB halves per hardware thread: cross-thread eviction becomes
+  impossible while keeping SMT;
+* :class:`~repro.defense.mitigations.UniformPathTiming` — equalise the
+  per-window delivery cost of all three paths and zero the switch
+  penalties: the timing side of every channel collapses, at a large
+  performance cost (everything delivered at MITE pace).
+"""
+
+from repro.defense.mitigations import (
+    Mitigation,
+    DisableSmt,
+    DisableLsd,
+    IsolateDsbPerThread,
+    UniformPathTiming,
+    ALL_MITIGATIONS,
+)
+from repro.defense.evaluation import (
+    DefenseEvaluator,
+    ChannelOutcome,
+    MitigationReport,
+)
+from repro.defense.detector import (
+    CounterSignature,
+    DetectionResult,
+    FrontendAnomalyDetector,
+)
+
+__all__ = [
+    "Mitigation",
+    "DisableSmt",
+    "DisableLsd",
+    "IsolateDsbPerThread",
+    "UniformPathTiming",
+    "ALL_MITIGATIONS",
+    "DefenseEvaluator",
+    "ChannelOutcome",
+    "MitigationReport",
+    "CounterSignature",
+    "DetectionResult",
+    "FrontendAnomalyDetector",
+]

@@ -1,0 +1,123 @@
+"""Defender-side detection of frontend attacks from performance counters.
+
+The paper notes real attackers have no counter access — but *defenders*
+do.  Frontend channels have a distinctive counter signature: sustained
+DSB eviction and LSD flush rates with near-zero cache misses (that
+cache silence is exactly what makes the channels attractive, Table VII).
+This module trains a simple per-kilo-uop threshold profile on benign
+workloads and flags executions whose frontend event rates exceed the
+benign envelope.
+
+This is an *extension* to the paper: a first-cut answer to its closing
+call that "the whole processor frontend needs to be considered when
+ensuring the security of processor architectures".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import MeasurementError
+from repro.frontend.engine import LoopReport
+
+__all__ = ["CounterSignature", "FrontendAnomalyDetector", "DetectionResult"]
+
+
+@dataclass(frozen=True)
+class CounterSignature:
+    """Frontend event rates per 1,000 retired uops."""
+
+    dsb_evictions: float
+    lsd_flushes: float
+    dsb_to_mite_switches: float
+    mite_share: float  # fraction of uops delivered by MITE
+
+    @classmethod
+    def from_report(cls, report: LoopReport) -> "CounterSignature":
+        uops = max(report.total_uops, 1)
+        kilo = uops / 1000.0
+        return cls(
+            dsb_evictions=report.dsb_evictions / kilo,
+            lsd_flushes=report.lsd_flushes / kilo,
+            dsb_to_mite_switches=report.switches_to_mite / kilo,
+            mite_share=report.uops_mite / uops,
+        )
+
+    def fields(self) -> dict[str, float]:
+        return {
+            "dsb_evictions": self.dsb_evictions,
+            "lsd_flushes": self.lsd_flushes,
+            "dsb_to_mite_switches": self.dsb_to_mite_switches,
+            "mite_share": self.mite_share,
+        }
+
+
+@dataclass(frozen=True)
+class DetectionResult:
+    """Verdict for one monitored execution."""
+
+    suspicious: bool
+    signature: CounterSignature
+    exceeded: tuple[str, ...]  # which rates broke the benign envelope
+    score: float  # max rate / envelope ratio
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        verdict = "SUSPICIOUS" if self.suspicious else "benign"
+        return f"{verdict} (score {self.score:.1f}, exceeded: {self.exceeded})"
+
+
+@dataclass
+class FrontendAnomalyDetector:
+    """Envelope detector over frontend counter rates.
+
+    Train on benign executions (:meth:`observe_benign`), then
+    :meth:`classify` monitored executions: any rate more than
+    ``margin`` times the benign maximum is flagged.
+    """
+
+    margin: float = 3.0
+    _benign_max: dict[str, float] = field(default_factory=dict)
+    _trained: int = 0
+
+    def observe_benign(self, report: LoopReport) -> None:
+        """Fold one benign execution into the envelope."""
+        signature = CounterSignature.from_report(report)
+        for name, value in signature.fields().items():
+            self._benign_max[name] = max(self._benign_max.get(name, 0.0), value)
+        self._trained += 1
+
+    @property
+    def trained_samples(self) -> int:
+        return self._trained
+
+    def envelope(self) -> dict[str, float]:
+        """The alarm thresholds (benign max times the margin)."""
+        if not self._benign_max:
+            raise MeasurementError(
+                "detector has no benign envelope; call observe_benign first"
+            )
+        # Small floor so an all-zero benign rate does not make any
+        # nonzero observation an alarm (measurement quantisation).
+        return {
+            name: max(value * self.margin, 0.5)
+            for name, value in self._benign_max.items()
+        }
+
+    def classify(self, report: LoopReport) -> DetectionResult:
+        """Flag executions whose frontend rates break the envelope."""
+        signature = CounterSignature.from_report(report)
+        thresholds = self.envelope()
+        exceeded = []
+        score = 0.0
+        for name, value in signature.fields().items():
+            threshold = thresholds[name]
+            ratio = value / threshold if threshold else 0.0
+            score = max(score, ratio)
+            if value > threshold:
+                exceeded.append(name)
+        return DetectionResult(
+            suspicious=bool(exceeded),
+            signature=signature,
+            exceeded=tuple(exceeded),
+            score=score,
+        )

@@ -1,0 +1,204 @@
+"""Defense evaluation harness.
+
+For a mitigation (or none), runs a representative set of attacks on the
+defended machine and a benign workload for the performance cost:
+
+* channel outcomes: blocked outright (unconstructible), broken (error
+  rate near coin-flipping or calibration finds no signal), degraded, or
+  intact;
+* performance: cycles of a frontend-friendly benign loop, defended vs
+  baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.bits import alternating_bits
+from repro.channels.base import ChannelConfig, CovertChannel
+from repro.channels.eviction import MtEvictionChannel, NonMtEvictionChannel
+from repro.channels.misalignment import (
+    MtMisalignmentChannel,
+    NonMtMisalignmentChannel,
+)
+from repro.channels.slow_switch import SlowSwitchChannel
+from repro.defense.mitigations import Mitigation
+from repro.errors import ChannelError, ReproError
+from repro.frontend.params import FrontendParams
+from repro.isa.program import LoopProgram
+from repro.machine.machine import Machine
+from repro.machine.specs import GOLD_6226, MachineSpec
+
+__all__ = ["ChannelOutcome", "MitigationReport", "DefenseEvaluator"]
+
+#: A channel is considered broken when its error rate reaches this level
+#: (at 40%+ the receiver learns almost nothing per bit).
+BROKEN_ERROR = 0.40
+#: ...and degraded when the error exceeds this while staying decodable.
+DEGRADED_ERROR = 0.20
+
+
+@dataclass(frozen=True)
+class ChannelOutcome:
+    """Result of attacking one defended machine with one channel."""
+
+    channel_name: str
+    status: str  # "blocked" | "broken" | "degraded" | "intact"
+    kbps: float = 0.0
+    error_rate: float = 1.0
+    detail: str = ""
+
+
+@dataclass
+class MitigationReport:
+    """Full evaluation of one mitigation."""
+
+    mitigation_name: str
+    deployment: str
+    outcomes: list[ChannelOutcome] = field(default_factory=list)
+    benign_slowdown: float = 1.0
+    benign_energy_ratio: float = 1.0
+    #: Accuracy of a cross-thread *side channel* inferring which DSB set
+    #: the sibling victim touches (chance level = 1/16 folded sets).
+    #: Distinguishes mitigations that kill set-selective leakage from
+    #: those that only leave a coarse activity channel.
+    set_leak_accuracy: float = 0.0
+
+    @property
+    def surviving_channels(self) -> list[str]:
+        return [o.channel_name for o in self.outcomes if o.status == "intact"]
+
+    @property
+    def blocked_channels(self) -> list[str]:
+        return [
+            o.channel_name
+            for o in self.outcomes
+            if o.status in ("blocked", "broken")
+        ]
+
+
+class DefenseEvaluator:
+    """Attacks a (possibly defended) machine with the channel suite."""
+
+    def __init__(
+        self,
+        spec: MachineSpec = GOLD_6226,
+        seed: int = 4242,
+        message_bits: int = 48,
+    ) -> None:
+        self.spec = spec
+        self.seed = seed
+        self.message_bits = message_bits
+
+    # ------------------------------------------------------------------
+    def _machine(self, mitigation: Mitigation | None) -> Machine:
+        spec = self.spec
+        params = FrontendParams()
+        if mitigation is not None:
+            spec = mitigation.apply_spec(spec)
+            params = mitigation.apply_params(params)
+        return Machine(spec, seed=self.seed, params=params)
+
+    def _channel_suite(self, machine: Machine) -> list[tuple[str, callable]]:
+        """Channel constructors; construction itself may raise (blocked)."""
+        return [
+            (
+                "non-mt-eviction",
+                lambda: NonMtEvictionChannel(machine, variant="stealthy"),
+            ),
+            (
+                "non-mt-misalignment",
+                lambda: NonMtMisalignmentChannel(
+                    machine, ChannelConfig(d=5, M=8), variant="stealthy"
+                ),
+            ),
+            ("slow-switch", lambda: SlowSwitchChannel(machine)),
+            ("mt-eviction", lambda: MtEvictionChannel(machine)),
+            ("mt-misalignment", lambda: MtMisalignmentChannel(machine)),
+        ]
+
+    def _attack(self, name: str, build) -> ChannelOutcome:
+        try:
+            channel: CovertChannel = build()
+        except ReproError as exc:
+            return ChannelOutcome(name, "blocked", detail=str(exc))
+        try:
+            result = channel.transmit(alternating_bits(self.message_bits))
+        except ChannelError as exc:
+            # Calibration found no signal: the channel carries nothing.
+            return ChannelOutcome(name, "broken", detail=str(exc))
+        if result.error_rate >= BROKEN_ERROR:
+            status = "broken"
+        elif result.error_rate >= DEGRADED_ERROR:
+            status = "degraded"
+        else:
+            status = "intact"
+        return ChannelOutcome(
+            name, status, kbps=result.kbps, error_rate=result.error_rate
+        )
+
+    def _benign_report(self, machine: Machine):
+        """A frontend-friendly benign workload: a hot 40-uop loop."""
+        layout = machine.layout(region_base=0x900000)
+        program = LoopProgram(layout.chain(7, 8), 100_000, "benign")
+        return machine.run_loop(program)
+
+    def _set_leak_accuracy(self, machine: Machine, trials: int = 16) -> float:
+        """Cross-thread side channel: infer the victim's DSB set.
+
+        The victim (thread 1) hammers 8 blocks of one set; the attacker
+        (thread 0) probes each folded set with its own 8 blocks, *times*
+        each probe (no counter access), and guesses the set whose probe
+        measured slowest.  Returns the fraction of trials where the
+        folded set is right.  Unconstructible on non-SMT machines
+        (returns 0.0).
+        """
+        if not machine.spec.smt:
+            return 0.0
+        half = machine.spec.dsb_sets // 2
+        layout = machine.layout(region_base=0xA00000)
+        correct = 0
+        for trial in range(trials):
+            victim_set = (trial * 5) % machine.spec.dsb_sets
+            victim = LoopProgram(layout.chain(victim_set, 8), 400, "victim")
+            best_set, slowest = 0, -1.0
+            for probe_set in range(half):
+                machine.reset()
+                probe = LoopProgram(
+                    layout.chain(probe_set, 8, first_slot=60), 400, "probe"
+                )
+                result = machine.run_smt(probe, victim)
+                measured = machine.smt_timer.measure(
+                    result.primary.cycles
+                ).measured_cycles
+                if measured > slowest:
+                    best_set, slowest = probe_set, measured
+            if best_set == victim_set % half:
+                correct += 1
+        return correct / trials
+
+    # ------------------------------------------------------------------
+    def evaluate(self, mitigation: Mitigation | None) -> MitigationReport:
+        """Run the suite against one mitigation (None = baseline)."""
+        machine = self._machine(mitigation)
+        report = MitigationReport(
+            mitigation_name=mitigation.name if mitigation else "baseline",
+            deployment=mitigation.deployment if mitigation else "-",
+        )
+        for name, build in self._channel_suite(machine):
+            report.outcomes.append(self._attack(name, build))
+        baseline = self._benign_report(self._machine(None))
+        defended = self._benign_report(self._machine(mitigation))
+        report.benign_slowdown = defended.cycles / baseline.cycles
+        report.benign_energy_ratio = defended.energy_nj / baseline.energy_nj
+        report.set_leak_accuracy = self._set_leak_accuracy(
+            self._machine(mitigation)
+        )
+        return report
+
+    def evaluate_all(
+        self, mitigations: tuple[Mitigation, ...]
+    ) -> list[MitigationReport]:
+        reports = [self.evaluate(None)]
+        reports.extend(self.evaluate(m) for m in mitigations)
+        return reports

@@ -1,0 +1,125 @@
+"""Mitigation models: transformations of a machine configuration.
+
+Each mitigation rewrites the machine spec and/or the frontend parameters;
+building a :class:`~repro.machine.machine.Machine` from the transformed
+configuration yields the defended platform the attacks then run against.
+"""
+
+from __future__ import annotations
+
+import abc
+import dataclasses
+
+from repro.frontend.params import FrontendParams
+from repro.machine.specs import MachineSpec
+
+__all__ = [
+    "Mitigation",
+    "DisableSmt",
+    "DisableLsd",
+    "IsolateDsbPerThread",
+    "UniformPathTiming",
+    "ALL_MITIGATIONS",
+]
+
+
+class Mitigation(abc.ABC):
+    """A deployable countermeasure, expressed as a config transform."""
+
+    name: str = "abstract"
+    #: Where the mitigation is deployed: "bios", "microcode", "hardware".
+    deployment: str = "hardware"
+
+    def apply_spec(self, spec: MachineSpec) -> MachineSpec:
+        """Transform the machine spec (default: unchanged)."""
+        return spec
+
+    def apply_params(self, params: FrontendParams) -> FrontendParams:
+        """Transform the frontend parameters (default: unchanged)."""
+        return params
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"
+
+
+class DisableSmt(Mitigation):
+    """Turn hyper-threading off (BIOS/cloud-host setting).
+
+    Removes the sibling thread entirely: every MT channel (Sections
+    IV-A, IV-B, VII-1) becomes unconstructible.  Non-MT channels are
+    untouched.  Halves the machine's thread count.
+    """
+
+    name = "disable-smt"
+    deployment = "bios"
+
+    def apply_spec(self, spec: MachineSpec) -> MachineSpec:
+        return dataclasses.replace(spec, smt=False, threads=spec.cores)
+
+
+class DisableLsd(Mitigation):
+    """Disable the Loop Stream Detector (the microcode-patch route).
+
+    What Intel's 3.20210608 update did on the paper's Gold 6226.
+    Removes the LSD-vs-DSB timing/power difference — and with it the
+    microcode fingerprint's signal — but leaves the eviction and
+    slow-switch channels fully operational (DSB-vs-MITE survives).
+    """
+
+    name = "disable-lsd"
+    deployment = "microcode"
+
+    def apply_spec(self, spec: MachineSpec) -> MachineSpec:
+        return spec.with_lsd(False)
+
+
+class IsolateDsbPerThread(Mitigation):
+    """Exclusive DSB halves per hardware thread (hardware change).
+
+    Keeps SMT and keeps the capacity halving, but threads can no longer
+    compete for ways, so cross-thread eviction — the MT eviction
+    channel's mechanism — is impossible.  Generic activity detection via
+    the shared fetch/decode bandwidth remains (a residual channel).
+    """
+
+    name = "isolate-dsb"
+    deployment = "hardware"
+
+    def apply_params(self, params: FrontendParams) -> FrontendParams:
+        return params.with_overrides(smt_isolation=True)
+
+
+class UniformPathTiming(Mitigation):
+    """Constant-time frontend: all paths deliver at the slowest pace.
+
+    Equalises the per-window overhead of LSD/DSB/MITE delivery and
+    zeroes the switch, flush, capture, misalignment, and LCP penalties.
+    The timing side of every channel collapses; the cost is that benign
+    code loses the DSB/LSD speedup entirely.  (Power differences would
+    survive; pairing with RAPL access restrictions is assumed.)
+    """
+
+    name = "uniform-path-timing"
+    deployment = "hardware"
+
+    def apply_params(self, params: FrontendParams) -> FrontendParams:
+        return params.with_overrides(
+            uniform_delivery=True,  # hits padded to full decode pace
+            dsb_window_overhead=0.0,
+            lsd_window_overhead=0.0,
+            dsb_to_mite_penalty=0.0,
+            mite_to_dsb_penalty=0.0,
+            lsd_flush_penalty=0.0,
+            lsd_capture_cost=0.0,
+            misalign_dsb_penalty=0.0,
+            lcp_stall=0.0,
+        )
+
+
+#: The full catalogue, in deployment-difficulty order.
+ALL_MITIGATIONS: tuple[Mitigation, ...] = (
+    DisableSmt(),
+    DisableLsd(),
+    IsolateDsbPerThread(),
+    UniformPathTiming(),
+)

@@ -1,0 +1,60 @@
+"""Exception hierarchy for the leaky-frontends reproduction library.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch the whole family with one handler while still distinguishing the
+specific failure modes that matter for experiment scripts.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by this library."""
+
+
+class ConfigurationError(ReproError):
+    """A machine, channel, or experiment was configured inconsistently.
+
+    Examples: requesting an MT attack on a machine whose SMT is disabled,
+    or building a DSB with a non-power-of-two set count.
+    """
+
+
+class LayoutError(ReproError):
+    """Instruction-layout constraints were violated.
+
+    Raised when a mix block exceeds the 32-byte window or 6-uop DSB line
+    limit, or when a chain cannot be placed at the requested DSB set.
+    """
+
+
+class ExecutionError(ReproError):
+    """The simulated machine was driven into an invalid state.
+
+    Examples: executing on a thread id that does not exist on the core, or
+    running a program with no instructions.
+    """
+
+
+class MeasurementError(ReproError):
+    """A measurement facility was misused.
+
+    Examples: stopping a timer that was never started, or reading RAPL on a
+    machine where the interface is disabled.
+    """
+
+
+class ChannelError(ReproError):
+    """A covert channel could not be constructed or operated.
+
+    Examples: parameter ``d`` outside ``1..N``, or decoding before the
+    detection threshold has been calibrated.
+    """
+
+
+class EnclaveError(ReproError):
+    """SGX enclave lifecycle misuse (enter twice, exit without enter, ...)."""
+
+
+class SpectreError(ReproError):
+    """Spectre experiment misconfiguration (bad secret chunk size, ...)."""

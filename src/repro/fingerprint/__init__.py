@@ -1,0 +1,30 @@
+"""Microcode-patch fingerprinting via frontend behaviour (Section IX).
+
+Intel microcode update 3.20210608 (patch2) silently disables the LSD on
+the paper's Gold 6226 test machine, while 3.20180312 (patch1) leaves it
+enabled.  An attacker who can time (or power-profile) loop code on a
+machine can therefore tell which patch is installed — and hence which
+CVEs the machine is still exposed to — without any privileged interface.
+
+The probe compares per-uop cost of a loop that *fits* the LSD against
+one that *exceeds* it: with the LSD enabled the two diverge (different
+delivery paths); with it disabled both run from the DSB and the per-uop
+costs match.
+"""
+
+from repro.fingerprint.patches import MicrocodePatch, PATCH1, PATCH2, apply_patch
+from repro.fingerprint.detector import (
+    LsdFingerprint,
+    FingerprintReading,
+    FingerprintResult,
+)
+
+__all__ = [
+    "MicrocodePatch",
+    "PATCH1",
+    "PATCH2",
+    "apply_patch",
+    "LsdFingerprint",
+    "FingerprintReading",
+    "FingerprintResult",
+]

@@ -1,0 +1,262 @@
+"""Decoded Stream Buffer (DSB, micro-op cache) model.
+
+Geometry follows Table I: 32 sets x 8 ways, each line holding the uops of
+one 32-byte instruction window (up to 6 uops per line; windows decoding to
+more uops occupy multiple ways, up to 3, beyond which the window is not
+cacheable and always decodes through MITE).
+
+Indexing (Section III-A2):
+
+* single-thread mode: set index is ``addr[9:5]`` — 32 sets;
+* SMT mode (both hardware threads active): the paper's Figure 2 shows the
+  DSB is *set partitioned*: each thread sees 16 sets, and a thread's
+  addresses whose ``addr[9:5]`` values differ by 16 collide with each
+  other.  We model this by folding the index to ``addr[9:5] mod 16`` for
+  both threads while SMT is active.  Lines are virtually tagged per
+  thread (no cross-thread sharing), and the two threads' lines compete
+  for ways within the folded sets.  This single mechanism reproduces both
+  experimental observations in the paper: the mod-16 self-conflicts of
+  Figure 2 *and* the cross-thread evictions that drive the MT
+  eviction-based attack of Section IV-A.
+
+Replacement is LRU within a set.  Evictions are reported to registered
+listeners so the LSD can implement the inclusive-hierarchy flush
+(eviction from DSB flushes the LSD, Section III).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.errors import ConfigurationError
+from repro.frontend.params import FrontendParams
+
+__all__ = ["DecodedStreamBuffer", "DsbLine", "DsbStats"]
+
+#: A DSB line is identified by (hardware thread, window-aligned address).
+LineKey = tuple[int, int]
+
+#: Callback signature for eviction listeners: (thread, window_addr).
+EvictionListener = Callable[[int, int], None]
+
+#: Windows needing more than this many ways are never cached (stay MITE).
+MAX_WAYS_PER_WINDOW = 3
+
+
+@dataclass
+class DsbLine:
+    """One cached instruction window.
+
+    Attributes
+    ----------
+    uops:
+        Total uops of the window's instructions.
+    ways:
+        Ways this window occupies (``ceil(uops / 6)``).
+    """
+
+    uops: int
+    ways: int
+
+
+@dataclass
+class DsbStats:
+    """Aggregate DSB event counters (per DSB instance)."""
+
+    hits: int = 0
+    misses: int = 0
+    insertions: int = 0
+    evictions: int = 0
+    uncacheable_lookups: int = 0
+
+    def snapshot(self) -> "DsbStats":
+        return DsbStats(
+            self.hits,
+            self.misses,
+            self.insertions,
+            self.evictions,
+            self.uncacheable_lookups,
+        )
+
+    def delta(self, earlier: "DsbStats") -> "DsbStats":
+        return DsbStats(
+            self.hits - earlier.hits,
+            self.misses - earlier.misses,
+            self.insertions - earlier.insertions,
+            self.evictions - earlier.evictions,
+            self.uncacheable_lookups - earlier.uncacheable_lookups,
+        )
+
+
+class DecodedStreamBuffer:
+    """The micro-op cache shared by a core's hardware threads."""
+
+    def __init__(self, params: FrontendParams | None = None) -> None:
+        self.params = params or FrontendParams()
+        # One OrderedDict per physical set: key -> DsbLine, LRU order
+        # (oldest first).  Capacity is counted in ways, not entries.
+        self._sets: list[OrderedDict[LineKey, DsbLine]] = [
+            OrderedDict() for _ in range(self.params.dsb_sets)
+        ]
+        self._listeners: list[EvictionListener] = []
+        self.stats = DsbStats()
+
+    # ------------------------------------------------------------------
+    # indexing
+    # ------------------------------------------------------------------
+    def effective_index(
+        self, window_addr: int, smt_active: bool, thread: int = 0
+    ) -> int:
+        """Physical set index for ``window_addr`` under the current mode.
+
+        With ``smt_isolation`` (a modelled defense) each thread's folded
+        index lands in its own exclusive half, so the threads can never
+        compete for ways.
+        """
+        if window_addr % self.params.window_bytes:
+            raise ConfigurationError(
+                f"address {window_addr:#x} is not window-aligned"
+            )
+        index = (window_addr // self.params.window_bytes) % self.params.dsb_sets
+        if smt_active and self.params.smt_partitioning:
+            index %= self.params.dsb_sets // 2
+            if self.params.smt_isolation:
+                index += (thread % 2) * (self.params.dsb_sets // 2)
+        return index
+
+    def ways_for_uops(self, uops: int) -> int:
+        """Ways needed to cache a window of ``uops`` uops (0 = uncacheable)."""
+        if uops <= 0:
+            raise ConfigurationError(f"window uop count must be positive, got {uops}")
+        ways = -(-uops // self.params.dsb_line_uops)  # ceil division
+        return ways if ways <= MAX_WAYS_PER_WINDOW else 0
+
+    # ------------------------------------------------------------------
+    # listeners
+    # ------------------------------------------------------------------
+    def add_eviction_listener(self, listener: EvictionListener) -> None:
+        """Register a callback invoked as ``listener(thread, window_addr)``."""
+        self._listeners.append(listener)
+
+    def _notify_eviction(self, key: LineKey) -> None:
+        for listener in self._listeners:
+            listener(key[0], key[1])
+
+    # ------------------------------------------------------------------
+    # cache operations
+    # ------------------------------------------------------------------
+    def lookup(self, thread: int, window_addr: int, smt_active: bool) -> bool:
+        """Probe for a window; updates LRU on hit."""
+        entry_set = self._sets[self.effective_index(window_addr, smt_active, thread)]
+        key = (thread, window_addr)
+        line = entry_set.get(key)
+        if line is None:
+            self.stats.misses += 1
+            return False
+        entry_set.move_to_end(key)
+        self.stats.hits += 1
+        return True
+
+    def resident(self, thread: int, window_addr: int, smt_active: bool) -> bool:
+        """Probe without touching LRU state or statistics."""
+        entry_set = self._sets[self.effective_index(window_addr, smt_active, thread)]
+        return (thread, window_addr) in entry_set
+
+    def insert(
+        self, thread: int, window_addr: int, uops: int, smt_active: bool
+    ) -> list[LineKey]:
+        """Insert a decoded window; returns the evicted line keys.
+
+        Uncacheable windows (needing more than 3 ways) are ignored and
+        counted in ``stats.uncacheable_lookups``.
+        """
+        ways = self.ways_for_uops(uops)
+        if ways == 0:
+            self.stats.uncacheable_lookups += 1
+            return []
+        index = self.effective_index(window_addr, smt_active, thread)
+        entry_set = self._sets[index]
+        key = (thread, window_addr)
+        if key in entry_set:
+            entry_set.move_to_end(key)
+            return []
+        evicted: list[LineKey] = []
+        while self._used_ways(entry_set) + ways > self.params.dsb_ways:
+            victim_key = self._pick_victim(entry_set)
+            del entry_set[victim_key]
+            evicted.append(victim_key)
+            self.stats.evictions += 1
+            self._notify_eviction(victim_key)
+        entry_set[key] = DsbLine(uops=uops, ways=ways)
+        self.stats.insertions += 1
+        return evicted
+
+    def _pick_victim(self, entry_set: OrderedDict[LineKey, DsbLine]) -> LineKey:
+        """Choose the eviction victim per the configured policy.
+
+        ``lru``: the set's oldest entry.  ``hashed``: a deterministic
+        pseudo-random pick keyed on the insertion counter — under cyclic
+        over-capacity access this retains roughly ways/working-set of
+        the loop in the DSB instead of thrashing to zero, which is the
+        behaviour the paper's Figure 3 measurements imply.
+        """
+        if self.params.dsb_replacement == "lru":
+            return next(iter(entry_set))
+        # Pseudo-random (MRU-protected) victim: Knuth multiplicative hash
+        # over the insertion counter, high bits for mixing; the most
+        # recently used entry is never the victim, so a freshly fetched
+        # window survives at least until the next conflict.
+        keys = list(entry_set)
+        candidates = keys[:-1] if len(keys) > 1 else keys
+        mixed = (self.stats.insertions * 2654435761) & 0xFFFFFFFF
+        return candidates[(mixed >> 16) % len(candidates)]
+
+    def invalidate(self, thread: int, window_addr: int) -> bool:
+        """Drop a specific line wherever it currently resides."""
+        key = (thread, window_addr)
+        for entry_set in self._sets:
+            if key in entry_set:
+                del entry_set[key]
+                return True
+        return False
+
+    def flush_thread(self, thread: int) -> int:
+        """Invalidate every line belonging to ``thread``; returns the count."""
+        dropped = 0
+        for entry_set in self._sets:
+            victims = [key for key in entry_set if key[0] == thread]
+            for key in victims:
+                del entry_set[key]
+                dropped += 1
+        return dropped
+
+    def flush(self) -> None:
+        """Invalidate the whole DSB (used on repartition in strict mode)."""
+        for entry_set in self._sets:
+            entry_set.clear()
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _used_ways(entry_set: OrderedDict[LineKey, DsbLine]) -> int:
+        return sum(line.ways for line in entry_set.values())
+
+    def occupancy(self) -> int:
+        """Total ways currently in use across all sets."""
+        return sum(self._used_ways(s) for s in self._sets)
+
+    def set_contents(self, index: int) -> list[LineKey]:
+        """Keys resident in physical set ``index``, LRU-oldest first."""
+        return list(self._sets[index])
+
+    def resident_windows(self, thread: int) -> set[int]:
+        """All window addresses currently cached for ``thread``."""
+        return {
+            key[1]
+            for entry_set in self._sets
+            for key in entry_set
+            if key[0] == thread
+        }

@@ -1,0 +1,638 @@
+"""Frontend execution engine.
+
+Drives :class:`~repro.isa.program.LoopProgram` bodies through the modelled
+frontend, iteration by iteration, and produces :class:`LoopReport`
+delivery summaries (cycles, per-path uops, switches, stalls, energy).
+
+The engine is **deterministic**: all measurement noise is added later by
+the measurement layer (:mod:`repro.measure`), so identical programs on
+identical state always produce identical reports.
+
+Cost model per iteration (cycles)::
+
+    base      = uops / issue_width                 (rename/retire cap)
+    frontend  = dsb_windows * dsb_window_overhead
+              + lsd_windows * lsd_window_overhead
+              + sum(MITE window decode costs)
+              + switches * switch penalties
+              + lcp_stalls * lcp_stall
+    cycles    = base + frontend * smt_factor + loop_iteration_overhead
+              + pending LSD flush/capture penalties
+
+For long loops the engine detects a steady state (per-iteration cost
+repeating with period 1 or 2) and extrapolates the remaining iterations
+analytically, which lets the 20-million-iteration experiments of
+Section III run in milliseconds without changing the modelled state
+machine behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import Iterator
+
+from repro.caches.sa_cache import SetAssociativeCache
+from repro.errors import ExecutionError
+from repro.frontend.dsb import DecodedStreamBuffer
+from repro.frontend.lsd import LoopStreamDetector
+from repro.frontend.mite import MiteDecoder
+from repro.frontend.params import EnergyParams, FrontendParams
+from repro.frontend.paths import DeliveryPath
+from repro.isa.blocks import MixBlock
+from repro.isa.instructions import Instruction
+from repro.isa.program import LoopProgram
+
+__all__ = ["FrontendEngine", "LoopReport", "WindowAccess"]
+
+
+@dataclass(frozen=True)
+class WindowAccess:
+    """Pre-computed static description of one window touch in a loop body.
+
+    LCP-prefixed instructions never issue from the DSB (Section III-D):
+    a window containing both plain and LCP instructions delivers its
+    plain uops from the DSB (once cached) and its LCP uops from MITE,
+    paying a DSB->MITE->DSB switch per maximal LCP run — the mechanism
+    the slow-switch channel and Figure 6 exploit.
+
+    Attributes
+    ----------
+    lcp_runs:
+        Number of maximal runs of consecutive LCP instructions.
+    spans_from_misaligned:
+        True when this window belongs to a block that crosses a window
+        boundary; such insertions disturb other threads' LSD streams on
+        the same DSB set (Section IV-B).
+    """
+
+    window_addr: int
+    instructions: tuple[Instruction, ...]
+    uops: int
+    bytes_used: int
+    lcp_count: int
+    lcp_runs: int = 0
+    spans_from_misaligned: bool = False
+    #: Precomputed MITE decode cost of the full window (cycles).
+    decode_cycles: float = 0.0
+    #: Precomputed MITE decode cost of the window's non-LCP part.
+    plain_decode_cycles: float = 0.0
+
+    @property
+    def pure_lcp(self) -> bool:
+        return self.lcp_count == len(self.instructions)
+
+    @property
+    def plain_uops(self) -> int:
+        return sum(i.uop_count for i in self.instructions if not i.has_lcp)
+
+    @property
+    def lcp_uops(self) -> int:
+        return self.uops - self.plain_uops
+
+    @property
+    def cacheable(self) -> bool:
+        """At least the plain part of the window can live in the DSB."""
+        return self.lcp_count < len(self.instructions)
+
+
+@dataclass
+class LoopReport:
+    """Delivery summary of one (or more, when merged) loop executions."""
+
+    cycles: float = 0.0
+    iterations: int = 0
+    uops_lsd: int = 0
+    uops_dsb: int = 0
+    uops_mite: int = 0
+    windows_lsd: int = 0
+    windows_dsb: int = 0
+    windows_mite: int = 0
+    switches_to_mite: int = 0
+    switches_to_dsb: int = 0
+    lcp_stalls: int = 0
+    lsd_flushes: int = 0
+    lsd_captures: int = 0
+    dsb_evictions: int = 0
+    energy_nj: float = 0.0
+    simulated_iterations: int = 0
+
+    @property
+    def total_uops(self) -> int:
+        return self.uops_lsd + self.uops_dsb + self.uops_mite
+
+    @property
+    def ipc(self) -> float:
+        """Retired uops per cycle."""
+        return self.total_uops / self.cycles if self.cycles else 0.0
+
+    def merge(self, other: "LoopReport") -> "LoopReport":
+        """Accumulate another report into this one (in place) and return self."""
+        for f in fields(self):
+            setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
+        return self
+
+    def scaled(self, factor: float) -> "LoopReport":
+        """Return a copy with every counter multiplied by ``factor``.
+
+        Integer counters are rounded; used by steady-state extrapolation.
+        """
+        result = LoopReport()
+        for f in fields(self):
+            value = getattr(self, f.name) * factor
+            setattr(result, f.name, value if isinstance(getattr(self, f.name), float) else round(value))
+        return result
+
+    def dominant_path(self) -> DeliveryPath:
+        """Path that delivered the most uops."""
+        counts = {
+            DeliveryPath.LSD: self.uops_lsd,
+            DeliveryPath.DSB: self.uops_dsb,
+            DeliveryPath.MITE: self.uops_mite,
+        }
+        return max(counts, key=counts.get)  # type: ignore[arg-type]
+
+
+@dataclass
+class _IterationCost:
+    """Deterministic cost of a single loop iteration (internal)."""
+
+    cycles: float
+    uops_lsd: int
+    uops_dsb: int
+    uops_mite: int
+    windows_lsd: int
+    windows_dsb: int
+    windows_mite: int
+    switches_to_mite: int
+    switches_to_dsb: int
+    lcp_stalls: int
+    lsd_flushes: int
+    lsd_captures: int
+    dsb_evictions: int
+    energy_nj: float
+
+    def key(self) -> tuple:
+        """Equality key for steady-state detection."""
+        return (
+            round(self.cycles, 9),
+            self.uops_lsd,
+            self.uops_dsb,
+            self.uops_mite,
+            self.lcp_stalls,
+        )
+
+    def to_report(self) -> LoopReport:
+        return LoopReport(
+            cycles=self.cycles,
+            iterations=1,
+            uops_lsd=self.uops_lsd,
+            uops_dsb=self.uops_dsb,
+            uops_mite=self.uops_mite,
+            windows_lsd=self.windows_lsd,
+            windows_dsb=self.windows_dsb,
+            windows_mite=self.windows_mite,
+            switches_to_mite=self.switches_to_mite,
+            switches_to_dsb=self.switches_to_dsb,
+            lcp_stalls=self.lcp_stalls,
+            lsd_flushes=self.lsd_flushes,
+            lsd_captures=self.lsd_captures,
+            dsb_evictions=self.dsb_evictions,
+            energy_nj=self.energy_nj,
+            simulated_iterations=1,
+        )
+
+
+class FrontendEngine:
+    """Executes loop programs through the modelled frontend.
+
+    One engine corresponds to one physical core: a shared DSB and MITE,
+    plus one LSD per hardware thread.
+
+    Parameters
+    ----------
+    params / energy:
+        Model coefficients; defaults are the calibrated values.
+    n_threads:
+        Hardware threads on the core (1 or 2).
+    lsd_enabled:
+        Whether the LSD exists/is enabled (microcode patch 2 and two of
+        the Table I machines have it disabled).
+    """
+
+    #: Iterations simulated before steady-state extrapolation may engage.
+    MIN_WARMUP = 4
+    #: Upper bound of explicitly simulated iterations per run_loop call.
+    MAX_SIMULATED = 64
+
+    def __init__(
+        self,
+        params: FrontendParams | None = None,
+        energy: EnergyParams | None = None,
+        n_threads: int = 2,
+        lsd_enabled: bool = True,
+        l1i: "SetAssociativeCache | None" = None,
+    ) -> None:
+        if n_threads not in (1, 2):
+            raise ExecutionError(f"cores have 1 or 2 hardware threads, got {n_threads}")
+        self.params = params or FrontendParams()
+        self.energy = energy or EnergyParams()
+        self.n_threads = n_threads
+        #: L1 instruction cache; only MITE fetches touch it (DSB/LSD hits
+        #: bypass the L1I entirely, which is why the frontend channels are
+        #: invisible to instruction-cache monitors, Section III-B).
+        self.l1i = l1i
+        self.dsb = DecodedStreamBuffer(self.params)
+        self.mite = MiteDecoder(self.params)
+        self.lsds = {
+            thread: LoopStreamDetector(self.params, enabled=lsd_enabled)
+            for thread in range(n_threads)
+        }
+        self.dsb.add_eviction_listener(self._on_dsb_eviction)
+        # Penalties charged to a thread's next iteration (LSD flush, ...).
+        self._pending_penalty = {thread: 0.0 for thread in range(n_threads)}
+        # Consecutive MITE-delivered windows per thread (fill throttling).
+        self._mite_streak = {thread: 0 for thread in range(n_threads)}
+        self._pending_flushes = {thread: 0 for thread in range(n_threads)}
+        # Last delivery path per thread, for switch-penalty accounting.
+        self._last_path: dict[int, DeliveryPath | None] = {
+            thread: None for thread in range(n_threads)
+        }
+        self._window_cache: dict[tuple[MixBlock, ...], tuple[WindowAccess, ...]] = {}
+
+    # ------------------------------------------------------------------
+    # static program analysis
+    # ------------------------------------------------------------------
+    def window_accesses(self, program: LoopProgram) -> tuple[WindowAccess, ...]:
+        """Split the loop body into per-window instruction groups.
+
+        Each instruction is attributed to the window containing its first
+        byte.  Results are cached by body *content* (MixBlock is a frozen,
+        hashable dataclass) — two different bodies placed at the same
+        addresses, e.g. JIT-recycled code regions, must not alias.
+        """
+        key = program.body
+        cached = self._window_cache.get(key)
+        if cached is not None:
+            return cached
+        accesses: list[WindowAccess] = []
+        wb = self.params.window_bytes
+        for block in program.body:
+            groups: dict[int, list[Instruction]] = {}
+            order: list[int] = []
+            for addr, instruction in block.instruction_addresses():
+                window = addr - (addr % wb)
+                if window not in groups:
+                    groups[window] = []
+                    order.append(window)
+                groups[window].append(instruction)
+            for window in order:
+                instructions = tuple(groups[window])
+                lcp_runs = sum(
+                    1
+                    for i, instr in enumerate(instructions)
+                    if instr.has_lcp
+                    and (i == 0 or not instructions[i - 1].has_lcp)
+                )
+                bytes_used = sum(i.length for i in instructions)
+                full_decode = self.mite.decode_window(list(instructions), bytes_used)
+                plain = [i for i in instructions if not i.has_lcp]
+                plain_decode = self.mite.decode_window(plain, bytes_used)
+                accesses.append(
+                    WindowAccess(
+                        window_addr=window,
+                        instructions=instructions,
+                        uops=sum(i.uop_count for i in instructions),
+                        bytes_used=bytes_used,
+                        lcp_count=sum(1 for i in instructions if i.has_lcp),
+                        lcp_runs=lcp_runs,
+                        spans_from_misaligned=block.spans_windows,
+                        decode_cycles=full_decode.cycles,
+                        plain_decode_cycles=plain_decode.cycles,
+                    )
+                )
+        result = tuple(accesses)
+        self._window_cache[key] = result
+        return result
+
+    # ------------------------------------------------------------------
+    # eviction plumbing (DSB -> LSD inclusivity)
+    # ------------------------------------------------------------------
+    def _on_dsb_eviction(self, thread: int, window_addr: int) -> None:
+        if not self.params.lsd_inclusive:
+            return  # ablation: non-inclusive hierarchy, LSD keeps streaming
+        lsd = self.lsds.get(thread)
+        if lsd is not None and lsd.on_dsb_eviction(window_addr):
+            self._pending_penalty[thread] += self.params.lsd_flush_penalty
+            self._pending_flushes[thread] += 1
+
+    def _notify_misaligned_touch(
+        self, thread: int, window_addr: int, smt_active: bool
+    ) -> None:
+        """Cross-thread LSD disturbance from misaligned accesses.
+
+        A thread touching a window-spanning block perturbs any *sibling*
+        thread's LSD stream whose loop occupies the same (SMT-folded)
+        DSB set — the mechanism behind the MT misalignment attack
+        (Section IV-B).  Only relevant while both threads share the
+        frontend.
+        """
+        if not smt_active:
+            return
+        half_sets = self.params.dsb_sets // 2
+        for other, lsd in self.lsds.items():
+            if other == thread:
+                continue
+            if lsd.on_misaligned_set_touch(
+                window_addr, self.params.window_bytes, half_sets
+            ):
+                self._pending_penalty[other] += self.params.lsd_flush_penalty
+                self._pending_flushes[other] += 1
+
+    # ------------------------------------------------------------------
+    # per-iteration execution
+    # ------------------------------------------------------------------
+    def run_iteration(
+        self, program: LoopProgram, thread: int = 0, smt_active: bool = False
+    ) -> _IterationCost:
+        """Execute one iteration of ``program`` on ``thread``; mutate state."""
+        if thread not in self.lsds:
+            raise ExecutionError(f"no hardware thread {thread} on this core")
+        params = self.params
+        energy = self.energy
+        lsd = self.lsds[thread]
+
+        flushes = self._pending_flushes[thread]
+        penalty = self._pending_penalty[thread]
+        self._pending_flushes[thread] = 0
+        self._pending_penalty[thread] = 0.0
+
+        if lsd.is_streaming(program):
+            cost = self._lsd_iteration(program, thread, penalty, flushes, smt_active)
+            lsd.observe_iteration(program, all_from_dsb=True)
+            return cost
+
+        accesses = self.window_accesses(program)
+        uops_dsb = uops_mite = 0
+        windows_dsb = windows_mite = 0
+        to_mite = to_dsb = 0
+        lcp_stalls = 0
+        evictions = 0
+        mite_cycles = 0.0
+        misalign_cycles = 0.0
+        # The fill gate resets at the loop-back branch: throttling only
+        # engages for sustained miss runs *within* one iteration (the
+        # far-over-capacity straight-line loops of Figure 3), never for
+        # the attacks' short overflow-by-one bursts.
+        mite_streak = 0
+        streak_limit = params.mite_fill_streak_limit
+        path = self._last_path[thread]
+        for access in accesses:
+            if access.lcp_count == 0:
+                # Plain window: DSB on hit, MITE + fill on miss.
+                if self.dsb.lookup(thread, access.window_addr, smt_active):
+                    uops_dsb += access.uops
+                    windows_dsb += 1
+                    mite_streak = 0
+                    if params.uniform_delivery:
+                        # Defense: hits are padded to legacy-decode pace.
+                        mite_cycles += access.decode_cycles
+                    if access.spans_from_misaligned:
+                        misalign_cycles += params.misalign_dsb_penalty
+                    if path is DeliveryPath.MITE:
+                        to_dsb += 1
+                    path = DeliveryPath.DSB
+                else:
+                    if self.l1i is not None:
+                        self.l1i.access(access.window_addr)
+                    mite_cycles += access.decode_cycles
+                    uops_mite += access.uops
+                    windows_mite += 1
+                    if path in (DeliveryPath.DSB, DeliveryPath.LSD):
+                        to_mite += 1
+                    path = DeliveryPath.MITE
+                    mite_streak += 1
+                    if mite_streak <= streak_limit:
+                        # Sustained MITE streaks stop filling the DSB, so
+                        # far-over-capacity loops keep a stable resident
+                        # prefix instead of thrashing it (Figure 3).
+                        evicted = self.dsb.insert(
+                            thread, access.window_addr, access.uops, smt_active
+                        )
+                        evictions += len(evicted)
+                if access.spans_from_misaligned:
+                    self._notify_misaligned_touch(thread, access.window_addr, smt_active)
+            elif access.pure_lcp:
+                # LCP-only window: never cached, always legacy-decoded.
+                if self.l1i is not None:
+                    self.l1i.access(access.window_addr)
+                mite_cycles += access.decode_cycles
+                lcp_stalls += access.lcp_count
+                uops_mite += access.uops
+                windows_mite += 1
+                if path in (DeliveryPath.DSB, DeliveryPath.LSD):
+                    to_mite += 1
+                path = DeliveryPath.MITE
+            else:
+                # Mixed window: plain uops via DSB (once cached), LCP
+                # uops via MITE, one DSB->MITE->DSB round trip per
+                # maximal LCP run (the Figure 6 / slow-switch mechanism).
+                plain_hit = self.dsb.lookup(thread, access.window_addr, smt_active)
+                if plain_hit:
+                    uops_dsb += access.plain_uops
+                    windows_dsb += 1
+                    if path is DeliveryPath.MITE:
+                        to_dsb += 1
+                else:
+                    if self.l1i is not None:
+                        self.l1i.access(access.window_addr)
+                    mite_cycles += access.plain_decode_cycles
+                    uops_mite += access.plain_uops
+                    windows_mite += 1
+                    if path in (DeliveryPath.DSB, DeliveryPath.LSD):
+                        to_mite += 1
+                    evicted = self.dsb.insert(
+                        thread, access.window_addr, access.plain_uops, smt_active
+                    )
+                    evictions += len(evicted)
+                # The LCP part always issues from MITE.
+                uops_mite += access.lcp_uops
+                lcp_stalls += access.lcp_count
+                mite_cycles += access.lcp_count * 1.0  # sequential decode
+                if plain_hit:
+                    # Alternation between cached and LCP instructions
+                    # forces a switch round trip per LCP run.
+                    to_mite += access.lcp_runs
+                    to_dsb += access.lcp_runs
+                    path = DeliveryPath.DSB
+                else:
+                    path = DeliveryPath.MITE
+        self._last_path[thread] = path
+        self._mite_streak[thread] = mite_streak
+
+        base = (uops_dsb + uops_mite) / params.issue_width
+        frontend = (
+            windows_dsb * params.dsb_window_overhead
+            + misalign_cycles
+            + mite_cycles
+            + to_mite * params.dsb_to_mite_penalty
+            + to_dsb * params.mite_to_dsb_penalty
+            + lcp_stalls * params.lcp_stall
+        )
+        if smt_active:
+            frontend *= params.smt_frontend_factor
+        cycles = base + frontend + params.loop_iteration_overhead + penalty
+
+        was_streaming_before = lsd.is_streaming(program)
+        lsd.observe_iteration(program, all_from_dsb=(windows_mite == 0))
+        captures = 0
+        if not was_streaming_before and lsd.is_streaming(program):
+            captures = 1
+            cycles += params.lsd_capture_cost
+
+        energy_nj = (
+            uops_dsb * energy.dsb_uop_energy
+            + uops_mite * energy.mite_uop_energy
+            + cycles * energy.cycle_energy
+            + lcp_stalls * energy.lcp_stall_energy
+            + (to_mite + to_dsb) * energy.switch_energy
+        )
+        return _IterationCost(
+            cycles=cycles,
+            uops_lsd=0,
+            uops_dsb=uops_dsb,
+            uops_mite=uops_mite,
+            windows_lsd=0,
+            windows_dsb=windows_dsb,
+            windows_mite=windows_mite,
+            switches_to_mite=to_mite,
+            switches_to_dsb=to_dsb,
+            lcp_stalls=lcp_stalls,
+            lsd_flushes=flushes,
+            lsd_captures=captures,
+            dsb_evictions=evictions,
+            energy_nj=energy_nj,
+        )
+
+    def _lsd_iteration(
+        self,
+        program: LoopProgram,
+        thread: int,
+        penalty: float,
+        flushes: int,
+        smt_active: bool,
+    ) -> _IterationCost:
+        """Cost of an iteration streamed entirely from the LSD."""
+        params = self.params
+        uops = program.uops_per_iteration
+        windows = program.window_events_per_iteration
+        base = uops / params.issue_width
+        frontend = windows * params.lsd_window_overhead
+        if params.uniform_delivery:
+            # Defense: streamed windows are padded to legacy-decode pace.
+            frontend += sum(a.decode_cycles for a in self.window_accesses(program))
+        if smt_active:
+            frontend *= params.smt_frontend_factor
+        cycles = base + frontend + params.loop_iteration_overhead + penalty
+        energy_nj = uops * self.energy.lsd_uop_energy + cycles * self.energy.cycle_energy
+        self._last_path[thread] = DeliveryPath.LSD
+        return _IterationCost(
+            cycles=cycles,
+            uops_lsd=uops,
+            uops_dsb=0,
+            uops_mite=0,
+            windows_lsd=windows,
+            windows_dsb=0,
+            windows_mite=0,
+            switches_to_mite=0,
+            switches_to_dsb=0,
+            lcp_stalls=0,
+            lsd_flushes=flushes,
+            lsd_captures=0,
+            dsb_evictions=0,
+            energy_nj=energy_nj,
+        )
+
+    # ------------------------------------------------------------------
+    # loop execution with steady-state extrapolation
+    # ------------------------------------------------------------------
+    def run_loop(
+        self,
+        program: LoopProgram,
+        thread: int = 0,
+        smt_active: bool = False,
+        exact: bool = False,
+    ) -> LoopReport:
+        """Execute all iterations of ``program`` on ``thread``.
+
+        ``exact=True`` disables steady-state extrapolation and simulates
+        every iteration (used by tests and short loops).
+        """
+        report = LoopReport()
+        history: list[tuple] = []
+        iteration = 0
+        limit = program.iterations if exact else min(program.iterations, self.MAX_SIMULATED)
+        steady_cost: _IterationCost | None = None
+        # Pre-capture DSB iterations look steady but are not: a loop the
+        # LSD could still lock onto must be simulated past the detection
+        # latency before extrapolation may engage.
+        min_warmup = self.MIN_WARMUP
+        if self.lsds[thread].structurally_qualifies(program):
+            min_warmup = max(min_warmup, self.params.lsd_detect_iterations + 2)
+        while iteration < limit:
+            cost = self.run_iteration(program, thread, smt_active)
+            report.merge(cost.to_report())
+            history.append(cost.key())
+            iteration += 1
+            if not exact and iteration >= min_warmup and self._is_steady(history):
+                steady_cost = cost
+                break
+        remaining = program.iterations - iteration
+        if remaining > 0:
+            if steady_cost is None:
+                # Hit MAX_SIMULATED without period-1/2 convergence: fall
+                # back to extrapolating the mean of the last 8 iterations.
+                steady_cost = self.run_iteration(program, thread, smt_active)
+                report.merge(steady_cost.to_report())
+                remaining -= 1
+            extrapolated = steady_cost.to_report().scaled(remaining)
+            extrapolated.simulated_iterations = 0
+            extrapolated.iterations = remaining
+            report.merge(extrapolated)
+            if self.lsds[thread].is_streaming(program):
+                self.lsds[thread].stats.streamed_iterations += remaining
+        # Loop exit: the terminal backward branch mispredicts and any LSD
+        # stream for this loop ends (no flush penalty is charged to the
+        # *next* loop; the exit cost covers it).
+        report.cycles += self.params.loop_exit_mispredict
+        report.energy_nj += self.params.loop_exit_mispredict * self.energy.cycle_energy
+        self.lsds[thread].flush()
+        self._last_path[thread] = None
+        return report
+
+    @staticmethod
+    def _is_steady(history: list[tuple]) -> bool:
+        """Detect per-iteration cost repeating with period 1 or 2."""
+        if len(history) >= 2 and history[-1] == history[-2]:
+            return True
+        if len(history) >= 4 and history[-1] == history[-3] and history[-2] == history[-4]:
+            return True
+        return False
+
+    # ------------------------------------------------------------------
+    # generators for SMT interleaving
+    # ------------------------------------------------------------------
+    def iteration_stream(
+        self, program: LoopProgram, thread: int, smt_active: bool
+    ) -> Iterator[LoopReport]:
+        """Yield one report per iteration; used by the SMT interleaver."""
+        for _ in range(program.iterations):
+            yield self.run_iteration(program, thread, smt_active).to_report()
+
+    def reset_thread(self, thread: int) -> None:
+        """Forget a thread's frontend state (context switch / teardown)."""
+        self.lsds[thread].flush()
+        self.dsb.flush_thread(thread)
+        self._last_path[thread] = None
+        self._mite_streak[thread] = 0
+        self._pending_penalty[thread] = 0.0
+        self._pending_flushes[thread] = 0

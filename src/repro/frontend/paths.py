@@ -1,0 +1,23 @@
+"""Delivery path identifiers and switch-penalty bookkeeping."""
+
+from __future__ import annotations
+
+import enum
+
+__all__ = ["DeliveryPath"]
+
+
+class DeliveryPath(enum.Enum):
+    """Which frontend structure delivered a group of uops to the backend.
+
+    The same instruction's uops can, over time, be delivered by any of the
+    three paths; the path taken determines latency and energy, which is
+    the root cause of every channel in the paper.
+    """
+
+    LSD = "lsd"
+    DSB = "dsb"
+    MITE = "mite"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value.upper()

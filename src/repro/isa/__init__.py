@@ -1,0 +1,42 @@
+"""x86-like instruction substrate: instructions, uops, mix blocks, layouts.
+
+This package models just enough of the x86 ISA for the paper's attacks:
+instruction byte lengths (which determine 32-byte-window and DSB-set
+mapping), decomposition into micro-ops (which determines LSD/DSB capacity
+usage), legacy-decode properties (complex vs simple, LCP prefixes), and the
+"instruction mix block" construction of Section III-A4 (4 ``mov`` + 1
+``jmp`` = 25 bytes / 5 uops).
+"""
+
+from repro.isa.uops import Uop, UopKind
+from repro.isa.instructions import (
+    Instruction,
+    add_reg,
+    add_reg_lcp,
+    jmp_rel32,
+    mov_imm32,
+    nop,
+)
+from repro.isa.blocks import MixBlock, standard_mix_block, lcp_block
+from repro.isa.layout import BlockChainLayout, WINDOW_BYTES
+from repro.isa.program import LoopProgram
+from repro.isa.assembler import assemble, SUPPORTED_MNEMONICS
+
+__all__ = [
+    "Uop",
+    "UopKind",
+    "Instruction",
+    "mov_imm32",
+    "add_reg",
+    "add_reg_lcp",
+    "jmp_rel32",
+    "nop",
+    "MixBlock",
+    "standard_mix_block",
+    "lcp_block",
+    "BlockChainLayout",
+    "WINDOW_BYTES",
+    "LoopProgram",
+    "assemble",
+    "SUPPORTED_MNEMONICS",
+]

@@ -1,0 +1,143 @@
+"""A tiny textual assembler for building custom probe blocks.
+
+Experimenting with frontend behaviour usually means hand-assembling short
+instruction sequences.  :func:`assemble` accepts a newline- or
+semicolon-separated listing in a simplified x86-ish syntax and produces a
+:class:`~repro.isa.blocks.MixBlock` at a chosen address::
+
+    block = assemble(\"\"\"
+        mov  r0, 1
+        mov  r1, 2
+        add  r0, r1
+        add16 r2, r3     ; LCP-prefixed add (0x66 operand override)
+        jmp  next
+    \"\"\", base=0x400000)
+
+Supported mnemonics (sizes follow :mod:`repro.isa.instructions`):
+
+========  =========================  =====  ====
+mnemonic  meaning                    bytes  uops
+========  =========================  =====  ====
+mov       ``mov r32, imm32``         5      1
+movr      ``mov r32, r32``           2      1
+add       ``add r32, r32``           2      1
+addi      ``add r32, imm32``         6      1
+add16     LCP-prefixed ``add r16``   3      1
+nop       one-byte nop               1      1
+jmp       ``jmp rel32``              5      1
+jmps      ``jmp rel8``               2      1
+load      ``mov r64, [mem]``         4      1
+store     ``mov [mem], r64``         4      2
+========  =========================  =====  ====
+
+Operands are accepted and ignored except for register indices (``rN``)
+which feed the port-diversity of the produced uops.  Comments start with
+``;`` or ``#``.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Callable
+
+from repro.errors import LayoutError
+from repro.isa.blocks import MixBlock
+from repro.isa.instructions import (
+    Instruction,
+    add_imm,
+    add_reg,
+    add_reg_lcp,
+    jmp_rel8,
+    jmp_rel32,
+    load,
+    mov_imm32,
+    mov_reg,
+    nop,
+    store,
+)
+
+__all__ = ["assemble", "SUPPORTED_MNEMONICS"]
+
+_REGISTER = re.compile(r"\br(\d+)\b")
+
+
+def _registers(operands: str) -> list[int]:
+    return [int(match) % 4 for match in _REGISTER.findall(operands)]
+
+
+def _build(mnemonic: str, operands: str) -> Instruction:
+    registers = _registers(operands)
+    first = registers[0] if registers else 0
+    second = registers[1] if len(registers) > 1 else (first + 1) % 4
+    factories: dict[str, Callable[[], Instruction]] = {
+        "mov": lambda: mov_imm32(first),
+        "movr": lambda: mov_reg(first, second),
+        "add": lambda: add_reg(first, second),
+        "addi": lambda: add_imm(first),
+        "add16": lambda: add_reg_lcp(first, second),
+        "nop": nop,
+        "jmp": jmp_rel32,
+        "jmps": jmp_rel8,
+        "load": lambda: load(first),
+        "store": lambda: store(first),
+    }
+    try:
+        return factories[mnemonic]()
+    except KeyError:
+        raise LayoutError(
+            f"unknown mnemonic {mnemonic!r}; supported: {sorted(factories)}"
+        ) from None
+
+
+#: Mnemonics :func:`assemble` understands.
+SUPPORTED_MNEMONICS = (
+    "mov",
+    "movr",
+    "add",
+    "addi",
+    "add16",
+    "nop",
+    "jmp",
+    "jmps",
+    "load",
+    "store",
+)
+
+
+def assemble(listing: str, base: int, label: str = "") -> MixBlock:
+    """Assemble a listing into a :class:`MixBlock` at ``base``.
+
+    Raises :class:`~repro.errors.LayoutError` on unknown mnemonics or an
+    empty listing.
+    """
+    instructions: list[Instruction] = []
+    # Statements split on newlines and semicolons; ';' also starts a
+    # comment, so strip comments first (everything after ';' or '#'
+    # that follows whitespace-separated operands is ambiguous — we
+    # treat ';' as a separator only when followed by a mnemonic).
+    for raw_line in listing.splitlines():
+        line = raw_line.split("#", 1)[0]
+        for statement in _split_statements(line):
+            statement = statement.strip()
+            if not statement:
+                continue
+            parts = statement.split(None, 1)
+            mnemonic = parts[0].lower()
+            operands = parts[1] if len(parts) > 1 else ""
+            instructions.append(_build(mnemonic, operands))
+    if not instructions:
+        raise LayoutError("empty listing")
+    return MixBlock(base=base, instructions=tuple(instructions), label=label)
+
+
+def _split_statements(line: str) -> list[str]:
+    """Split on ';' treating a trailing non-mnemonic fragment as comment."""
+    fragments = line.split(";")
+    statements = [fragments[0]]
+    for fragment in fragments[1:]:
+        first_word = fragment.split(None, 1)[0].lower() if fragment.split() else ""
+        if first_word in SUPPORTED_MNEMONICS:
+            statements.append(fragment)
+        else:
+            break  # rest of the line is a comment
+    return statements

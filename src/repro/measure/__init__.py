@@ -1,0 +1,42 @@
+"""Measurement substrate: cycle timing, RAPL energy, perf counters, noise.
+
+The simulated frontend is deterministic; everything an attacker actually
+*observes* passes through this layer, which adds the realism the paper's
+evaluation contends with:
+
+* :class:`~repro.measure.timer.CycleTimer` models ``rdtscp`` timing —
+  fixed serialisation overhead plus jitter and occasional interrupt-like
+  spikes (larger under SMT);
+* :class:`~repro.measure.rapl.RaplInterface` models Intel RAPL — energy
+  readings quantised to the ~20 kHz update interval, riding on package
+  baseline power, with sensor noise;
+* :class:`~repro.measure.perf.PerfCounters` models the Linux ``perf``
+  events used for validation (IDQ.MITE_UOPS, IDQ.DSB_UOPS, LSD.UOPS, LCP
+  stalls, DSB-to-MITE switches) — the paper notes real attackers have no
+  access to these; they exist to validate path usage (Figures 2, 3, 6).
+"""
+
+from repro.measure.noise import NoiseProfile, NONMT_PROFILE, SMT_PROFILE, QUIET_PROFILE
+from repro.measure.timer import CycleTimer, TimedSample
+from repro.measure.counting_thread import CountingThreadTimer
+from repro.measure.rapl import RaplInterface, RaplSample
+from repro.measure.perf import PerfCounters, PERF_EVENTS
+from repro.measure.histogram import Histogram
+from repro.measure.sampler import CounterSample, CounterSampler
+
+__all__ = [
+    "NoiseProfile",
+    "NONMT_PROFILE",
+    "SMT_PROFILE",
+    "QUIET_PROFILE",
+    "CycleTimer",
+    "CountingThreadTimer",
+    "TimedSample",
+    "RaplInterface",
+    "RaplSample",
+    "PerfCounters",
+    "PERF_EVENTS",
+    "Histogram",
+    "CounterSample",
+    "CounterSampler",
+]

@@ -1,0 +1,85 @@
+"""Simple histogram used by the figure-reproduction benchmarks.
+
+Renders ASCII histograms of timing or power samples, matching the form of
+the paper's Figures 4 and 12 (distinct modes per frontend path).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import MeasurementError
+
+__all__ = ["Histogram"]
+
+
+@dataclass
+class Histogram:
+    """Fixed-bin histogram over float samples."""
+
+    lo: float
+    hi: float
+    bins: int = 40
+
+    def __post_init__(self) -> None:
+        if self.hi <= self.lo:
+            raise MeasurementError(f"need hi > lo, got [{self.lo}, {self.hi}]")
+        if self.bins < 1:
+            raise MeasurementError(f"bins must be >= 1, got {self.bins}")
+        self.counts = np.zeros(self.bins, dtype=np.int64)
+        self.underflow = 0
+        self.overflow = 0
+
+    @classmethod
+    def from_samples(
+        cls, samples: list[float], bins: int = 40, pad: float = 0.05
+    ) -> "Histogram":
+        """Histogram with range spanning the samples (plus padding)."""
+        if not samples:
+            raise MeasurementError("cannot build a histogram from no samples")
+        lo, hi = min(samples), max(samples)
+        if hi == lo:
+            hi = lo + 1.0
+        span = hi - lo
+        hist = cls(lo=lo - pad * span, hi=hi + pad * span, bins=bins)
+        hist.add_many(samples)
+        return hist
+
+    def add(self, value: float) -> None:
+        if value < self.lo:
+            self.underflow += 1
+            return
+        if value >= self.hi:
+            self.overflow += 1
+            return
+        index = int((value - self.lo) / (self.hi - self.lo) * self.bins)
+        self.counts[min(index, self.bins - 1)] += 1
+
+    def add_many(self, values: list[float]) -> None:
+        for value in values:
+            self.add(value)
+
+    @property
+    def total(self) -> int:
+        return int(self.counts.sum()) + self.underflow + self.overflow
+
+    def bin_edges(self) -> np.ndarray:
+        return np.linspace(self.lo, self.hi, self.bins + 1)
+
+    def mode_center(self) -> float:
+        """Center of the most populated bin."""
+        edges = self.bin_edges()
+        peak = int(np.argmax(self.counts))
+        return float((edges[peak] + edges[peak + 1]) / 2)
+
+    def render(self, width: int = 50, label: str = "") -> str:
+        """ASCII rendering, one bar per bin."""
+        lines = [f"Histogram {label} (n={self.total})"]
+        peak = max(int(self.counts.max()), 1)
+        edges = self.bin_edges()
+        for i, count in enumerate(self.counts):
+            bar = "#" * int(round(width * count / peak))
+            lines.append(f"{edges[i]:12.1f} | {bar} {count}")
+        return "\n".join(lines)

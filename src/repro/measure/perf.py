@@ -1,0 +1,72 @@
+"""Simulated Linux ``perf`` counters for frontend validation.
+
+The paper uses performance counters only to *validate* which path serviced
+micro-ops (Figures 2, 3 and 6) — real attackers have no counter access.
+:class:`PerfCounters` accumulates the same events from the simulator's
+:class:`~repro.frontend.engine.LoopReport` objects, using the Intel event
+names the paper's `perf` invocations would use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import MeasurementError
+from repro.frontend.engine import LoopReport
+
+__all__ = ["PerfCounters", "PERF_EVENTS"]
+
+#: Supported event names and what they count.
+PERF_EVENTS: dict[str, str] = {
+    "idq.mite_uops": "uops delivered by the legacy decode pipeline (MITE)",
+    "idq.dsb_uops": "uops delivered by the Decoded Stream Buffer",
+    "lsd.uops": "uops delivered by the Loop Stream Detector",
+    "uops_retired.any": "total uops retired",
+    "dsb2mite_switches.count": "DSB-to-MITE path transitions",
+    "ild_stall.lcp": "length-changing-prefix predecode stalls",
+    "idq.dsb_evictions": "DSB line evictions (model-internal)",
+    "lsd.flushes": "LSD flush events (model-internal)",
+    "cycles": "core cycles",
+}
+
+
+@dataclass
+class PerfCounters:
+    """Accumulates frontend delivery events, perf-style."""
+
+    _values: dict[str, float] = field(
+        default_factory=lambda: dict.fromkeys(PERF_EVENTS, 0.0)
+    )
+
+    def record(self, report: LoopReport) -> None:
+        """Fold one loop execution's delivery report into the counters."""
+        v = self._values
+        v["idq.mite_uops"] += report.uops_mite
+        v["idq.dsb_uops"] += report.uops_dsb
+        v["lsd.uops"] += report.uops_lsd
+        v["uops_retired.any"] += report.total_uops
+        v["dsb2mite_switches.count"] += report.switches_to_mite
+        v["ild_stall.lcp"] += report.lcp_stalls
+        v["idq.dsb_evictions"] += report.dsb_evictions
+        v["lsd.flushes"] += report.lsd_flushes
+        v["cycles"] += report.cycles
+
+    def read(self, event: str) -> float:
+        try:
+            return self._values[event]
+        except KeyError:
+            raise MeasurementError(
+                f"unknown perf event {event!r}; known: {sorted(PERF_EVENTS)}"
+            ) from None
+
+    def read_all(self) -> dict[str, float]:
+        return dict(self._values)
+
+    def reset(self) -> None:
+        for key in self._values:
+            self._values[key] = 0.0
+
+    @property
+    def ipc(self) -> float:
+        cycles = self._values["cycles"]
+        return self._values["uops_retired.any"] / cycles if cycles else 0.0

@@ -1,0 +1,132 @@
+"""Simulated Intel RAPL (Running Average Power Limit) energy interface.
+
+Models the three properties of RAPL that shape the paper's power channels
+(Section VI):
+
+* the energy counter updates at a finite rate (~20 kHz per the paper's
+  reference [17]), so short regions are quantised — this is what limits
+  the power channels to ~0.6 Kbps;
+* readings include the whole package: the attacker's signal rides on a
+  baseline package power, not just the frontend's consumption;
+* the sensor itself is noisy.
+
+Usage mirrors the real MSR flow: ``read()`` returns the cumulative energy
+at the current (simulated) time; a channel reads before and after the
+region of interest and differences the values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import MeasurementError
+
+__all__ = ["RaplInterface", "RaplSample"]
+
+
+@dataclass(frozen=True)
+class RaplSample:
+    """One before/after RAPL differencing measurement."""
+
+    true_energy_nj: float
+    measured_energy_nj: float
+    duration_cycles: float
+
+    @property
+    def measured_power(self) -> float:
+        """Mean measured energy per cycle (arbitrary power units)."""
+        return self.measured_energy_nj / self.duration_cycles if self.duration_cycles else 0.0
+
+
+class RaplInterface:
+    """Package-level energy meter with update-interval quantisation.
+
+    Parameters
+    ----------
+    rng:
+        Noise stream.
+    frequency_hz:
+        Core clock, to convert the update interval into cycles.
+    update_hz:
+        Counter refresh rate (the paper cites ~20 kHz).
+    baseline_watts:
+        Idle package power the signal rides on.
+    baseline_sigma_watts:
+        Fluctuation of the package baseline (other cores, uncore
+        activity); contributes noise proportional to the region's
+        duration and is the dominant error source for the power
+        channels (Table V).
+    sensor_sigma_rel:
+        Relative Gaussian noise per reading (fraction of the energy
+        accumulated in one update interval).
+    enabled:
+        User-level access; when False, :meth:`measure_region` raises
+        (privileged attackers can still construct an enabled interface —
+        the SGX power attacks rely on exactly that, Section VII-3).
+    """
+
+    def __init__(
+        self,
+        rng: np.random.Generator,
+        frequency_hz: float,
+        update_hz: float = 20_000.0,
+        baseline_watts: float = 18.0,
+        baseline_sigma_watts: float = 3.0,
+        sensor_sigma_rel: float = 0.30,
+        enabled: bool = True,
+    ) -> None:
+        if frequency_hz <= 0 or update_hz <= 0:
+            raise MeasurementError("frequencies must be positive")
+        if baseline_watts < 0 or baseline_sigma_watts < 0:
+            raise MeasurementError("baseline power must be non-negative")
+        self._rng = rng
+        self.frequency_hz = frequency_hz
+        self.update_hz = update_hz
+        self.baseline_watts = baseline_watts
+        self.baseline_sigma_watts = baseline_sigma_watts
+        self.sensor_sigma_rel = sensor_sigma_rel
+        self.enabled = enabled
+
+    @property
+    def update_interval_cycles(self) -> float:
+        """Cycles between counter refreshes."""
+        return self.frequency_hz / self.update_hz
+
+    def baseline_energy_nj(self, duration_cycles: float) -> float:
+        """Package baseline energy over ``duration_cycles`` (nJ)."""
+        seconds = duration_cycles / self.frequency_hz
+        return self.baseline_watts * seconds * 1e9
+
+    def measure_region(
+        self, true_energy_nj: float, duration_cycles: float
+    ) -> RaplSample:
+        """Difference two counter reads around a region.
+
+        The measured value is the true core energy plus package baseline,
+        with (a) quantisation error up to the energy of one update
+        interval at each endpoint and (b) relative sensor noise.
+        """
+        if not self.enabled:
+            raise MeasurementError(
+                "user-level RAPL access is disabled on this machine"
+            )
+        if duration_cycles <= 0:
+            raise MeasurementError(f"duration must be positive, got {duration_cycles}")
+        seconds = duration_cycles / self.frequency_hz
+        total = true_energy_nj + self.baseline_energy_nj(duration_cycles)
+        mean_power_per_cycle = total / duration_cycles
+        interval_energy = mean_power_per_cycle * self.update_interval_cycles
+        # Quantisation: each endpoint read reflects the last refresh, so
+        # the difference gains a uniform error of +-1 interval's energy.
+        quantisation = self._rng.uniform(-interval_energy, interval_energy)
+        sensor = self._rng.normal(0.0, self.sensor_sigma_rel * interval_energy)
+        # Rest-of-package activity fluctuates around the baseline.
+        activity = self._rng.normal(0.0, self.baseline_sigma_watts * seconds * 1e9)
+        measured = max(total + quantisation + sensor + activity, 0.0)
+        return RaplSample(
+            true_energy_nj=true_energy_nj,
+            measured_energy_nj=measured,
+            duration_cycles=duration_cycles,
+        )

@@ -1,0 +1,62 @@
+"""``rdtscp``-style cycle timing with realistic measurement noise.
+
+The simulator computes *true* cycle counts; attackers see those counts
+through :class:`CycleTimer`, which applies a :class:`NoiseProfile` —
+serialisation overhead, Gaussian jitter, and occasional interrupt-like
+spikes.  All randomness comes from a named RNG stream so runs are
+reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import MeasurementError
+from repro.measure.noise import NoiseProfile, NONMT_PROFILE
+
+__all__ = ["CycleTimer", "TimedSample"]
+
+
+@dataclass(frozen=True)
+class TimedSample:
+    """One timing observation."""
+
+    true_cycles: float
+    measured_cycles: float
+
+    @property
+    def noise(self) -> float:
+        return self.measured_cycles - self.true_cycles
+
+
+class CycleTimer:
+    """Converts true durations into noisy ``rdtscp`` measurements."""
+
+    def __init__(
+        self, rng: np.random.Generator, profile: NoiseProfile = NONMT_PROFILE
+    ) -> None:
+        self._rng = rng
+        self.profile = profile
+
+    def measure(self, true_cycles: float) -> TimedSample:
+        """Observe a region that truly took ``true_cycles`` cycles."""
+        if true_cycles < 0:
+            raise MeasurementError(f"negative duration {true_cycles}")
+        p = self.profile
+        measured = true_cycles
+        if p.jitter_rel_sigma:
+            measured *= 1.0 + self._rng.normal(0.0, p.jitter_rel_sigma)
+        if p.jitter_abs_sigma:
+            measured += self._rng.normal(0.0, p.jitter_abs_sigma)
+        if p.spike_rate and self._rng.random() < p.spike_rate:
+            measured += self._rng.exponential(p.spike_mean)
+        measured += p.rdtscp_overhead
+        return TimedSample(true_cycles=true_cycles, measured_cycles=max(measured, 0.0))
+
+    def measure_many(self, true_cycles: float, count: int) -> list[TimedSample]:
+        """``count`` independent observations of identical true durations."""
+        if count < 1:
+            raise MeasurementError(f"count must be >= 1, got {count}")
+        return [self.measure(true_cycles) for _ in range(count)]

@@ -1,0 +1,24 @@
+"""SGX enclave model and frontend attacks against enclaves (Section VII).
+
+SGX protects enclave memory from a hostile OS, but the processor
+*frontend* is shared between enclave and non-enclave code on the same
+core — and (for MT attacks) with the sibling hyper-thread.  A sender
+Trojan inside the enclave can therefore modulate the frontend paths and
+leak to a receiver outside.
+
+* :class:`~repro.sgx.enclave.Enclave` — the execution model: EENTER /
+  EEXIT transition costs and the slowdown enclave code pays for EPC
+  memory-encryption traffic.
+* :class:`~repro.sgx.attacks.SgxNonMtAttack` — the receiver triggers one
+  enclave call per bit and times it end to end; the Trojan's
+  internal-interference (eviction or misalignment) modulates the time.
+* :class:`~repro.sgx.attacks.SgxMtAttack` — the Trojan keeps its own
+  enclave thread busy; the receiver on the sibling hyper-thread observes
+  its *own* loop timing change when the enclave is active.
+"""
+
+from repro.sgx.enclave import Enclave, EnclaveParams
+from repro.sgx.attacks import SgxNonMtAttack, SgxMtAttack
+from repro.sgx.power_attack import SgxPowerAttack
+
+__all__ = ["Enclave", "EnclaveParams", "SgxNonMtAttack", "SgxMtAttack", "SgxPowerAttack"]

@@ -1,0 +1,167 @@
+"""Frontend covert channels out of SGX enclaves (Section VII).
+
+Both attacks place the *sender* Trojan inside the enclave:
+
+* :class:`SgxNonMtAttack` — the receiver triggers one enclave call per
+  bit and times it from outside.  The Trojan's Init/Encode/Decode loop
+  (eviction- or misalignment-encoded, exactly as the non-MT channels of
+  Section IV) runs for ``p`` = 1,000-5,000 iterations — far more than
+  the 10 the non-SGX attacks need — to rise above the enclave
+  transition and execution overheads.  The paper measures rates of
+  roughly 1/25 to 1/30 of the corresponding non-SGX attacks.
+* :class:`SgxMtAttack` — the Trojan runs on its own hardware thread
+  inside the enclave; the receiver on the sibling hyper-thread measures
+  its own loop.  When the enclave thread is active the DSB is partitioned
+  and the receiver's blocks self-conflict; when it idles the receiver
+  owns the whole DSB (p=1,000, q=10,000).
+"""
+
+from __future__ import annotations
+
+from repro.channels.base import BitSample, ChannelConfig, CovertChannel
+from repro.channels.eviction import MtEvictionChannel, NonMtEvictionChannel
+from repro.channels.misalignment import (
+    MtMisalignmentChannel,
+    NonMtMisalignmentChannel,
+)
+from repro.errors import ChannelError, EnclaveError
+from repro.isa.program import LoopProgram
+from repro.machine.machine import Machine
+from repro.sgx.enclave import Enclave, EnclaveParams
+
+__all__ = ["SgxNonMtAttack", "SgxMtAttack"]
+
+_NONMT_MECHANISMS = {
+    "eviction": NonMtEvictionChannel,
+    "misalignment": NonMtMisalignmentChannel,
+}
+_MT_MECHANISMS = {
+    "eviction": MtEvictionChannel,
+    "misalignment": MtMisalignmentChannel,
+}
+
+
+class SgxNonMtAttack(CovertChannel):
+    """Non-MT timing attack on an SGX enclave (Section VII-2)."""
+
+    requires_smt = False
+
+    #: Paper: p = q = 1,000 - 5,000 iterations per bit for SGX.
+    SGX_ITERATIONS = 1000
+
+    def __init__(
+        self,
+        machine: Machine,
+        mechanism: str = "eviction",
+        variant: str = "stealthy",
+        config: ChannelConfig | None = None,
+        enclave_params: EnclaveParams | None = None,
+    ) -> None:
+        if mechanism not in _NONMT_MECHANISMS:
+            raise ChannelError(
+                f"mechanism must be one of {sorted(_NONMT_MECHANISMS)}, got {mechanism!r}"
+            )
+        if not machine.spec.sgx:
+            raise EnclaveError(f"{machine.spec.name} has no SGX support")
+        self.mechanism = mechanism
+        self.name = f"sgx-non-mt-{variant}-{mechanism}"
+        if config is None:
+            defaults = {"p": self.SGX_ITERATIONS, "q": self.SGX_ITERATIONS}
+            if mechanism == "misalignment":
+                defaults.update(d=5, M=8)
+            config = ChannelConfig(**defaults)
+        super().__init__(machine, config)
+        self.enclave = Enclave(machine, enclave_params)
+        # The inner channel only provides block layout / body building;
+        # measurement is replaced with the outside-the-enclave timer.
+        self._inner = _NONMT_MECHANISMS[mechanism](
+            machine, self.config, variant=variant
+        )
+
+    def send_bit(self, m: int) -> BitSample:
+        m = self._validate_bit(m)
+        body = self._inner.bit_body(m)
+        program = LoopProgram(body, self.config.p, label=f"{self.name}.bit{m}")
+        report = self.enclave.ecall(program)
+        true_cycles = report.cycles + self._disturbance()
+        measured = self.machine.timer.measure(true_cycles).measured_cycles
+        elapsed = true_cycles + self.config.bit_overhead_cycles
+        return BitSample(measurement=measured, elapsed_cycles=elapsed, sent=m)
+
+
+class SgxMtAttack(CovertChannel):
+    """MT timing attack on an SGX enclave (Section VII-1)."""
+
+    requires_smt = True
+
+    #: Paper iteration counts: p = 1,000 receiver decodes, q = 10,000
+    #: enclave sender encodes per bit.
+    SGX_MT_DEFAULTS = {"p": 1000, "q": 10_000}
+
+    def __init__(
+        self,
+        machine: Machine,
+        mechanism: str = "eviction",
+        config: ChannelConfig | None = None,
+        enclave_params: EnclaveParams | None = None,
+    ) -> None:
+        if mechanism not in _MT_MECHANISMS:
+            raise ChannelError(
+                f"mechanism must be one of {sorted(_MT_MECHANISMS)}, got {mechanism!r}"
+            )
+        if not machine.spec.sgx:
+            raise EnclaveError(f"{machine.spec.name} has no SGX support")
+        self.mechanism = mechanism
+        self.name = f"sgx-mt-{mechanism}"
+        if config is None:
+            defaults = dict(self.SGX_MT_DEFAULTS)
+            if mechanism == "misalignment":
+                defaults.update(d=5, M=8)
+            config = ChannelConfig(**defaults)
+        super().__init__(machine, config)
+        self.enclave = Enclave(machine, enclave_params)
+        self._inner = _MT_MECHANISMS[mechanism](machine, self.config)
+
+    def send_bit(self, m: int) -> BitSample:
+        """One bit: enclave sender active (m=1) or idle (m=0).
+
+        The receiver's observation is its own decode-loop timing; the
+        enclave's execution (slowed by the enclave factor) sets the wall
+        clock for m=1 since sender and receiver run concurrently.
+        """
+        m = self._validate_bit(m)
+        cfg = self.config
+        slowdown = self.enclave.params.slowdown
+        slipped = self._rng.random() < self._slip_rate(m)
+        if m:
+            overlap = self._rng.uniform(0.25, 0.75) if slipped else 1.0
+        else:
+            overlap = self._rng.uniform(0.05, 0.40) if slipped else 0.0
+
+        receiver_cycles = 0.0
+        wall_cycles = self.enclave.params.round_trip_cycles  # one entry+exit
+        overlap_q = round(cfg.q * overlap)
+        overlap_p = round(cfg.p * overlap)
+        if overlap_q >= 1 and overlap_p >= 1:
+            result = self.machine.run_smt(
+                self._inner._receiver_program(overlap_p),
+                self._inner._sender_program(overlap_q),
+            )
+            receiver_cycles += result.primary.cycles
+            # The enclave sender is slowed by the enclave factor; the
+            # concurrent region lasts as long as the slower of the two.
+            wall_cycles += max(
+                result.primary.cycles, result.secondary.cycles * slowdown
+            )
+        solo_p = cfg.p - max(overlap_p, 0)
+        if solo_p >= 1:
+            report = self.machine.run_loop(self._inner._receiver_program(solo_p))
+            receiver_cycles += report.cycles
+            wall_cycles += report.cycles
+        measured = self.machine.smt_timer.measure(receiver_cycles).measured_cycles
+        elapsed = (
+            self._slotted(wall_cycles)
+            + cfg.p * cfg.measurement_overhead_cycles
+            + cfg.bit_overhead_cycles
+        )
+        return BitSample(measurement=measured, elapsed_cycles=elapsed, sent=m)

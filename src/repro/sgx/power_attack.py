@@ -1,0 +1,87 @@
+"""Power-based SGX attack (Section VII-3).
+
+The paper: "even if RAPL is disabled for user-level code, power-based SGX
+attacks are possible because RAPL can be accessed from the privileged,
+malicious OS."  SGX's threat model explicitly distrusts the OS — so a
+malicious kernel reading the package energy counter around each enclave
+call sees the enclave Trojan's frontend-path modulation regardless of any
+user-level RAPL lockdown.
+
+:class:`SgxPowerAttack` wires this together: the Trojan runs the
+eviction- or misalignment-encoded Init/Encode/Decode loop inside the
+enclave (RAPL-visible energy, not timing, is the observable), and the
+receiver differences a *privileged* RAPL interface that works even when
+``machine.spec.rapl`` is False.
+"""
+
+from __future__ import annotations
+
+from repro.channels.base import BitSample, ChannelConfig, CovertChannel
+from repro.channels.eviction import NonMtEvictionChannel
+from repro.channels.misalignment import NonMtMisalignmentChannel
+from repro.errors import ChannelError, EnclaveError
+from repro.isa.program import LoopProgram
+from repro.machine.machine import Machine
+from repro.measure.rapl import RaplInterface
+from repro.sgx.enclave import Enclave, EnclaveParams
+
+__all__ = ["SgxPowerAttack"]
+
+_MECHANISMS = {
+    "eviction": NonMtEvictionChannel,
+    "misalignment": NonMtMisalignmentChannel,
+}
+
+#: RAPL-refresh-limited iteration count, as for the Table V channels.
+POWER_ITERATIONS = 240_000
+
+
+class SgxPowerAttack(CovertChannel):
+    """Privileged-OS power attack on an SGX enclave."""
+
+    requires_smt = False
+    requires_rapl = False  # deliberately: the privileged path bypasses it
+
+    def __init__(
+        self,
+        machine: Machine,
+        mechanism: str = "eviction",
+        variant: str = "fast",
+        config: ChannelConfig | None = None,
+        enclave_params: EnclaveParams | None = None,
+    ) -> None:
+        if mechanism not in _MECHANISMS:
+            raise ChannelError(
+                f"mechanism must be one of {sorted(_MECHANISMS)}, got {mechanism!r}"
+            )
+        if not machine.spec.sgx:
+            raise EnclaveError(f"{machine.spec.name} has no SGX support")
+        self.mechanism = mechanism
+        self.name = f"sgx-power-{variant}-{mechanism}"
+        if config is None:
+            defaults = {"p": POWER_ITERATIONS, "q": POWER_ITERATIONS}
+            if mechanism == "misalignment":
+                defaults.update(d=5, M=8)
+            config = ChannelConfig(**defaults)
+        super().__init__(machine, config)
+        self.enclave = Enclave(machine, enclave_params)
+        self._inner = _MECHANISMS[mechanism](machine, self.config, variant=variant)
+        # The malicious OS's own RAPL handle: enabled regardless of the
+        # machine's user-level RAPL policy.
+        self.privileged_rapl = RaplInterface(
+            machine.rngs.stream("sgx-privileged-rapl"),
+            frequency_hz=machine.spec.frequency_hz,
+            enabled=True,
+        )
+
+    def send_bit(self, m: int) -> BitSample:
+        m = self._validate_bit(m)
+        body = self._inner.bit_body(m)
+        program = LoopProgram(body, self.config.p, label=f"{self.name}.bit{m}")
+        report = self.enclave.ecall(program)
+        true_cycles = report.cycles + self._disturbance()
+        sample = self.privileged_rapl.measure_region(report.energy_nj, true_cycles)
+        elapsed = true_cycles + self.config.bit_overhead_cycles
+        return BitSample(
+            measurement=sample.measured_energy_nj, elapsed_cycles=elapsed, sent=m
+        )

@@ -1,0 +1,22 @@
+"""Side-channel (non-cooperative victim) attacks via the frontend.
+
+The paper's channels are mostly *covert* (a cooperating sender).  This
+package demonstrates the side-channel counterpart: a victim whose
+control flow depends on a secret leaves a secret-dependent *instruction
+footprint* in the DSB, and an attacker sharing the frontend recovers the
+secret by priming and probing DSB sets — no victim cooperation, no data
+caches touched.
+
+* :class:`~repro.sidechannel.victim.SquareAndMultiplyVictim` — the
+  classic left-to-right modular exponentiation shape: every key bit
+  executes the *square* code; only 1-bits execute the *multiply* code.
+* :class:`~repro.sidechannel.attack.DsbFootprintAttack` — primes the
+  DSB set backing the multiply code before each key-bit window and
+  times a probe afterwards: the multiply code's fills evict the
+  attacker's lines exactly when the bit was 1.
+"""
+
+from repro.sidechannel.victim import SquareAndMultiplyVictim
+from repro.sidechannel.attack import DsbFootprintAttack, KeyRecovery
+
+__all__ = ["SquareAndMultiplyVictim", "DsbFootprintAttack", "KeyRecovery"]

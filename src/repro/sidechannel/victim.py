@@ -1,0 +1,87 @@
+"""A secret-dependent victim: square-and-multiply exponentiation shape.
+
+Left-to-right binary exponentiation processes the exponent's bits most
+significant first::
+
+    for bit in key_bits:
+        r = square(r)          # always
+        if bit:
+            r = multiply(r, b) # only for 1-bits
+
+The *data* leak of this pattern is folklore; the frontend leak the paper
+enables is subtler: even with constant-time arithmetic, the multiply
+routine's *instructions* enter the DSB only on 1-bits.  The victim here
+executes representative instruction blocks (no actual arithmetic — the
+simulator only models the frontend) whose DSB placement is fixed by the
+binary's layout and therefore known to the attacker.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.frontend.engine import LoopReport
+from repro.isa.program import LoopProgram
+from repro.machine.machine import Machine
+
+__all__ = ["SquareAndMultiplyVictim"]
+
+
+class SquareAndMultiplyVictim:
+    """Processes one key bit per call, leaving its frontend footprint."""
+
+    #: Loop iterations each routine runs per bit (models the routine's
+    #: internal loop; more iterations = a firmer DSB footprint).
+    ROUTINE_ITERATIONS = 8
+
+    def __init__(
+        self,
+        machine: Machine,
+        key_bits: list[int],
+        square_set: int = 2,
+        multiply_set: int = 21,
+        region_base: int = 0x05_000000,
+    ) -> None:
+        if not key_bits or any(b not in (0, 1) for b in key_bits):
+            raise ConfigurationError("key_bits must be a non-empty 0/1 list")
+        if square_set == multiply_set:
+            raise ConfigurationError(
+                "square and multiply routines must live in different DSB sets"
+            )
+        self.machine = machine
+        self.key_bits = list(key_bits)
+        layout = machine.layout(region_base=region_base)
+        # The square routine: 4 blocks; the multiply routine: 3 blocks.
+        # Their addresses — hence DSB sets — are fixed by the victim
+        # binary's layout, which the attacker can read offline.
+        self.square_program = LoopProgram(
+            layout.chain(square_set, 4, label="victim.square"),
+            self.ROUTINE_ITERATIONS,
+            "victim.square",
+        )
+        self.multiply_program = LoopProgram(
+            layout.chain(multiply_set, 3, first_slot=10, label="victim.multiply"),
+            self.ROUTINE_ITERATIONS,
+            "victim.multiply",
+        )
+        self.square_set = square_set
+        self.multiply_set = multiply_set
+        self._cursor = 0
+
+    @property
+    def bits_remaining(self) -> int:
+        return len(self.key_bits) - self._cursor
+
+    def process_next_bit(self) -> LoopReport:
+        """Execute one exponentiation step (square [+ multiply])."""
+        if self._cursor >= len(self.key_bits):
+            raise ConfigurationError("all key bits already processed")
+        bit = self.key_bits[self._cursor]
+        self._cursor += 1
+        report = self.machine.run_loop(self.square_program)
+        if bit:
+            report.merge(self.machine.run_loop(self.multiply_program))
+        return report
+
+    def reset(self) -> None:
+        """Restart the exponentiation (e.g. for a repeated decryption)."""
+        self._cursor = 0

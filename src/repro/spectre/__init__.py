@@ -1,0 +1,54 @@
+"""Spectre v1 with frontend covert channels (Section VIII, Table VII).
+
+The paper's new Spectre variant uses the *frontend* as the transmission
+medium: during transient execution the disclosure gadget executes an
+instruction mix block whose address maps to DSB set ``secret_chunk``
+(5-bit chunks, one of 32 sets).  Because DSB probing never touches the
+L1 caches, the attack leaves the smallest cache footprint of any Spectre
+channel — the property Table VII quantifies via L1 miss rates.
+
+Implemented channels (paper's "Our" columns plus the [35] baselines):
+
+* :class:`~repro.spectre.channels.MemFlushReload` — classic Flush+Reload
+  on a shared probe array (lines flushed to DRAM);
+* :class:`~repro.spectre.channels.L1dFlushReload` — Flush+Reload scoped
+  to the L1D (eviction-based flushing);
+* :class:`~repro.spectre.channels.L1dLruChannel` — the LRU-state channel
+  of [35]: victim hits reorder LRU stacks without extra misses;
+* :class:`~repro.spectre.channels.L1iFlushReload` — Flush+Reload on
+  instruction fetches;
+* :class:`~repro.spectre.channels.L1iPrimeProbe` — Prime+Probe on L1I
+  sets;
+* :class:`~repro.spectre.channels.FrontendDsbChannel` — the paper's new
+  channel: DSB-set timing, zero cache interaction.
+"""
+
+from repro.spectre.predictor import BranchPredictor
+from repro.spectre.victim import SpectreV1Victim, TransientWindow
+from repro.spectre.channels import (
+    SpectreChannel,
+    MemFlushReload,
+    L1dFlushReload,
+    L1dLruChannel,
+    L1iFlushReload,
+    L1iPrimeProbe,
+    FrontendDsbChannel,
+    ALL_SPECTRE_CHANNELS,
+)
+from repro.spectre.attack import SpectreV1Attack, AttackReport
+
+__all__ = [
+    "BranchPredictor",
+    "SpectreV1Victim",
+    "TransientWindow",
+    "SpectreChannel",
+    "MemFlushReload",
+    "L1dFlushReload",
+    "L1dLruChannel",
+    "L1iFlushReload",
+    "L1iPrimeProbe",
+    "FrontendDsbChannel",
+    "ALL_SPECTRE_CHANNELS",
+    "SpectreV1Attack",
+    "AttackReport",
+]

@@ -1,0 +1,140 @@
+"""The Spectre v1 attack orchestrator (Section VIII).
+
+Per 5-bit secret chunk:
+
+1. **Train** — call the victim with in-bounds indices until the bounds
+   check predicts "taken";
+2. **Prepare** — reset the covert-channel medium;
+3. **Mispredict** — call the victim out of bounds; the transient gadget
+   touches channel element ``secret_chunk``;
+4. **Recover** — read the medium back.
+
+Background victim/application work (identical for every channel) runs
+around each phase so the resulting L1 miss rates are comparable, which is
+what Table VII reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.bits import unpack_chunks
+from repro.errors import SpectreError
+from repro.machine.machine import Machine
+from repro.spectre.channels import MissCounts, SpectreChannel
+from repro.spectre.predictor import BranchPredictor
+from repro.spectre.victim import SpectreV1Victim, TransientWindow
+
+__all__ = ["SpectreV1Attack", "AttackReport"]
+
+
+@dataclass
+class AttackReport:
+    """Outcome of recovering a secret through one channel."""
+
+    channel_name: str
+    secret: bytes
+    recovered: bytes
+    chunks_total: int
+    chunks_correct: int
+    l1: MissCounts
+    channel_cycles: float = 0.0
+    frequency_hz: float = 0.0
+    chunk_bits: int = 5
+
+    @property
+    def accuracy(self) -> float:
+        return self.chunks_correct / self.chunks_total if self.chunks_total else 0.0
+
+    @property
+    def l1_miss_rate(self) -> float:
+        return self.l1.miss_rate
+
+    @property
+    def leak_kbps(self) -> float:
+        """Secret bits recovered per second of attack execution."""
+        if not self.channel_cycles or not self.frequency_hz:
+            return 0.0
+        seconds = self.channel_cycles / self.frequency_hz
+        bits = self.chunks_total * self.chunk_bits
+        return bits / seconds / 1e3
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{self.channel_name}: {self.chunks_correct}/{self.chunks_total} chunks, "
+            f"L1 miss rate {self.l1_miss_rate * 100:.2f}%"
+        )
+
+
+class SpectreV1Attack:
+    """Recovers a victim secret through a chosen covert channel."""
+
+    def __init__(
+        self,
+        machine: Machine,
+        channel: SpectreChannel,
+        secret: bytes,
+        trainings: int = 5,
+        attempts_per_chunk: int = 1,
+        window: TransientWindow | None = None,
+    ) -> None:
+        if trainings < 1:
+            raise SpectreError("need at least one training call per chunk")
+        if attempts_per_chunk < 1:
+            raise SpectreError("need at least one attempt per chunk")
+        self.machine = machine
+        self.channel = channel
+        self.trainings = trainings
+        self.attempts_per_chunk = attempts_per_chunk
+        self.predictor = BranchPredictor()
+        self.victim = SpectreV1Victim(
+            secret,
+            rng=machine.rngs.stream("spectre/victim"),
+            chunk_bits=channel.chunk_bits,
+            window=window,
+        )
+        self._secret = secret
+
+    def recover_chunk(self, chunk: int) -> int:
+        """Train, prepare, mispredict, recover — one 5-bit chunk."""
+        in_bounds = chunk % len(self.victim.array1)
+        for _ in range(self.trainings):
+            self.victim.call(in_bounds, self.predictor, self.channel)
+            self.channel.background()
+        self.channel.prepare()
+        self.channel.background()
+        self.victim.call(self.victim.oob_index(chunk), self.predictor, self.channel)
+        recovered = self.channel.recover()
+        self.channel.background()
+        return recovered
+
+    def run(self) -> AttackReport:
+        """Recover the whole secret; majority-vote across attempts."""
+        before = self.channel.miss_counts()
+        cycles_before = self.channel.cycles
+        recovered_chunks: list[int] = []
+        correct = 0
+        for chunk_index, true_value in enumerate(self.victim.chunks):
+            votes: dict[int, int] = {}
+            for _ in range(self.attempts_per_chunk):
+                guess = self.recover_chunk(chunk_index)
+                votes[guess] = votes.get(guess, 0) + 1
+            best = max(votes, key=lambda v: (votes[v], -v))
+            recovered_chunks.append(best)
+            if best == true_value:
+                correct += 1
+        after = self.channel.miss_counts()
+        recovered = unpack_chunks(
+            recovered_chunks, n_bytes=len(self._secret), chunk_bits=self.victim.chunk_bits
+        )
+        return AttackReport(
+            channel_name=self.channel.name,
+            secret=self._secret,
+            recovered=recovered,
+            chunks_total=len(self.victim.chunks),
+            chunks_correct=correct,
+            l1=after.delta(before),
+            channel_cycles=self.channel.cycles - cycles_before,
+            frequency_hz=self.machine.spec.frequency_hz,
+            chunk_bits=self.victim.chunk_bits,
+        )

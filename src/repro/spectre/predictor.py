@@ -1,0 +1,52 @@
+"""Directional branch predictor: per-PC 2-bit saturating counters.
+
+Spectre v1 needs exactly one property from the predictor: after a few
+taken executions of the victim's bounds check, an out-of-bounds call is
+still *predicted* taken, opening the transient window.  A table of 2-bit
+counters indexed by branch PC provides that with the classic hysteresis.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SpectreError
+
+__all__ = ["BranchPredictor"]
+
+# 2-bit counter states.
+STRONG_NOT_TAKEN, WEAK_NOT_TAKEN, WEAK_TAKEN, STRONG_TAKEN = range(4)
+
+
+class BranchPredictor:
+    """Pattern history table of 2-bit saturating counters."""
+
+    def __init__(self, entries: int = 1024) -> None:
+        if entries < 1 or entries & (entries - 1):
+            raise SpectreError(f"entries must be a power of two, got {entries}")
+        self.entries = entries
+        # Weakly not-taken initial state, like a zeroed PHT.
+        self._table = [WEAK_NOT_TAKEN] * entries
+
+    def _index(self, pc: int) -> int:
+        return (pc >> 2) % self.entries
+
+    def predict(self, pc: int) -> bool:
+        """Predicted direction for the branch at ``pc``."""
+        return self._table[self._index(pc)] >= WEAK_TAKEN
+
+    def update(self, pc: int, taken: bool) -> None:
+        """Train with the resolved direction."""
+        index = self._index(pc)
+        counter = self._table[index]
+        if taken:
+            self._table[index] = min(counter + 1, STRONG_TAKEN)
+        else:
+            self._table[index] = max(counter - 1, STRONG_NOT_TAKEN)
+
+    def access(self, pc: int, taken: bool) -> bool:
+        """Predict then update; returns True on a misprediction."""
+        predicted = self.predict(pc)
+        self.update(pc, taken)
+        return predicted != taken
+
+    def flush(self) -> None:
+        self._table = [WEAK_NOT_TAKEN] * self.entries

@@ -1,0 +1,108 @@
+"""The Spectre v1 victim: a bounds-checked array read with a gadget.
+
+Models the canonical pattern::
+
+    if (x < array1_size)            // conditional branch, predictor-driven
+        use(array1[x]);             // disclosure gadget: uses the loaded
+                                    // value to touch channel element v
+
+Architecturally, out-of-bounds calls do nothing.  Microarchitecturally,
+if the branch is *predicted* taken, the gadget executes transiently with
+``array1[x]`` reading past the array's end into the secret, and its
+channel touch survives the squash.  The transient window is bounded: the
+gadget only completes with ``TransientWindow.success_rate`` probability
+(bounds resolving early squashes it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.bits import pack_chunks
+from repro.errors import SpectreError
+from repro.spectre.predictor import BranchPredictor
+
+__all__ = ["TransientWindow", "SpectreV1Victim"]
+
+
+@dataclass(frozen=True)
+class TransientWindow:
+    """Transient-execution window characteristics.
+
+    max_uops:
+        Speculation depth available after the mispredicted branch
+        (ROB-bounded; ~200 uops on Skylake).  The disclosure gadget
+        (load + one channel touch) fits comfortably.
+    success_rate:
+        Probability the gadget completes before the bounds check
+        resolves and squashes it (cache-miss latency of the bounds load
+        gives the gadget its race window).
+    """
+
+    max_uops: int = 200
+    success_rate: float = 0.98
+
+    def __post_init__(self) -> None:
+        if self.max_uops < 1:
+            raise SpectreError("transient window must fit at least one uop")
+        if not 0.0 <= self.success_rate <= 1.0:
+            raise SpectreError("success_rate must be a probability")
+
+
+class SpectreV1Victim:
+    """Holder of the secret, exposing only the bounds-checked entry point."""
+
+    def __init__(
+        self,
+        secret: bytes,
+        rng: np.random.Generator,
+        chunk_bits: int = 5,
+        array1_size: int = 16,
+        branch_pc: int = 0x401000,
+        window: TransientWindow | None = None,
+    ) -> None:
+        if not secret:
+            raise SpectreError("victim needs a non-empty secret")
+        if array1_size < 1:
+            raise SpectreError("array1 must have at least one element")
+        self.chunk_bits = chunk_bits
+        self.chunks = pack_chunks(secret, chunk_bits)
+        self.array1 = [int(v) for v in rng.integers(0, 2**chunk_bits, size=array1_size)]
+        self.branch_pc = branch_pc
+        self.window = window or TransientWindow()
+        self._rng = rng
+
+    @property
+    def n_chunks(self) -> int:
+        return len(self.chunks)
+
+    def oob_index(self, chunk: int) -> int:
+        """The out-of-bounds index that reads secret chunk ``chunk``."""
+        if not 0 <= chunk < self.n_chunks:
+            raise SpectreError(
+                f"chunk must be in 0..{self.n_chunks - 1}, got {chunk}"
+            )
+        return len(self.array1) + chunk
+
+    def call(self, index: int, predictor: BranchPredictor, channel) -> bool:
+        """One victim invocation; returns True if a transient touch fired.
+
+        ``channel`` provides ``touch(value, transient)`` — the gadget's
+        observable side effect.  In-bounds calls execute the gadget
+        architecturally (with a public ``array1`` value); out-of-bounds
+        calls execute it transiently if and only if the predictor says
+        "taken".
+        """
+        in_bounds = index < len(self.array1)
+        predicted = predictor.predict(self.branch_pc)
+        predictor.update(self.branch_pc, taken=in_bounds)
+        if in_bounds:
+            channel.touch(self.array1[index], transient=False)
+            return False
+        if predicted and self._rng.random() < self.window.success_rate:
+            secret_value = self.chunks[index - len(self.array1)]
+            channel.touch(secret_value, transient=True)
+            return True
+        return False

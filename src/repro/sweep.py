@@ -1,0 +1,171 @@
+"""Parameter-sweep framework for channel and model studies.
+
+The evaluation repeatedly asks "how does X change as parameter Y moves?"
+(Figure 11's d-sweep, the ablation benchmarks, calibration work).  This
+module factors that pattern into a reusable, deterministic grid runner::
+
+    sweep = ParameterSweep(
+        factory=lambda point: run_my_channel(d=point["d"], seed=point.seed),
+        grid={"d": [1, 2, 4, 6, 8]},
+        trials=3,
+    )
+    table = sweep.run()
+    print(table.render())
+
+Each grid point runs ``trials`` times with per-point derived seeds; the
+result table carries mean/min/max per metric and renders as ASCII or
+exports to plain dicts for further analysis.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.rng import derive_seed
+
+__all__ = ["SweepPoint", "SweepResult", "SweepTable", "ParameterSweep"]
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One grid coordinate plus its derived trial seed."""
+
+    values: Mapping[str, object]
+    trial: int
+    seed: int
+
+    def __getitem__(self, key: str) -> object:
+        return self.values[key]
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """Metrics measured at one point/trial."""
+
+    point: SweepPoint
+    metrics: Mapping[str, float]
+
+
+@dataclass
+class SweepTable:
+    """Aggregated sweep output: one row per grid coordinate."""
+
+    parameter_names: tuple[str, ...]
+    metric_names: tuple[str, ...]
+    results: list[SweepResult] = field(default_factory=list)
+
+    def rows(self) -> list[dict]:
+        """Per-coordinate aggregation (mean/min/max over trials)."""
+        grouped: dict[tuple, list[SweepResult]] = {}
+        for result in self.results:
+            key = tuple(result.point.values[name] for name in self.parameter_names)
+            grouped.setdefault(key, []).append(result)
+        rows = []
+        for key, bucket in grouped.items():
+            row: dict = dict(zip(self.parameter_names, key))
+            for metric in self.metric_names:
+                samples = [r.metrics[metric] for r in bucket]
+                row[f"{metric}_mean"] = float(np.mean(samples))
+                row[f"{metric}_min"] = float(np.min(samples))
+                row[f"{metric}_max"] = float(np.max(samples))
+            rows.append(row)
+        return rows
+
+    def column(self, metric: str) -> list[float]:
+        """Mean values of one metric, in grid order."""
+        return [row[f"{metric}_mean"] for row in self.rows()]
+
+    def render(self, precision: int = 2) -> str:
+        rows = self.rows()
+        if not rows:
+            return "(empty sweep)"
+        headers = list(self.parameter_names) + [
+            f"{metric}_mean" for metric in self.metric_names
+        ]
+        widths = [max(len(h), 10) for h in headers]
+        lines = ["".join(h.ljust(w + 2) for h, w in zip(headers, widths))]
+        lines.append("-" * len(lines[0]))
+        for row in rows:
+            cells = []
+            for header, width in zip(headers, widths):
+                value = row[header]
+                text = (
+                    f"{value:.{precision}f}" if isinstance(value, float) else str(value)
+                )
+                cells.append(text.ljust(width + 2))
+            lines.append("".join(cells))
+        return "\n".join(lines)
+
+
+class ParameterSweep:
+    """Deterministic grid sweep runner.
+
+    Parameters
+    ----------
+    factory:
+        Callable ``(point) -> Mapping[str, float]`` running one trial and
+        returning named metrics.  It receives a :class:`SweepPoint` whose
+        ``seed`` is unique and stable per (coordinate, trial).
+    grid:
+        Parameter name -> list of values.  The cartesian product is run.
+    trials:
+        Repetitions per coordinate (different seeds).
+    base_seed:
+        Root of the per-point seed derivation.
+    """
+
+    def __init__(
+        self,
+        factory: Callable[[SweepPoint], Mapping[str, float]],
+        grid: Mapping[str, Sequence[object]],
+        trials: int = 1,
+        base_seed: int = 0,
+    ) -> None:
+        if not grid:
+            raise ConfigurationError("sweep grid must name at least one parameter")
+        if any(len(values) == 0 for values in grid.values()):
+            raise ConfigurationError("every grid axis needs at least one value")
+        if trials < 1:
+            raise ConfigurationError("trials must be >= 1")
+        self.factory = factory
+        self.grid = {name: list(values) for name, values in grid.items()}
+        self.trials = trials
+        self.base_seed = base_seed
+
+    def points(self) -> list[SweepPoint]:
+        names = list(self.grid)
+        points = []
+        for combo in itertools.product(*(self.grid[name] for name in names)):
+            values = dict(zip(names, combo))
+            for trial in range(self.trials):
+                seed = derive_seed(self.base_seed, f"{sorted(values.items())}/{trial}")
+                points.append(SweepPoint(values=values, trial=trial, seed=seed))
+        return points
+
+    def run(self) -> SweepTable:
+        results = []
+        metric_names: tuple[str, ...] = ()
+        for point in self.points():
+            metrics = dict(self.factory(point))
+            if not metrics:
+                raise ConfigurationError(
+                    f"sweep factory returned no metrics at {point.values}"
+                )
+            if not metric_names:
+                metric_names = tuple(metrics)
+            elif tuple(metrics) != metric_names:
+                raise ConfigurationError(
+                    "sweep factory must return the same metrics at every "
+                    f"point (got {tuple(metrics)} vs {metric_names})"
+                )
+            results.append(SweepResult(point=point, metrics=metrics))
+        return SweepTable(
+            parameter_names=tuple(self.grid),
+            metric_names=metric_names,
+            results=results,
+        )

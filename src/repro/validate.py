@@ -1,0 +1,243 @@
+"""Model self-validation: the paper's qualitative invariants as a checklist.
+
+``python -m repro validate`` (or :func:`run_validation`) runs a fast
+sweep of the claims the reproduction stands on and prints PASS/FAIL per
+item.  It is the smoke test for anyone who changes a model coefficient:
+if all checks pass, the benchmark shapes will reproduce.
+
+Checks (each maps to a paper section):
+
+1.  small loops stream from the LSD on LSD machines (III-A1 / Fig. 3);
+2.  medium loops settle in the DSB; over-capacity loops split DSB+MITE;
+3.  N+1 same-set blocks thrash (III-B); N blocks do not;
+4.  misaligned combinations defeat the LSD per the III-C table;
+5.  same-set chains cause no L1I misses after warmup (Fig. 5);
+6.  per-uop latency: DSB < LSD < MITE+DSB (Fig. 4, calibrated signs);
+7.  per-uop core energy: LSD < DSB < MITE (Fig. 12);
+8.  SMT folding: sets 16 apart collide across threads (Fig. 2);
+9.  LCP mixed-issue pays more switches than ordered at equal uops (Fig. 6);
+10. the LSD-capacity timing ratio separates patch1 from patch2 (Fig. 13).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.frontend.paths import DeliveryPath
+from repro.isa.blocks import filler_block, lcp_block
+from repro.isa.program import LoopProgram
+from repro.machine.machine import Machine
+from repro.machine.specs import GOLD_6226
+
+__all__ = ["ValidationCheck", "run_validation"]
+
+
+@dataclass(frozen=True)
+class ValidationCheck:
+    name: str
+    passed: bool
+    detail: str
+
+
+def _machine(spec=GOLD_6226, seed: int = 17) -> Machine:
+    return Machine(spec, seed=seed)
+
+
+def _check_lsd_small_loops() -> ValidationCheck:
+    machine = _machine()
+    report = machine.run_loop(LoopProgram(machine.layout().chain(3, 8), 500))
+    share = report.uops_lsd / report.total_uops
+    return ValidationCheck(
+        "small loops stream from the LSD",
+        share > 0.9,
+        f"LSD share {share:.1%}",
+    )
+
+
+def _check_path_split() -> ValidationCheck:
+    machine = _machine()
+    medium = machine.run_loop(LoopProgram([filler_block(0x400000, 400)], 2000))
+    machine.reset()
+    large = machine.run_loop(LoopProgram([filler_block(0x400000, 4000)], 2000))
+    ok = (
+        medium.dominant_path() is DeliveryPath.DSB
+        and large.uops_mite > 0.3 * large.total_uops
+        and large.uops_dsb > 0.05 * large.total_uops
+    )
+    return ValidationCheck(
+        "medium loops DSB; large loops split MITE+DSB",
+        ok,
+        f"medium={medium.dominant_path()}, large MITE share "
+        f"{large.uops_mite / large.total_uops:.1%}",
+    )
+
+
+def _check_overflow_by_one() -> ValidationCheck:
+    machine = _machine()
+    layout = machine.layout()
+    fits = machine.run_loop(LoopProgram(layout.chain(3, 8), 200))
+    machine.reset()
+    thrash = machine.run_loop(LoopProgram(layout.chain(3, 9), 200))
+    ok = fits.dsb_evictions == 0 and thrash.dsb_evictions > 100
+    return ValidationCheck(
+        "N blocks fit, N+1 same-set blocks thrash",
+        ok,
+        f"evictions: 8 blocks={fits.dsb_evictions}, 9 blocks={thrash.dsb_evictions}",
+    )
+
+
+def _check_misalignment_rule() -> ValidationCheck:
+    machine = _machine()
+    layout = machine.layout()
+    collide = machine.run_loop(
+        LoopProgram(layout.mixed_chain(3, 5, 3), 200)
+    )
+    machine.reset()
+    stream = machine.run_loop(LoopProgram(layout.chain(3, 8), 200))
+    ok = collide.uops_lsd == 0 and stream.uops_lsd > 0
+    return ValidationCheck(
+        "{5 aligned + 3 misaligned} defeats the LSD; 8 aligned does not",
+        ok,
+        f"LSD uops: collide={collide.uops_lsd}, aligned={stream.uops_lsd}",
+    )
+
+
+def _check_l1i_stealth() -> ValidationCheck:
+    machine = _machine()
+    program = LoopProgram(machine.layout().chain(3, 9), 50)
+    machine.run_loop(program, exact=True)
+    before = machine.core.l1i.stats.misses
+    machine.run_loop(program, exact=True)
+    after = machine.core.l1i.stats.misses
+    return ValidationCheck(
+        "DSB-set thrash causes no steady-state L1I misses",
+        after == before,
+        f"misses {before} -> {after}",
+    )
+
+
+def _check_latency_order() -> ValidationCheck:
+    def per_uop(spec, blocks, lsd):
+        machine = Machine(spec, seed=17)
+        if not lsd:
+            machine.core.set_lsd_enabled(False)
+        report = machine.run_loop(
+            LoopProgram(machine.layout().chain(3, blocks), 300)
+        )
+        return report.cycles / report.total_uops
+
+    lsd = per_uop(GOLD_6226, 8, lsd=True)
+    dsb = per_uop(GOLD_6226, 8, lsd=False)
+    mite = per_uop(GOLD_6226, 9, lsd=True)
+    ok = dsb < lsd < mite
+    return ValidationCheck(
+        "latency per uop: DSB < LSD < MITE+DSB",
+        ok,
+        f"dsb={dsb:.3f}, lsd={lsd:.3f}, mite={mite:.3f}",
+    )
+
+
+def _check_energy_order() -> ValidationCheck:
+    def per_uop(blocks, lsd):
+        machine = Machine(GOLD_6226, seed=17)
+        if not lsd:
+            machine.core.set_lsd_enabled(False)
+        report = machine.run_loop(
+            LoopProgram(machine.layout().chain(3, blocks), 300)
+        )
+        return report.energy_nj / report.total_uops
+
+    lsd = per_uop(8, lsd=True)
+    dsb = per_uop(8, lsd=False)
+    mite = per_uop(9, lsd=True)
+    ok = lsd < dsb < mite
+    return ValidationCheck(
+        "core energy per uop: LSD < DSB < MITE+DSB",
+        ok,
+        f"lsd={lsd:.2f}, dsb={dsb:.2f}, mite={mite:.2f}",
+    )
+
+
+def _check_smt_fold() -> ValidationCheck:
+    machine = _machine()
+    layout = machine.layout()
+    fixed = LoopProgram(layout.chain(1, 8), 2000)
+    conflict = machine.run_smt(
+        LoopProgram(layout.chain(17, 8, first_slot=100), 2000), fixed
+    ).primary.uops_mite
+    machine.reset()
+    quiet = machine.run_smt(
+        LoopProgram(layout.chain(5, 8, first_slot=100), 2000),
+        LoopProgram(layout.chain(1, 8), 2000),
+    ).primary.uops_mite
+    ok = conflict > 10 * max(quiet, 1)
+    return ValidationCheck(
+        "SMT fold: sets 16 apart collide across threads",
+        ok,
+        f"MITE uops: set17={conflict}, set5={quiet}",
+    )
+
+
+def _check_lcp_switches() -> ValidationCheck:
+    machine = _machine()
+    mixed = machine.run_loop(LoopProgram([lcp_block(0x400000, 16, mixed=True)], 500))
+    machine.reset()
+    ordered = machine.run_loop(
+        LoopProgram([lcp_block(0x400000, 16, mixed=False)], 500)
+    )
+    ok = (
+        mixed.total_uops == ordered.total_uops
+        and mixed.switches_to_mite > 5 * ordered.switches_to_mite
+        and mixed.ipc < ordered.ipc
+    )
+    return ValidationCheck(
+        "LCP mixed issue pays more switches at equal uops",
+        ok,
+        f"switches mixed={mixed.switches_to_mite}, ordered={ordered.switches_to_mite}",
+    )
+
+
+def _check_fingerprint() -> ValidationCheck:
+    from repro.fingerprint import PATCH1, PATCH2, LsdFingerprint, apply_patch
+
+    machine = _machine()
+    fingerprint = LsdFingerprint()
+    apply_patch(machine, PATCH1)
+    on = fingerprint.detect(machine)
+    apply_patch(machine, PATCH2)
+    off = fingerprint.detect(machine)
+    ok = on.lsd_enabled and not off.lsd_enabled
+    return ValidationCheck(
+        "fingerprint separates patch1 from patch2",
+        ok,
+        f"timing ratios: on={on.reading.timing_ratio:.3f}, "
+        f"off={off.reading.timing_ratio:.3f}",
+    )
+
+
+#: All checks, in paper-section order.
+ALL_CHECKS: tuple[Callable[[], ValidationCheck], ...] = (
+    _check_lsd_small_loops,
+    _check_path_split,
+    _check_overflow_by_one,
+    _check_misalignment_rule,
+    _check_l1i_stealth,
+    _check_latency_order,
+    _check_energy_order,
+    _check_smt_fold,
+    _check_lcp_switches,
+    _check_fingerprint,
+)
+
+
+def run_validation(verbose: bool = True) -> list[ValidationCheck]:
+    """Run every check; optionally print the checklist."""
+    results = [check() for check in ALL_CHECKS]
+    if verbose:
+        for result in results:
+            status = "PASS" if result.passed else "FAIL"
+            print(f"[{status}] {result.name}  ({result.detail})")
+        passed = sum(r.passed for r in results)
+        print(f"\n{passed}/{len(results)} model invariants hold")
+    return results

@@ -1,0 +1,49 @@
+"""Shared fixtures: machines with and without noise, common layouts."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, settings
+
+# Property tests must be as reproducible as the simulator itself: fixed
+# example generation, no deadline flakiness on slow CI machines.
+settings.register_profile(
+    "repro",
+    derandomize=True,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")
+
+from repro.machine.machine import Machine
+from repro.machine.specs import GOLD_6226, XEON_E2174G, XEON_E2288G
+from repro.measure.noise import QUIET_PROFILE
+
+
+@pytest.fixture
+def gold() -> Machine:
+    """Gold 6226 (LSD enabled, SMT) with default noise."""
+    return Machine(GOLD_6226, seed=1234)
+
+
+@pytest.fixture
+def gold_quiet() -> Machine:
+    """Gold 6226 with all measurement noise disabled."""
+    return Machine(
+        GOLD_6226,
+        seed=1234,
+        timing_noise=QUIET_PROFILE,
+        smt_timing_noise=QUIET_PROFILE,
+    )
+
+
+@pytest.fixture
+def coffeelake() -> Machine:
+    """Xeon E-2174G (LSD disabled, SMT, SGX)."""
+    return Machine(XEON_E2174G, seed=1234)
+
+
+@pytest.fixture
+def azure() -> Machine:
+    """Xeon E-2288G (LSD enabled, no SMT, SGX)."""
+    return Machine(XEON_E2288G, seed=1234)

@@ -1,0 +1,88 @@
+"""Tests for the textual assembler."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import LayoutError
+from repro.isa.assembler import SUPPORTED_MNEMONICS, assemble
+
+
+class TestAssemble:
+    def test_standard_mix_block_equivalent(self):
+        block = assemble(
+            """
+            mov r0, 1
+            mov r1, 2
+            mov r2, 3
+            mov r3, 4
+            jmp next
+            """,
+            base=0x400000,
+        )
+        assert block.size == 25
+        assert block.uop_count == 5
+        assert block.fits_one_dsb_line()
+
+    def test_semicolon_separated(self):
+        block = assemble("mov r0, 1; add r0, r1; jmp out", base=0)
+        assert len(block.instructions) == 3
+
+    def test_comments_ignored(self):
+        block = assemble(
+            "mov r0, 1  # load constant\nadd r0, r1 ; this is a comment\njmp x",
+            base=0,
+        )
+        assert len(block.instructions) == 3
+
+    def test_semicolon_statement_vs_comment(self):
+        # ';' followed by a mnemonic is a separator, otherwise a comment.
+        block = assemble("mov r0, 1; nop ; trailing words", base=0)
+        assert len(block.instructions) == 2
+
+    def test_lcp_mnemonic(self):
+        block = assemble("add16 r2, r3", base=0)
+        assert block.instructions[0].has_lcp
+        assert block.lcp_count == 1
+
+    def test_memory_mnemonics(self):
+        block = assemble("load r0\nstore r1", base=0)
+        assert block.instructions[0].touches_memory
+        assert block.instructions[1].uop_count == 2
+
+    def test_register_wraps_mod4(self):
+        block = assemble("mov r7, 1", base=0)
+        assert "r3" in block.instructions[0].mnemonic
+
+    def test_case_insensitive(self):
+        block = assemble("MOV r0, 1\nJMP x", base=0)
+        assert len(block.instructions) == 2
+
+    def test_unknown_mnemonic(self):
+        with pytest.raises(LayoutError):
+            assemble("vphaddd r0, r1", base=0)
+
+    def test_empty_listing(self):
+        with pytest.raises(LayoutError):
+            assemble("  \n # only comments\n", base=0)
+
+    def test_label_and_base(self):
+        block = assemble("nop", base=0x1230 * 32, label="probe")
+        assert block.base == 0x1230 * 32
+        assert block.label == "probe"
+
+    def test_all_supported_mnemonics_assemble(self):
+        for mnemonic in SUPPORTED_MNEMONICS:
+            block = assemble(f"{mnemonic} r0, r1", base=0)
+            assert block.uop_count >= 1
+
+    def test_runs_on_the_engine(self):
+        """Assembled blocks plug straight into the frontend engine."""
+        from repro.frontend.engine import FrontendEngine
+        from repro.isa.program import LoopProgram
+
+        block = assemble(
+            "mov r0, 1\nmov r1, 2\nmov r2, 3\nmov r3, 4\njmp top", base=0x400000
+        )
+        report = FrontendEngine().run_loop(LoopProgram([block], 100))
+        assert report.total_uops == 500

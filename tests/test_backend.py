@@ -1,0 +1,75 @@
+"""Tests for the backend port model and frontend-boundedness analysis."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.backend.analysis import backend_bound_cycles, is_frontend_bound, iteration_uops
+from repro.backend.ports import PortModel
+from repro.isa.blocks import standard_mix_block
+from repro.isa.instructions import load, store, mov_imm32, jmp_rel32
+from repro.isa.layout import BlockChainLayout
+from repro.isa.program import LoopProgram
+from repro.isa.uops import Uop, UopKind
+
+
+class TestPortModel:
+    def test_empty(self):
+        pressure = PortModel().pressure([])
+        assert pressure.cycles == 0.0
+
+    def test_single_alu_uop(self):
+        pressure = PortModel().pressure([Uop(UopKind.ALU)])
+        assert pressure.cycles == pytest.approx(0.25)  # 1 uop over 4 ports
+
+    def test_branch_port_limit(self):
+        # 4 branches over 2 ports (0, 6) => 2 cycles minimum.
+        pressure = PortModel().pressure([Uop(UopKind.BRANCH)] * 4)
+        assert pressure.cycles == pytest.approx(2.0)
+
+    def test_store_data_single_port(self):
+        pressure = PortModel().pressure([Uop(UopKind.STORE_DATA)] * 3)
+        assert pressure.cycles == pytest.approx(3.0)
+
+    def test_nops_free(self):
+        pressure = PortModel().pressure([Uop(UopKind.NOP)] * 100)
+        assert pressure.cycles == 0.0
+
+    def test_mixed_subset_bound(self):
+        # 2 branches (ports 0,6) + 6 ALU (ports 0,1,5,6): the union bound
+        # (8 uops over 4 ports) dominates: 2 cycles.
+        uops = [Uop(UopKind.BRANCH)] * 2 + [Uop(UopKind.ALU)] * 6
+        assert PortModel().pressure(uops).cycles == pytest.approx(2.0)
+
+    def test_load_preserved(self):
+        pressure = PortModel().pressure([Uop(UopKind.LOAD)] * 4)
+        assert pressure.cycles == pytest.approx(2.0)  # 2 load ports
+
+
+class TestFrontendBoundedness:
+    def test_standard_mix_block_is_frontend_bound(self):
+        """Section III-A4: the 4-mov+1-jmp block avoids port contention."""
+        program = LoopProgram(BlockChainLayout().chain(3, 8), 10)
+        assert is_frontend_bound(program)
+
+    def test_memory_heavy_loop_not_frontend_bound(self):
+        from repro.isa.blocks import MixBlock
+
+        block = MixBlock(0x400000, tuple([load(), store(), load(), jmp_rel32()]))
+        assert not is_frontend_bound(LoopProgram([block], 10))
+
+    def test_branch_heavy_loop_not_frontend_bound(self):
+        from repro.isa.blocks import MixBlock
+
+        # 4 jmps + 1 mov: branches saturate ports 0/6 over the retire cap.
+        block = MixBlock(0x400000, tuple([jmp_rel32()] * 4 + [mov_imm32()]))
+        assert not is_frontend_bound(LoopProgram([block], 10))
+
+    def test_backend_bound_cycles_retire_cap(self):
+        program = LoopProgram(BlockChainLayout().chain(3, 8), 10)
+        # 40 uops / 4 per cycle = 10 cycles.
+        assert backend_bound_cycles(program) == pytest.approx(10.0)
+
+    def test_iteration_uops_flattening(self):
+        program = LoopProgram(BlockChainLayout().chain(3, 2), 10)
+        assert len(iteration_uops(program)) == 10

@@ -1,0 +1,124 @@
+"""Tests for the cache models and memory hierarchy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.caches.hierarchy import MemoryHierarchy
+from repro.caches.presets import l1d_cache, l1i_cache
+from repro.caches.sa_cache import SetAssociativeCache
+from repro.errors import ConfigurationError
+
+
+class TestSetAssociativeCache:
+    def setup_method(self):
+        self.cache = SetAssociativeCache(sets=4, ways=2, line_bytes=64)
+
+    def test_miss_then_hit(self):
+        assert not self.cache.access(0x1000)
+        assert self.cache.access(0x1000)
+        assert self.cache.access(0x1004)  # same line
+
+    def test_set_mapping(self):
+        assert self.cache.set_index(0x0) == 0
+        assert self.cache.set_index(0x40) == 1
+        assert self.cache.set_index(0x100) == 0  # wraps at 4 sets
+
+    def test_lru_eviction(self):
+        self.cache.access(0x000)  # set 0
+        self.cache.access(0x100)  # set 0
+        self.cache.access(0x000)  # refresh first
+        self.cache.access(0x200)  # set 0: evicts 0x100 (LRU)
+        assert self.cache.probe(0x000)
+        assert not self.cache.probe(0x100)
+
+    def test_flush_line(self):
+        self.cache.access(0x1000)
+        assert self.cache.flush_line(0x1000)
+        assert not self.cache.probe(0x1000)
+        assert not self.cache.flush_line(0x1000)
+
+    def test_flush_all(self):
+        self.cache.access(0x1000)
+        self.cache.flush_all()
+        assert self.cache.occupancy(self.cache.set_index(0x1000)) == 0
+
+    def test_probe_no_side_effects(self):
+        self.cache.access(0x000)
+        self.cache.access(0x100)
+        self.cache.probe(0x000)  # must not refresh LRU
+        self.cache.access(0x200)
+        assert not self.cache.probe(0x000)
+
+    def test_lru_stack_order(self):
+        self.cache.access(0x000)
+        self.cache.access(0x100)
+        assert self.cache.lru_stack(0) == [0x000, 0x100]
+        self.cache.access(0x000)
+        assert self.cache.lru_stack(0) == [0x100, 0x000]
+
+    def test_stats(self):
+        self.cache.access(0x0)
+        self.cache.access(0x0)
+        assert self.cache.stats.hits == 1
+        assert self.cache.stats.misses == 1
+        assert self.cache.stats.miss_rate == pytest.approx(0.5)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            SetAssociativeCache(sets=3, ways=2, line_bytes=64)
+        with pytest.raises(ConfigurationError):
+            SetAssociativeCache(sets=4, ways=0, line_bytes=64)
+        with pytest.raises(ConfigurationError):
+            SetAssociativeCache(sets=4, ways=2, line_bytes=60)
+
+
+class TestPresets:
+    def test_l1_geometry_matches_table1(self):
+        """Table I: 32KB, 8-way, 64-byte lines, 64 sets."""
+        for cache in (l1i_cache(), l1d_cache()):
+            assert cache.sets == 64
+            assert cache.ways == 8
+            assert cache.line_bytes == 64
+            assert cache.size_bytes == 32 * 1024
+
+
+class TestMemoryHierarchy:
+    def setup_method(self):
+        self.mem = MemoryHierarchy()
+
+    def test_first_access_dram(self):
+        result = self.mem.load(0x1000)
+        assert result.level == "DRAM"
+        assert not result.l1_hit
+
+    def test_second_access_l1(self):
+        self.mem.load(0x1000)
+        assert self.mem.load(0x1000).level == "L1"
+
+    def test_latency_ordering(self):
+        lat = self.mem.latencies
+        assert lat.l1 < lat.l2 < lat.llc < lat.dram
+
+    def test_l1_eviction_falls_to_l2(self):
+        # Fill one L1 set (8 ways) plus one more line: same L1 set needs
+        # a 4096-byte stride (64 sets x 64B).
+        for way in range(9):
+            self.mem.load(0x1000 + way * 4096)
+        result = self.mem.load(0x1000)
+        assert result.level == "L2"
+
+    def test_flush_line_reaches_all_levels(self):
+        self.mem.load(0x1000)
+        self.mem.flush_line(0x1000)
+        assert self.mem.load(0x1000).level == "DRAM"
+
+    def test_probe_latency_matches_load_level(self):
+        self.mem.load(0x1000)
+        assert self.mem.probe_latency(0x1000) == self.mem.latencies.l1
+        assert self.mem.probe_latency(0x9999000) == self.mem.latencies.dram
+
+    def test_l1_miss_rate(self):
+        self.mem.load(0x1000)
+        self.mem.load(0x1000)
+        assert self.mem.l1_miss_rate == pytest.approx(0.5)

@@ -1,0 +1,86 @@
+"""Tests for channel-capacity estimation."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis.capacity import (
+    ChannelCapacity,
+    binary_entropy,
+    bsc_capacity,
+    information_rate,
+)
+from repro.errors import ChannelError
+
+
+class TestBinaryEntropy:
+    def test_extremes(self):
+        assert binary_entropy(0.0) == 0.0
+        assert binary_entropy(1.0) == 0.0
+
+    def test_maximum_at_half(self):
+        assert binary_entropy(0.5) == pytest.approx(1.0)
+
+    def test_known_value(self):
+        assert binary_entropy(0.11) == pytest.approx(0.4999, abs=1e-3)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ChannelError):
+            binary_entropy(1.5)
+
+    @given(st.floats(min_value=0.0, max_value=1.0))
+    def test_symmetry(self, p):
+        assert binary_entropy(p) == pytest.approx(binary_entropy(1.0 - p), abs=1e-12)
+
+    @given(st.floats(min_value=0.0, max_value=1.0))
+    def test_bounded(self, p):
+        assert 0.0 <= binary_entropy(p) <= 1.0
+
+
+class TestBscCapacity:
+    def test_perfect_channel(self):
+        assert bsc_capacity(0.0) == 1.0
+
+    def test_useless_channel(self):
+        assert bsc_capacity(0.5) == pytest.approx(0.0)
+
+    def test_inverted_channel_symmetric(self):
+        assert bsc_capacity(0.9) == pytest.approx(bsc_capacity(0.1))
+
+    @given(st.floats(min_value=0.0, max_value=0.5))
+    def test_monotone_decreasing_to_half(self, p):
+        assert bsc_capacity(p) >= bsc_capacity(min(p + 0.05, 0.5)) - 1e-12
+
+
+class TestInformationRate:
+    def test_perfect(self):
+        assert information_rate(100.0, 0.0) == 100.0
+
+    def test_noisy(self):
+        # 11% crossover halves the information content.
+        assert information_rate(100.0, 0.11) == pytest.approx(50.0, abs=0.1)
+
+    def test_error_above_half_clamped(self):
+        assert information_rate(100.0, 0.9) == pytest.approx(0.0, abs=1e-9)
+
+    def test_rejects_negative_rate(self):
+        with pytest.raises(ChannelError):
+            information_rate(-1.0, 0.1)
+
+
+class TestChannelCapacity:
+    def test_from_result(self):
+        from repro.analysis.bits import alternating_bits
+        from repro.channels.eviction import NonMtEvictionChannel
+        from repro.machine.machine import Machine
+        from repro.machine.specs import GOLD_6226
+
+        machine = Machine(GOLD_6226, seed=55)
+        channel = NonMtEvictionChannel(machine, variant="fast")
+        result = channel.transmit(alternating_bits(32))
+        capacity = ChannelCapacity.from_result(result)
+        assert capacity.raw_kbps == result.kbps
+        assert 0.0 <= capacity.capacity_per_use <= 1.0
+        assert capacity.information_kbps <= capacity.raw_kbps

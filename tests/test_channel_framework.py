@@ -1,0 +1,162 @@
+"""Tests for the shared covert-channel framework (base protocol)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.bits import alternating_bits
+from repro.channels.base import BitSample, ChannelConfig, CovertChannel
+from repro.errors import ChannelError
+from repro.machine.machine import Machine
+from repro.machine.specs import GOLD_6226, XEON_E2288G
+
+
+class FakeChannel(CovertChannel):
+    """Deterministic channel: 1 measures 200, 0 measures 100."""
+
+    name = "fake"
+
+    def __init__(self, machine, config=None, noise=0.0, invert=False):
+        super().__init__(machine, config)
+        self.noise = noise
+        self.invert = invert
+        self.sent_log: list[int] = []
+
+    def send_bit(self, m: int) -> BitSample:
+        m = self._validate_bit(m)
+        self.sent_log.append(m)
+        high = 100.0 if self.invert else 200.0
+        low = 200.0 if self.invert else 100.0
+        value = high if m else low
+        value += self.noise * (len(self.sent_log) % 3 - 1)
+        return BitSample(measurement=value, elapsed_cycles=1000.0, sent=m)
+
+
+class TestChannelConfig:
+    def test_defaults(self):
+        config = ChannelConfig()
+        assert config.d == 6 and config.M == 8 and config.r == 16
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"d": 0},
+            {"M": 0},
+            {"p": 0},
+            {"q": 0},
+            {"r": 0},
+            {"target_set": -1},
+            {"target_set": 5, "decoy_set": 5},
+            {"disturb_rate": 1.5},
+            {"sync_fail_rate": -0.1},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ChannelError):
+            ChannelConfig(**kwargs)
+
+    def test_with_overrides(self):
+        config = ChannelConfig().with_overrides(d=3, p=50)
+        assert config.d == 3 and config.p == 50
+        assert config.M == 8  # untouched
+
+
+class TestCalibration:
+    def test_calibrate_then_decode(self):
+        channel = FakeChannel(Machine(GOLD_6226, seed=1))
+        decoder = channel.calibrate(8)
+        assert decoder.decide(190.0) == 1
+        assert decoder.decide(110.0) == 0
+
+    def test_inverted_channel_polarity_learned(self):
+        channel = FakeChannel(Machine(GOLD_6226, seed=1), invert=True)
+        decoder = channel.calibrate(8)
+        assert not decoder.one_is_high
+        assert decoder.decide(110.0) == 1
+
+    def test_warmup_bits_discarded(self):
+        channel = FakeChannel(Machine(GOLD_6226, seed=1))
+        channel.calibrate(8, warmup_bits=4)
+        assert len(channel.sent_log) == 12  # 4 warmup + 8 training
+
+    def test_too_few_training_bits(self):
+        channel = FakeChannel(Machine(GOLD_6226, seed=1))
+        with pytest.raises(ChannelError):
+            channel.calibrate(3)
+
+    def test_decoder_before_calibration_raises(self):
+        channel = FakeChannel(Machine(GOLD_6226, seed=1))
+        with pytest.raises(ChannelError):
+            _ = channel.decoder
+
+
+class TestTransmit:
+    def test_roundtrip(self):
+        channel = FakeChannel(Machine(GOLD_6226, seed=1))
+        result = channel.transmit([1, 0, 0, 1])
+        assert result.received_bits == [1, 0, 0, 1]
+        assert result.error_rate == 0.0
+        assert result.total_cycles == 4000.0
+
+    def test_rejects_bad_payload(self):
+        channel = FakeChannel(Machine(GOLD_6226, seed=1))
+        with pytest.raises(ChannelError):
+            channel.transmit([])
+        with pytest.raises(ChannelError):
+            channel.transmit([0, 1, 2])
+
+    def test_calibration_not_charged_to_rate(self):
+        channel = FakeChannel(Machine(GOLD_6226, seed=1))
+        result = channel.transmit([1, 0])
+        assert result.total_cycles == 2000.0  # message bits only
+
+    def test_reuse_decoder_without_recalibrating(self):
+        channel = FakeChannel(Machine(GOLD_6226, seed=1))
+        channel.calibrate(8)
+        sent_before = len(channel.sent_log)
+        channel.transmit([1, 0], calibrate=False)
+        assert len(channel.sent_log) == sent_before + 2
+
+    def test_result_strings(self):
+        channel = FakeChannel(Machine(GOLD_6226, seed=1))
+        result = channel.transmit([1, 0, 1])
+        assert result.sent_string == "101"
+        assert result.received_string == "101"
+
+
+class TestSmtAndRaplGuards:
+    def test_requires_smt_guard(self):
+        class SmtChannel(FakeChannel):
+            requires_smt = True
+
+        with pytest.raises(ChannelError):
+            SmtChannel(Machine(XEON_E2288G, seed=1))
+
+    def test_requires_rapl_guard(self):
+        import dataclasses
+
+        class RaplChannel(FakeChannel):
+            requires_rapl = True
+
+        spec = dataclasses.replace(GOLD_6226, rapl=False, name="no-rapl")
+        with pytest.raises(ChannelError):
+            RaplChannel(Machine(spec, seed=1))
+
+
+class TestSlotting:
+    def test_slot_grows_monotonically(self):
+        channel = FakeChannel(Machine(GOLD_6226, seed=1))
+        assert channel._slotted(100.0) == 100.0
+        assert channel._slotted(50.0) == 100.0  # stretched to the slot
+        assert channel._slotted(200.0) == 200.0  # slot grows
+
+    def test_slip_rate_transition_model(self):
+        channel = FakeChannel(
+            Machine(GOLD_6226, seed=1), ChannelConfig(sync_fail_rate=0.4)
+        )
+        first = channel._slip_rate(1)  # no history: treated as an edge
+        steady = channel._slip_rate(1)  # run of 1s
+        edge = channel._slip_rate(0)  # transition
+        assert first == pytest.approx(0.4)
+        assert steady == pytest.approx(0.4 * 0.15)
+        assert edge == pytest.approx(0.4)

@@ -1,0 +1,156 @@
+"""Tests for the eviction-based covert channels."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.bits import alternating_bits
+from repro.channels.base import ChannelConfig
+from repro.channels.eviction import MtEvictionChannel, NonMtEvictionChannel
+from repro.errors import ChannelError
+from repro.machine.machine import Machine
+from repro.machine.specs import GOLD_6226, XEON_E2174G, XEON_E2288G
+from repro.measure.noise import QUIET_PROFILE
+
+
+def quiet_machine(spec=GOLD_6226, seed=10) -> Machine:
+    return Machine(spec, seed=seed, timing_noise=QUIET_PROFILE,
+                   smt_timing_noise=QUIET_PROFILE)
+
+
+def quiet_config(**kwargs) -> ChannelConfig:
+    base = dict(disturb_rate=0.0, sync_fail_rate=0.0)
+    base.update(kwargs)
+    return ChannelConfig(**base)
+
+
+class TestNonMtEviction:
+    def test_bit_timing_separation(self):
+        """m=1 (overflow the set) must measure slower than m=0."""
+        channel = NonMtEvictionChannel(quiet_machine(), quiet_config(), variant="fast")
+        for _ in range(2):  # warm up
+            channel.send_bit(0)
+            channel.send_bit(1)
+        zero = channel.send_bit(0).measurement
+        one = channel.send_bit(1).measurement
+        assert one > zero * 1.5
+
+    def test_stealthy_margin_smaller_than_fast_without_lsd(self):
+        """Encoding a 0 with decoy work narrows the margin.
+
+        Asserted on an LSD-disabled machine where both variants' m=0
+        paths are DSB-delivered; on LSD machines the fast variant's m=0
+        body streams from the (slower-per-window) LSD, which offsets the
+        decoy work and can invert the comparison.
+        """
+        fast = NonMtEvictionChannel(
+            quiet_machine(XEON_E2174G), quiet_config(), variant="fast"
+        )
+        stealthy = NonMtEvictionChannel(
+            quiet_machine(XEON_E2174G), quiet_config(), variant="stealthy"
+        )
+        fast.calibrate()
+        stealthy.calibrate()
+        assert stealthy.decoder.margin < fast.decoder.margin
+
+    def test_perfect_transmission_without_noise(self):
+        channel = NonMtEvictionChannel(quiet_machine(), quiet_config(), variant="fast")
+        result = channel.transmit(alternating_bits(32))
+        assert result.error_rate == 0.0
+        assert result.received_bits == result.sent_bits
+
+    def test_transmission_rate_positive(self):
+        channel = NonMtEvictionChannel(quiet_machine(), quiet_config())
+        result = channel.transmit([1, 0, 1, 1])
+        assert result.kbps > 0
+        assert result.total_cycles > 0
+
+    def test_works_on_lsd_disabled_machine(self):
+        channel = NonMtEvictionChannel(
+            quiet_machine(XEON_E2174G), quiet_config(), variant="fast"
+        )
+        result = channel.transmit(alternating_bits(16))
+        assert result.error_rate == 0.0
+
+    def test_works_without_smt(self):
+        """Non-MT attacks run fine on the hyperthreading-disabled Azure CPU."""
+        channel = NonMtEvictionChannel(quiet_machine(XEON_E2288G), quiet_config())
+        result = channel.transmit(alternating_bits(8))
+        assert result.error_rate == 0.0
+
+    def test_rejects_bad_variant(self):
+        with pytest.raises(ChannelError):
+            NonMtEvictionChannel(quiet_machine(), variant="sneaky")
+
+    def test_rejects_bad_d(self):
+        with pytest.raises(ChannelError):
+            NonMtEvictionChannel(quiet_machine(), quiet_config(d=9))
+
+    def test_rejects_bad_bit(self):
+        channel = NonMtEvictionChannel(quiet_machine(), quiet_config())
+        with pytest.raises(ChannelError):
+            channel.send_bit(2)
+
+    def test_bit_body_structure(self):
+        """Init(d) + Encode(N+1-d) + Decode(d), per Section IV-C."""
+        channel = NonMtEvictionChannel(quiet_machine(), quiet_config(d=6))
+        body1 = channel.bit_body(1)
+        assert len(body1) == 6 + 3 + 6
+        body0_fast = NonMtEvictionChannel(
+            quiet_machine(), quiet_config(d=6), variant="fast"
+        ).bit_body(0)
+        assert len(body0_fast) == 12
+
+
+class TestMtEviction:
+    def test_requires_smt(self):
+        with pytest.raises(ChannelError):
+            MtEvictionChannel(quiet_machine(XEON_E2288G))
+
+    def test_bit_separation(self):
+        channel = MtEvictionChannel(
+            quiet_machine(), quiet_config(p=500, q=50)
+        )
+        for _ in range(2):
+            channel.send_bit(0)
+            channel.send_bit(1)
+        zero = channel.send_bit(0).measurement
+        one = channel.send_bit(1).measurement
+        assert one > zero * 1.1
+
+    def test_transmission(self):
+        channel = MtEvictionChannel(quiet_machine(), quiet_config(p=500, q=50))
+        result = channel.transmit(alternating_bits(16))
+        assert result.error_rate == 0.0
+
+    def test_defaults_follow_paper(self):
+        channel = MtEvictionChannel(quiet_machine())
+        assert channel.config.p == 1000
+        assert channel.config.q == 100
+
+    def test_slot_durations_monotone(self):
+        """Fixed-duration slots: m=0 bits are charged the slot length."""
+        channel = MtEvictionChannel(quiet_machine(), quiet_config(p=200, q=20))
+        one = channel.send_bit(1)
+        zero = channel.send_bit(0)
+        assert zero.elapsed_cycles >= one.elapsed_cycles * 0.95
+
+    def test_d_range_validation(self):
+        with pytest.raises(ChannelError):
+            MtEvictionChannel(quiet_machine(), quiet_config(d=0))
+
+
+class TestNoiseAndErrors:
+    def test_noisy_transmission_has_bounded_errors(self):
+        machine = Machine(GOLD_6226, seed=77)
+        channel = NonMtEvictionChannel(machine, variant="fast")
+        result = channel.transmit(alternating_bits(64))
+        assert result.error_rate < 0.10
+
+    def test_sync_slips_create_mt_errors(self):
+        machine = Machine(GOLD_6226, seed=77)
+        channel = MtEvictionChannel(
+            machine, ChannelConfig(p=1000, q=100, sync_fail_rate=0.9)
+        )
+        result = channel.transmit(alternating_bits(32))
+        assert result.error_rate > 0.05  # heavy slipping must hurt

@@ -1,0 +1,68 @@
+"""Tests for the RAPL power covert channels (Section VI, Table V)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.bits import alternating_bits
+from repro.channels.base import ChannelConfig
+from repro.channels.power import (
+    POWER_ITERATIONS,
+    PowerEvictionChannel,
+    PowerMisalignmentChannel,
+)
+from repro.errors import ChannelError
+from repro.machine.machine import Machine
+from repro.machine.specs import GOLD_6226
+
+
+def machine(seed=41) -> Machine:
+    return Machine(GOLD_6226, seed=seed)
+
+
+class TestPowerChannels:
+    def test_default_iterations_follow_paper(self):
+        channel = PowerEvictionChannel(machine())
+        assert channel.config.p == POWER_ITERATIONS == 240_000
+
+    def test_eviction_bit_separation(self):
+        channel = PowerEvictionChannel(machine())
+        channel.send_bit(0)
+        channel.send_bit(1)
+        zero = channel.send_bit(0).measurement
+        one = channel.send_bit(1).measurement
+        assert one > zero  # m=1 burns more energy (MITE + longer)
+
+    def test_misalignment_bit_separation(self):
+        channel = PowerMisalignmentChannel(machine())
+        channel.send_bit(0)
+        channel.send_bit(1)
+        zero = channel.send_bit(0).measurement
+        one = channel.send_bit(1).measurement
+        assert one != pytest.approx(zero, rel=0.001)
+
+    def test_transmission_rate_sub_kbps(self):
+        """Power channels are RAPL-limited to well under the timing
+        channels' rates (paper: ~0.6 Kbps)."""
+        channel = PowerEvictionChannel(machine())
+        result = channel.transmit(alternating_bits(12), training_bits=6)
+        assert 0.05 < result.kbps < 5.0
+
+    def test_error_rate_reasonable(self):
+        channel = PowerMisalignmentChannel(machine())
+        result = channel.transmit(alternating_bits(24), training_bits=8)
+        assert result.error_rate < 0.35
+
+    def test_requires_rapl(self):
+        import dataclasses
+
+        no_rapl_spec = dataclasses.replace(GOLD_6226, rapl=False, name="no-rapl")
+        with pytest.raises(ChannelError):
+            PowerEvictionChannel(Machine(no_rapl_spec))
+
+    def test_variant_plumbing(self):
+        stealthy = PowerEvictionChannel(machine(), variant="stealthy")
+        assert stealthy.variant == "stealthy"
+        assert "stealthy" in stealthy.name
+        fast = PowerMisalignmentChannel(machine(), variant="fast")
+        assert fast.bit_body(0) == fast._probe_blocks + fast._probe_blocks

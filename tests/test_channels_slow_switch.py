@@ -1,0 +1,65 @@
+"""Tests for the slow-switch (LCP) channel."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.bits import alternating_bits
+from repro.channels.base import ChannelConfig
+from repro.channels.slow_switch import SlowSwitchChannel
+from repro.machine.machine import Machine
+from repro.machine.specs import GOLD_6226, XEON_E2288G
+from repro.measure.noise import QUIET_PROFILE
+
+
+def quiet_machine(spec=GOLD_6226) -> Machine:
+    return Machine(spec, seed=31, timing_noise=QUIET_PROFILE,
+                   smt_timing_noise=QUIET_PROFILE)
+
+
+def quiet_config(**kwargs) -> ChannelConfig:
+    base = dict(disturb_rate=0.0)
+    base.update(kwargs)
+    return ChannelConfig(**base)
+
+
+class TestSlowSwitchChannel:
+    def test_identical_uop_counts(self):
+        """Both encodings execute the same instructions (Section IV-E)."""
+        channel = SlowSwitchChannel(quiet_machine(), quiet_config())
+        assert channel._mixed.uop_count == channel._ordered.uop_count
+        assert channel._mixed.lcp_count == channel._ordered.lcp_count
+
+    def test_mixed_issue_slower(self):
+        """m=1 (mixed) pays far more DSB<->MITE switches than m=0."""
+        channel = SlowSwitchChannel(quiet_machine(), quiet_config())
+        for _ in range(2):
+            channel.send_bit(0)
+            channel.send_bit(1)
+        zero = channel.send_bit(0).measurement
+        one = channel.send_bit(1).measurement
+        assert one > zero * 1.2
+
+    def test_perfect_noiseless_transmission(self):
+        channel = SlowSwitchChannel(quiet_machine(), quiet_config())
+        result = channel.transmit(alternating_bits(32))
+        assert result.error_rate == 0.0
+
+    def test_r_parameter_scales_signal(self):
+        small = SlowSwitchChannel(quiet_machine(), quiet_config(r=4))
+        large = SlowSwitchChannel(quiet_machine(), quiet_config(r=16))
+        small.calibrate()
+        large.calibrate()
+        assert large.decoder.margin > small.decoder.margin * 2
+
+    def test_runs_on_azure_machine(self):
+        """Table IV evaluates slow-switch on G6226 and E-2288G."""
+        channel = SlowSwitchChannel(quiet_machine(XEON_E2288G), quiet_config())
+        result = channel.transmit(alternating_bits(16))
+        assert result.error_rate == 0.0
+        assert result.kbps > 0
+
+    def test_noisy_error_rate_bounded(self):
+        channel = SlowSwitchChannel(Machine(GOLD_6226, seed=8))
+        result = channel.transmit(alternating_bits(64))
+        assert result.error_rate < 0.10

@@ -1,0 +1,83 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_transmit_defaults(self):
+        args = build_parser().parse_args(["transmit"])
+        assert args.channel == "eviction"
+        assert args.variant == "stealthy"
+        assert args.seed == 0
+
+    def test_seed_after_subcommand(self):
+        args = build_parser().parse_args(["transmit", "--seed", "7"])
+        assert args.seed == 7
+
+    def test_rejects_unknown_channel(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["transmit", "--channel", "tlb"])
+
+
+class TestCommands:
+    def test_machines(self, capsys):
+        assert main(["machines"]) == 0
+        out = capsys.readouterr().out
+        assert "Gold 6226" in out
+        assert "E-2288G" in out
+
+    def test_transmit_message(self, capsys):
+        code = main(
+            ["transmit", "--channel", "misalignment", "--variant", "fast",
+             "--message", "0110", "--seed", "3"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "sent    : 0110" in out
+        assert "Kbps" in out
+
+    def test_transmit_random_bits(self, capsys):
+        assert main(["transmit", "--bits", "8", "--seed", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "error" in out
+
+    def test_probe(self, capsys):
+        assert main(["probe", "--samples", "20"]) == 0
+        out = capsys.readouterr().out
+        assert "LSD" in out and "MITE+DSB" in out
+
+    def test_fingerprint(self, capsys):
+        assert main(["fingerprint", "--patch", "patch1"]) == 0
+        out = capsys.readouterr().out
+        assert "LSD ENABLED" in out
+        assert "vulnerable to" in out
+
+    def test_spectre(self, capsys):
+        assert main(["spectre", "--secret", "abc", "--seed", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "recovered" in out
+        assert "L1 miss rate" in out
+
+    def test_sgx_non_mt(self, capsys):
+        assert main(["sgx", "--bits", "8", "--seed", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "sgx-non-mt" in out
+
+    def test_mt_channel_on_non_smt_machine_fails_cleanly(self, capsys):
+        code = main(
+            ["transmit", "--machine", "E-2288G", "--channel", "mt-eviction"]
+        )
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_unknown_machine_fails_cleanly(self, capsys):
+        assert main(["transmit", "--machine", "i9-9900K"]) == 1
+        assert "unknown machine" in capsys.readouterr().err

@@ -1,0 +1,148 @@
+"""Tests for the channel-coding extension."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.bits import random_bits
+from repro.analysis.threshold import ThresholdDecoder
+from repro.channels.base import ChannelConfig
+from repro.channels.coding import (
+    CodedChannel,
+    DifferentialCode,
+    ManchesterCode,
+    RepetitionCode,
+)
+from repro.channels.eviction import MtEvictionChannel, NonMtEvictionChannel
+from repro.errors import ChannelError
+from repro.machine.machine import Machine
+from repro.machine.specs import GOLD_6226
+from repro.measure.noise import NONMT_PROFILE
+
+
+DECODER = ThresholdDecoder(
+    threshold=100.0, one_is_high=True, mean_zero=50.0, mean_one=150.0
+)
+
+
+class TestRepetitionCode:
+    def test_encode(self):
+        assert RepetitionCode(3).encode([1, 0]) == [1, 1, 1, 0, 0, 0]
+
+    def test_decode_majority(self):
+        code = RepetitionCode(3)
+        # 150,150,50 -> votes 1,1,0 -> 1;  50,150,50 -> 0.
+        assert code.decode([150, 150, 50, 50, 150, 50], DECODER) == [1, 0]
+
+    def test_rejects_even_factor(self):
+        with pytest.raises(ChannelError):
+            RepetitionCode(2)
+
+    def test_rejects_partial_group(self):
+        with pytest.raises(ChannelError):
+            RepetitionCode(3).decode([150.0, 150.0], DECODER)
+
+    def test_symbols_per_bit(self):
+        assert RepetitionCode(5).symbols_per_bit() == 5.0
+
+
+class TestManchesterCode:
+    def test_encode(self):
+        assert ManchesterCode().encode([1, 0]) == [1, 0, 0, 1]
+
+    def test_decode_by_difference(self):
+        code = ManchesterCode()
+        # (150, 50): first > second -> 1;  (50, 150) -> 0.
+        assert code.decode([150, 50, 50, 150], DECODER) == [1, 0]
+
+    def test_drift_immunity(self):
+        """A constant offset on both halves cannot flip a bit."""
+        code = ManchesterCode()
+        drifted = [150 + 500, 50 + 500, 50 + 500, 150 + 500]
+        assert code.decode(drifted, DECODER) == [1, 0]
+
+    def test_rejects_odd_count(self):
+        with pytest.raises(ChannelError):
+            ManchesterCode().decode([150.0], DECODER)
+
+    def test_inverted_polarity(self):
+        low_decoder = ThresholdDecoder(
+            threshold=100.0, one_is_high=False, mean_zero=150.0, mean_one=50.0
+        )
+        # With one_is_low channels, a 1 pair measures (low, high).
+        assert ManchesterCode().decode([50, 150], low_decoder) == [1]
+
+
+class TestDifferentialCode:
+    def test_encode_transitions(self):
+        assert DifferentialCode().encode([1, 0, 1, 1]) == [1, 1, 0, 1]
+
+    def test_roundtrip(self):
+        code = DifferentialCode()
+        bits = [1, 0, 0, 1, 1, 1, 0]
+        symbols = code.encode(bits)
+        measurements = [150.0 if s else 50.0 for s in symbols]
+        assert code.decode(measurements, DECODER) == bits
+
+    def test_single_symbol_error_corrupts_at_most_two_bits(self):
+        code = DifferentialCode()
+        bits = [0, 0, 0, 0, 0, 0]
+        symbols = code.encode(bits)
+        measurements = [150.0 if s else 50.0 for s in symbols]
+        measurements[2] = 150.0  # one flipped symbol
+        decoded = code.decode(measurements, DECODER)
+        assert sum(a != b for a, b in zip(decoded, bits)) <= 2
+
+
+class TestCodedChannel:
+    def test_repetition_reduces_mt_errors(self):
+        """The headline use: repetition coding cleans up a noisy MT
+        channel at a proportional rate cost.  Evaluated on a heavily
+        slipping configuration and aggregated over seeds so the
+        comparison is statistical, not anecdotal."""
+        noisy = ChannelConfig(p=1000, q=100, sync_fail_rate=0.7)
+
+        def run(seed, code=None):
+            machine = Machine(GOLD_6226, seed=seed)
+            channel = MtEvictionChannel(machine, noisy)
+            bits = random_bits(48, machine.rngs.stream("payload"))
+            if code is None:
+                result = channel.transmit(bits)
+            else:
+                result = CodedChannel(channel, code).transmit(bits)
+            return result.error_rate, result.kbps
+
+        raw = [run(seed) for seed in (11, 22, 33)]
+        coded = [run(seed, RepetitionCode(5)) for seed in (11, 22, 33)]
+        raw_err = sum(e for e, _ in raw) / len(raw)
+        coded_err = sum(e for e, _ in coded) / len(coded)
+        assert coded_err < raw_err
+        assert coded[0][1] < raw[0][1]  # rate is the price
+
+    def test_manchester_roundtrip_over_real_channel(self):
+        machine = Machine(GOLD_6226, seed=321)
+        channel = NonMtEvictionChannel(
+            machine, ChannelConfig(disturb_rate=0.0), variant="fast"
+        )
+        bits = random_bits(24, machine.rngs.stream("payload"))
+        result = CodedChannel(channel, ManchesterCode()).transmit(bits)
+        assert result.decoded_bits == bits
+        assert result.code_name == "manchester"
+
+    def test_differential_over_real_channel(self):
+        machine = Machine(GOLD_6226, seed=321)
+        channel = NonMtEvictionChannel(
+            machine, ChannelConfig(disturb_rate=0.0), variant="fast"
+        )
+        bits = [1, 1, 1, 1, 0, 0, 0, 1]
+        result = CodedChannel(channel, DifferentialCode()).transmit(bits)
+        assert result.decoded_bits == bits
+
+    def test_payload_validation(self):
+        machine = Machine(GOLD_6226, seed=321)
+        channel = NonMtEvictionChannel(machine, variant="fast")
+        coded = CodedChannel(channel, RepetitionCode(3))
+        with pytest.raises(ChannelError):
+            coded.transmit([])
+        with pytest.raises(ChannelError):
+            coded.transmit([0, 2])

@@ -1,0 +1,113 @@
+"""Tests for experiment-config serialisation and model self-validation."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.channels.base import ChannelConfig
+from repro.configio import ExperimentConfig
+from repro.errors import ConfigurationError
+from repro.frontend.params import FrontendParams
+from repro.machine.specs import GOLD_6226, XEON_E2174G
+from repro.validate import ALL_CHECKS, run_validation
+
+
+class TestExperimentConfig:
+    def test_roundtrip_via_dict(self):
+        config = ExperimentConfig(
+            spec=XEON_E2174G,
+            seed=99,
+            params=FrontendParams(dsb_window_overhead=0.2),
+            channel=ChannelConfig(d=4, p=20),
+        )
+        restored = ExperimentConfig.from_dict(config.to_dict())
+        assert restored == config
+
+    def test_roundtrip_via_file(self, tmp_path):
+        config = ExperimentConfig(spec=GOLD_6226, seed=7)
+        path = config.save(tmp_path / "exp.json")
+        restored = ExperimentConfig.load(path)
+        assert restored == config
+
+    def test_file_is_plain_json(self, tmp_path):
+        path = ExperimentConfig(spec=GOLD_6226).save(tmp_path / "exp.json")
+        data = json.loads(path.read_text())
+        assert data["format_version"] == 1
+        assert data["spec"]["name"] == "Gold 6226"
+
+    def test_build_machine(self):
+        config = ExperimentConfig(
+            spec=GOLD_6226, seed=12, params=FrontendParams(lcp_stall=2.0)
+        )
+        machine = config.build_machine()
+        assert machine.spec is GOLD_6226
+        assert machine.frontend_params.lcp_stall == 2.0
+        # Machine-structural fields come from the spec, not the params.
+        assert machine.frontend_params.lsd_capacity == GOLD_6226.lsd_entries
+
+    def test_built_machines_reproducible(self):
+        config = ExperimentConfig(spec=GOLD_6226, seed=12)
+        a = config.build_machine().timer.measure(1000.0).measured_cycles
+        b = config.build_machine().timer.measure(1000.0).measured_cycles
+        assert a == b
+
+    def test_rejects_wrong_version(self):
+        data = ExperimentConfig(spec=GOLD_6226).to_dict()
+        data["format_version"] = 999
+        with pytest.raises(ConfigurationError):
+            ExperimentConfig.from_dict(data)
+
+    def test_rejects_malformed(self):
+        with pytest.raises(ConfigurationError):
+            ExperimentConfig.from_dict({"format_version": 1, "seed": 1})
+
+    def test_rejects_invalid_values_on_load(self):
+        data = ExperimentConfig(spec=GOLD_6226).to_dict()
+        data["params"]["dsb_sets"] = 33  # not a power of two
+        with pytest.raises(ConfigurationError):
+            ExperimentConfig.from_dict(data)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            ExperimentConfig.load(tmp_path / "nope.json")
+
+    def test_for_machine_helper(self):
+        config = ExperimentConfig.for_machine("gold 6226", seed=4, d=3)
+        assert config.spec is GOLD_6226
+        assert config.channel.d == 3
+
+
+class TestValidation:
+    def test_all_checks_pass(self):
+        results = run_validation(verbose=False)
+        failures = [r.name for r in results if not r.passed]
+        assert not failures, failures
+
+    def test_check_count(self):
+        assert len(ALL_CHECKS) == 10
+
+    def test_cli_validate(self, capsys):
+        from repro.cli import main
+
+        assert main(["validate"]) == 0
+        out = capsys.readouterr().out
+        assert "10/10" in out
+
+
+class TestWindowCacheAliasing:
+    def test_different_bodies_same_addresses_do_not_alias(self):
+        """Regression: two programs at the same base address must not
+        share cached window decompositions (found by `repro validate`)."""
+        from repro.frontend.engine import FrontendEngine
+        from repro.isa.blocks import filler_block
+        from repro.isa.program import LoopProgram
+
+        engine = FrontendEngine()
+        small = LoopProgram([filler_block(0x400000, 400)], 50)
+        engine.run_loop(small, exact=True)
+        engine.reset_thread(0)
+        big = LoopProgram([filler_block(0x400000, 4000)], 50)
+        report = engine.run_loop(big, exact=True)
+        assert report.total_uops == 4000 * 50  # not the 400-uop layout

@@ -1,0 +1,100 @@
+"""Tests for the frontend anomaly detector (defender-side extension)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.bits import alternating_bits
+from repro.channels.base import ChannelConfig
+from repro.channels.eviction import NonMtEvictionChannel
+from repro.defense.detector import CounterSignature, FrontendAnomalyDetector
+from repro.errors import MeasurementError
+from repro.frontend.engine import LoopReport
+from repro.isa.program import LoopProgram
+from repro.machine.machine import Machine
+from repro.machine.specs import GOLD_6226
+
+
+def benign_reports(machine: Machine) -> list[LoopReport]:
+    """A spread of ordinary workloads: hot loops over various sets."""
+    layout = machine.layout(region_base=0x900000)
+    reports = []
+    for dsb_set, blocks in ((1, 6), (9, 8), (17, 4), (25, 7)):
+        program = LoopProgram(
+            layout.chain(dsb_set, blocks, first_slot=dsb_set), 5000
+        )
+        reports.append(machine.run_loop(program))
+    return reports
+
+
+def attack_report(machine: Machine) -> LoopReport:
+    """Counter totals accumulated while an eviction channel transmits."""
+    machine.perf.reset()
+    channel = NonMtEvictionChannel(
+        machine, ChannelConfig(disturb_rate=0.0), variant="stealthy"
+    )
+    channel.transmit(alternating_bits(32))
+    perf = machine.perf
+    return LoopReport(
+        cycles=perf.read("cycles"),
+        uops_dsb=int(perf.read("idq.dsb_uops")),
+        uops_mite=int(perf.read("idq.mite_uops")),
+        uops_lsd=int(perf.read("lsd.uops")),
+        switches_to_mite=int(perf.read("dsb2mite_switches.count")),
+        lcp_stalls=int(perf.read("ild_stall.lcp")),
+        dsb_evictions=int(perf.read("idq.dsb_evictions")),
+        lsd_flushes=int(perf.read("lsd.flushes")),
+    )
+
+
+class TestCounterSignature:
+    def test_rates_per_kilo_uop(self):
+        report = LoopReport(uops_dsb=2000, dsb_evictions=10, lsd_flushes=4)
+        signature = CounterSignature.from_report(report)
+        assert signature.dsb_evictions == pytest.approx(5.0)
+        assert signature.lsd_flushes == pytest.approx(2.0)
+        assert signature.mite_share == 0.0
+
+    def test_empty_report_safe(self):
+        signature = CounterSignature.from_report(LoopReport())
+        assert signature.dsb_evictions == 0.0
+
+
+class TestFrontendAnomalyDetector:
+    def test_untrained_raises(self):
+        with pytest.raises(MeasurementError):
+            FrontendAnomalyDetector().classify(LoopReport(uops_dsb=10))
+
+    def test_benign_not_flagged(self):
+        machine = Machine(GOLD_6226, seed=123)
+        detector = FrontendAnomalyDetector()
+        training = benign_reports(machine)
+        for report in training[:-1]:
+            detector.observe_benign(report)
+        verdict = detector.classify(training[-1].merge(LoopReport()))
+        # A held-out benign workload of the same character stays quiet.
+        assert not verdict.suspicious
+
+    def test_eviction_channel_flagged(self):
+        """The channel's sustained eviction/flush rates break any benign
+        envelope: cache-stealthy is not counter-stealthy."""
+        machine = Machine(GOLD_6226, seed=123)
+        detector = FrontendAnomalyDetector()
+        for report in benign_reports(machine):
+            detector.observe_benign(report)
+        verdict = detector.classify(attack_report(Machine(GOLD_6226, seed=124)))
+        assert verdict.suspicious
+        assert "dsb_evictions" in verdict.exceeded
+        assert verdict.score > 3.0
+
+    def test_envelope_has_floor(self):
+        detector = FrontendAnomalyDetector()
+        detector.observe_benign(LoopReport(uops_dsb=1000))  # all-zero rates
+        envelope = detector.envelope()
+        assert all(value >= 0.5 for value in envelope.values())
+
+    def test_trained_samples_counter(self):
+        detector = FrontendAnomalyDetector()
+        detector.observe_benign(LoopReport(uops_dsb=10))
+        detector.observe_benign(LoopReport(uops_dsb=10))
+        assert detector.trained_samples == 2

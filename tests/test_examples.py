@@ -1,0 +1,43 @@
+"""The examples are part of the public contract: they must keep running.
+
+Each example is executed in-process (``runpy``) with stdout captured;
+besides not crashing, each must print its scenario's headline artifact.
+"""
+
+from __future__ import annotations
+
+import runpy
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+#: script -> substring its output must contain.
+EXPECTED_OUTPUT = {
+    "quickstart.py": "Kbps",
+    "hyperthread_spy.py": "classified correctly",
+    "sgx_trojan.py": "leaked",
+    "spectre_frontend.py": "frontend-dsb",
+    "microcode_audit.py": "verdict",
+    "key_extraction.py": "recovered",
+    "defended_server.py": "mitigation",
+    "sandboxed_attacker.py": "counting-thread",
+}
+
+
+def run_example(name: str, capsys) -> str:
+    runpy.run_path(str(EXAMPLES_DIR / name), run_name="__main__")
+    return capsys.readouterr().out
+
+
+@pytest.mark.parametrize("script", sorted(EXPECTED_OUTPUT))
+def test_example_runs(script, capsys):
+    output = run_example(script, capsys)
+    assert EXPECTED_OUTPUT[script] in output
+    assert len(output) > 100  # each example narrates its scenario
+
+
+def test_every_example_is_covered():
+    scripts = {p.name for p in EXAMPLES_DIR.glob("*.py")}
+    assert scripts == set(EXPECTED_OUTPUT)

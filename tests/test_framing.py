@@ -1,0 +1,116 @@
+"""Tests for covert-channel message framing."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.channels.base import ChannelConfig
+from repro.channels.eviction import NonMtEvictionChannel
+from repro.channels.framing import PREAMBLE, FramedProtocol, crc8
+from repro.errors import ChannelError
+from repro.machine.machine import Machine
+from repro.machine.specs import GOLD_6226
+from repro.measure.noise import QUIET_PROFILE
+
+
+class TestCrc8:
+    def test_known_vector(self):
+        # CRC-8/ATM of "123456789" is 0xF4.
+        assert crc8(b"123456789") == 0xF4
+
+    def test_empty(self):
+        assert crc8(b"") == 0
+
+    @given(st.binary(min_size=1, max_size=64))
+    @settings(max_examples=60)
+    def test_detects_single_byte_corruption(self, data):
+        original = crc8(data)
+        corrupted = bytes([data[0] ^ 0x01]) + data[1:]
+        assert crc8(corrupted) != original
+
+    @given(st.binary(min_size=0, max_size=64))
+    @settings(max_examples=40)
+    def test_range(self, data):
+        assert 0 <= crc8(data) <= 0xFF
+
+
+class TestFrameCodec:
+    @given(st.binary(min_size=1, max_size=40))
+    @settings(max_examples=60)
+    def test_roundtrip(self, payload):
+        bits = FramedProtocol.frame_bits(payload)
+        result = FramedProtocol.parse_bits(bits)
+        assert result.ok
+        assert result.payload == payload
+
+    def test_frame_layout(self):
+        bits = FramedProtocol.frame_bits(b"\x42")
+        assert len(bits) == 8 + 8 + 8 + 8  # preamble, length, payload, crc
+        assert bits[:8] == [1, 0, 1, 0, 1, 0, 1, 0]  # 0xAA
+
+    def test_rejects_bad_preamble(self):
+        bits = FramedProtocol.frame_bits(b"hi")
+        bits[0] ^= 1
+        result = FramedProtocol.parse_bits(bits)
+        assert not result.ok and result.reason == "bad preamble"
+
+    def test_rejects_corrupted_payload(self):
+        bits = FramedProtocol.frame_bits(b"hello")
+        bits[20] ^= 1  # flip a payload bit
+        result = FramedProtocol.parse_bits(bits)
+        assert not result.ok and result.reason == "crc mismatch"
+
+    def test_rejects_truncated(self):
+        bits = FramedProtocol.frame_bits(b"hello")[:20]
+        assert FramedProtocol.parse_bits(bits).reason in ("truncated frame", "bad length")
+
+    def test_rejects_oversized_payload(self):
+        with pytest.raises(ChannelError):
+            FramedProtocol.frame_bits(b"x" * 256)
+        with pytest.raises(ChannelError):
+            FramedProtocol.frame_bits(b"")
+
+    def test_preamble_constant(self):
+        assert PREAMBLE == 0xAA
+
+
+class TestFramedTransport:
+    def make_protocol(self, seed=9) -> FramedProtocol:
+        machine = Machine(GOLD_6226, seed=seed, timing_noise=QUIET_PROFILE)
+        channel = NonMtEvictionChannel(
+            machine, ChannelConfig(disturb_rate=0.0), variant="fast"
+        )
+        return FramedProtocol(channel)
+
+    def test_clean_channel_delivers_frame(self):
+        result = self.make_protocol().send(b"secret!")
+        assert result.ok
+        assert result.payload == b"secret!"
+
+    def test_fragmented_message(self):
+        protocol = self.make_protocol()
+        results = protocol.send_message(b"a longer exfiltration payload", fragment_size=8)
+        assert len(results) == 4
+        assert all(r.ok for r in results)
+        assert b"".join(r.payload for r in results) == b"a longer exfiltration payload"
+
+    def test_noisy_channel_rejected_not_garbled(self):
+        """Under heavy noise the frame FAILS CRC rather than silently
+        delivering corrupted bytes."""
+        machine = Machine(GOLD_6226, seed=9)
+        machine.timer.profile = machine.timer.profile.scaled(8.0)
+        channel = NonMtEvictionChannel(machine, variant="fast")
+        protocol = FramedProtocol(channel)
+        results = [protocol.send(b"payload-0123456789", calibrate=(i == 0))
+                   for i in range(6)]
+        for result in results:
+            assert result.ok or result.payload == b""
+
+    def test_send_message_validation(self):
+        protocol = self.make_protocol()
+        with pytest.raises(ChannelError):
+            protocol.send_message(b"")
+        with pytest.raises(ChannelError):
+            protocol.send_message(b"x", fragment_size=0)

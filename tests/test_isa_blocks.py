@@ -1,0 +1,114 @@
+"""Tests for instruction mix blocks (Section III-A4 constructions)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import LayoutError
+from repro.isa.blocks import (
+    DSB_LINE_UOPS,
+    WINDOW_BYTES,
+    MixBlock,
+    filler_block,
+    lcp_block,
+    standard_mix_block,
+)
+from repro.isa.instructions import mov_imm32, jmp_rel32
+
+
+class TestStandardMixBlock:
+    """The canonical 4 mov + 1 jmp block the paper constructs."""
+
+    def test_paper_dimensions(self):
+        block = standard_mix_block(0x400000)
+        assert block.size == 25  # 4 x 5B mov + 5B jmp
+        assert block.uop_count == 5
+        assert block.fits_one_dsb_line()
+
+    def test_fits_window_and_line_limits(self):
+        block = standard_mix_block(0)
+        assert block.size <= WINDOW_BYTES
+        assert block.uop_count <= DSB_LINE_UOPS
+
+    def test_ends_with_jump(self):
+        block = standard_mix_block(0)
+        assert block.instructions[-1].is_branch
+
+    def test_no_memory_instructions(self):
+        """Section III-A4: avoid loads/stores to keep caches untouched."""
+        block = standard_mix_block(0)
+        assert not any(i.touches_memory for i in block.instructions)
+
+    def test_aligned_block_single_window(self):
+        block = standard_mix_block(0x400000)
+        assert block.is_aligned
+        assert block.windows == (0x400000,)
+        assert not block.spans_windows
+
+    def test_misaligned_block_spans_two_windows(self):
+        block = standard_mix_block(0x400010)  # +16B offset
+        assert not block.is_aligned
+        assert block.windows == (0x400000, 0x400020)
+        assert block.spans_windows
+
+
+class TestMixBlockMechanics:
+    def test_instruction_addresses_sequential(self):
+        block = standard_mix_block(0x1000)
+        addrs = [a for a, _ in block.instruction_addresses()]
+        assert addrs == [0x1000, 0x1005, 0x100A, 0x100F, 0x1014]
+
+    def test_relocated_preserves_body(self):
+        block = standard_mix_block(0x1000, label="x")
+        moved = block.relocated(0x2000)
+        assert moved.base == 0x2000
+        assert moved.instructions == block.instructions
+        assert moved.label == "x"
+
+    def test_end_address(self):
+        block = standard_mix_block(0x1000)
+        assert block.end == 0x1000 + 25
+
+    def test_rejects_empty(self):
+        with pytest.raises(LayoutError):
+            MixBlock(base=0, instructions=())
+
+    def test_rejects_negative_base(self):
+        with pytest.raises(LayoutError):
+            MixBlock(base=-1, instructions=(mov_imm32(),))
+
+
+class TestLcpBlock:
+    def test_mixed_alternates(self):
+        block = lcp_block(0, lcp_sets=4, mixed=True)
+        flags = [i.has_lcp for i in block.instructions[:-1]]
+        assert flags == [False, True] * 4
+
+    def test_ordered_groups(self):
+        block = lcp_block(0, lcp_sets=4, mixed=False)
+        flags = [i.has_lcp for i in block.instructions[:-1]]
+        assert flags == [False] * 4 + [True] * 4
+
+    def test_identical_uop_counts(self):
+        """Figure 6: both encodings retire the same uops."""
+        mixed = lcp_block(0, lcp_sets=16, mixed=True)
+        ordered = lcp_block(0, lcp_sets=16, mixed=False)
+        assert mixed.uop_count == ordered.uop_count
+        assert mixed.lcp_count == ordered.lcp_count == 16
+
+    def test_rejects_zero_sets(self):
+        with pytest.raises(LayoutError):
+            lcp_block(0, lcp_sets=0)
+
+
+class TestFillerBlock:
+    @pytest.mark.parametrize("uops", [1, 40, 400])
+    def test_exact_uop_count(self, uops):
+        assert filler_block(0, uops).uop_count == uops
+
+    def test_ends_with_jump(self):
+        assert filler_block(0, 10).instructions[-1].is_branch
+
+    def test_rejects_zero(self):
+        with pytest.raises(LayoutError):
+            filler_block(0, 0)

@@ -1,0 +1,96 @@
+"""Tests for the instruction model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.isa.instructions import (
+    Instruction,
+    add_imm,
+    add_reg,
+    add_reg_lcp,
+    jmp_rel8,
+    jmp_rel32,
+    load,
+    mov_imm32,
+    mov_reg,
+    nop,
+    store,
+)
+from repro.isa.uops import Uop, UopKind
+
+
+class TestFactories:
+    def test_mov_imm32_encoding(self):
+        instr = mov_imm32()
+        assert instr.length == 5
+        assert instr.uop_count == 1
+        assert not instr.has_lcp
+        assert not instr.is_branch
+
+    def test_jmp_rel32(self):
+        instr = jmp_rel32()
+        assert instr.length == 5
+        assert instr.is_branch
+        assert instr.uops[0].is_branch
+
+    def test_jmp_rel8_shorter(self):
+        assert jmp_rel8().length == 2
+
+    def test_lcp_add(self):
+        instr = add_reg_lcp()
+        assert instr.has_lcp
+        assert instr.length == 3  # 0x66 prefix + 2-byte add
+        assert instr.uop_count == 1
+
+    def test_plain_add(self):
+        assert add_reg().length == 2
+        assert not add_reg().has_lcp
+        assert add_imm().length == 6
+
+    def test_nop_single_byte(self):
+        assert nop().length == 1
+        assert nop().uops[0].kind is UopKind.NOP
+
+    def test_memory_instructions(self):
+        assert load().touches_memory
+        assert store().touches_memory
+        assert store().uop_count == 2  # store-address + store-data
+        assert not mov_reg().touches_memory
+
+
+class TestInstructionValidation:
+    def test_rejects_zero_length(self):
+        with pytest.raises(ValueError):
+            Instruction("bad", 0, (Uop(UopKind.NOP),))
+
+    def test_rejects_over_15_bytes(self):
+        with pytest.raises(ValueError):
+            Instruction("bad", 16, (Uop(UopKind.NOP),))
+
+    def test_rejects_no_uops(self):
+        with pytest.raises(ValueError):
+            Instruction("bad", 1, ())
+
+    def test_complex_detection(self):
+        assert store().is_complex
+        assert not mov_imm32().is_complex
+
+
+class TestUop:
+    def test_default_ports_from_kind(self):
+        assert Uop(UopKind.ALU).ports == frozenset({0, 1, 5, 6})
+        assert Uop(UopKind.BRANCH).ports == frozenset({0, 6})
+        assert Uop(UopKind.STORE_DATA).ports == frozenset({4})
+
+    def test_custom_ports(self):
+        uop = Uop(UopKind.ALU, frozenset({0}))
+        assert uop.ports == frozenset({0})
+
+    def test_rejects_unknown_port(self):
+        with pytest.raises(ValueError):
+            Uop(UopKind.ALU, frozenset({9}))
+
+    def test_memory_flags(self):
+        assert Uop(UopKind.LOAD).touches_memory
+        assert not Uop(UopKind.ALU).touches_memory

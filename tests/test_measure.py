@@ -1,0 +1,187 @@
+"""Tests for the measurement substrate: timer, RAPL, perf, histogram."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import MeasurementError
+from repro.frontend.engine import LoopReport
+from repro.measure.histogram import Histogram
+from repro.measure.noise import NONMT_PROFILE, QUIET_PROFILE, SMT_PROFILE, NoiseProfile
+from repro.measure.perf import PERF_EVENTS, PerfCounters
+from repro.measure.rapl import RaplInterface
+from repro.measure.timer import CycleTimer
+
+
+class TestNoiseProfile:
+    def test_presets_ordering(self):
+        assert SMT_PROFILE.jitter_abs_sigma > NONMT_PROFILE.jitter_abs_sigma
+        assert QUIET_PROFILE.jitter_abs_sigma == 0.0
+
+    def test_scaled(self):
+        doubled = NONMT_PROFILE.scaled(2.0)
+        assert doubled.jitter_abs_sigma == 2 * NONMT_PROFILE.jitter_abs_sigma
+        assert doubled.spike_rate <= 1.0
+
+    def test_validation(self):
+        with pytest.raises(Exception):
+            NoiseProfile(-1, 0, 0, 0)
+        with pytest.raises(Exception):
+            NoiseProfile(0, 0, 2.0, 0)
+
+
+class TestCycleTimer:
+    def test_quiet_profile_exact(self):
+        timer = CycleTimer(np.random.default_rng(0), QUIET_PROFILE)
+        sample = timer.measure(1234.5)
+        assert sample.measured_cycles == 1234.5
+        assert sample.noise == 0.0
+
+    def test_overhead_added(self):
+        profile = NoiseProfile(0, 0, 0, 0, rdtscp_overhead=32)
+        timer = CycleTimer(np.random.default_rng(0), profile)
+        assert timer.measure(100.0).measured_cycles == 132.0
+
+    def test_jitter_statistics(self):
+        timer = CycleTimer(np.random.default_rng(0), NONMT_PROFILE)
+        samples = [s.measured_cycles for s in timer.measure_many(10_000.0, 500)]
+        mean = np.mean(samples)
+        assert 10_000 < mean < 10_200  # overhead + small spikes
+        assert np.std(samples) > 0
+
+    def test_never_negative(self):
+        profile = NoiseProfile(jitter_abs_sigma=1000.0, jitter_rel_sigma=0,
+                               spike_rate=0, spike_mean=0, rdtscp_overhead=0)
+        timer = CycleTimer(np.random.default_rng(0), profile)
+        assert all(s.measured_cycles >= 0 for s in timer.measure_many(1.0, 200))
+
+    def test_rejects_negative_duration(self):
+        timer = CycleTimer(np.random.default_rng(0))
+        with pytest.raises(MeasurementError):
+            timer.measure(-1.0)
+
+    def test_rejects_zero_count(self):
+        timer = CycleTimer(np.random.default_rng(0))
+        with pytest.raises(MeasurementError):
+            timer.measure_many(1.0, 0)
+
+
+class TestRapl:
+    def make(self, **kwargs) -> RaplInterface:
+        defaults = dict(frequency_hz=2.7e9)
+        defaults.update(kwargs)
+        return RaplInterface(np.random.default_rng(0), **defaults)
+
+    def test_update_interval(self):
+        rapl = self.make(update_hz=20_000.0)
+        assert rapl.update_interval_cycles == pytest.approx(2.7e9 / 20_000)
+
+    def test_baseline_energy(self):
+        rapl = self.make(baseline_watts=18.0)
+        # 2.7e9 cycles = 1 s => 18 J = 18e9 nJ.
+        assert rapl.baseline_energy_nj(2.7e9) == pytest.approx(18e9)
+
+    def test_long_region_accurate(self):
+        rapl = self.make(baseline_sigma_watts=0.0, sensor_sigma_rel=0.0)
+        true_energy = 1e6
+        duration = 100 * rapl.update_interval_cycles
+        total = true_energy + rapl.baseline_energy_nj(duration)
+        samples = [
+            rapl.measure_region(true_energy, duration).measured_energy_nj
+            for _ in range(200)
+        ]
+        # Quantisation error is +-1 interval out of 100.
+        assert np.mean(samples) == pytest.approx(total, rel=0.01)
+
+    def test_short_region_quantisation_noise(self):
+        rapl = self.make(baseline_sigma_watts=0.0, sensor_sigma_rel=0.0)
+        duration = rapl.update_interval_cycles / 10  # sub-interval region
+        samples = [
+            rapl.measure_region(1000.0, duration).measured_energy_nj
+            for _ in range(100)
+        ]
+        relative_spread = np.std(samples) / np.mean(samples)
+        assert relative_spread > 0.5  # swamped, as the paper's channels find
+
+    def test_disabled_raises(self):
+        rapl = self.make(enabled=False)
+        with pytest.raises(MeasurementError):
+            rapl.measure_region(1.0, 1.0)
+
+    def test_rejects_bad_duration(self):
+        with pytest.raises(MeasurementError):
+            self.make().measure_region(1.0, 0.0)
+
+    def test_measured_power_property(self):
+        rapl = self.make()
+        sample = rapl.measure_region(1000.0, 1e6)
+        assert sample.measured_power == pytest.approx(
+            sample.measured_energy_nj / 1e6
+        )
+
+
+class TestPerfCounters:
+    def test_record_and_read(self):
+        perf = PerfCounters()
+        report = LoopReport(cycles=100.0, uops_lsd=40, uops_dsb=10, uops_mite=5,
+                            switches_to_mite=2, lcp_stalls=3)
+        perf.record(report)
+        assert perf.read("lsd.uops") == 40
+        assert perf.read("idq.dsb_uops") == 10
+        assert perf.read("idq.mite_uops") == 5
+        assert perf.read("uops_retired.any") == 55
+        assert perf.read("dsb2mite_switches.count") == 2
+        assert perf.read("ild_stall.lcp") == 3
+
+    def test_unknown_event(self):
+        with pytest.raises(MeasurementError):
+            PerfCounters().read("cache-misses-typo")
+
+    def test_reset(self):
+        perf = PerfCounters()
+        perf.record(LoopReport(cycles=10.0, uops_dsb=4))
+        perf.reset()
+        assert perf.read("idq.dsb_uops") == 0
+
+    def test_ipc(self):
+        perf = PerfCounters()
+        perf.record(LoopReport(cycles=10.0, uops_dsb=20))
+        assert perf.ipc == pytest.approx(2.0)
+
+    def test_all_documented_events_readable(self):
+        perf = PerfCounters()
+        for event in PERF_EVENTS:
+            assert perf.read(event) == 0.0
+
+
+class TestHistogram:
+    def test_from_samples(self):
+        hist = Histogram.from_samples([1.0, 2.0, 3.0, 2.5], bins=10)
+        assert hist.total == 4
+
+    def test_overflow_underflow(self):
+        hist = Histogram(lo=0.0, hi=10.0, bins=5)
+        hist.add(-1.0)
+        hist.add(100.0)
+        hist.add(5.0)
+        assert hist.underflow == 1
+        assert hist.overflow == 1
+        assert hist.total == 3
+
+    def test_mode_center(self):
+        hist = Histogram(lo=0.0, hi=10.0, bins=10)
+        hist.add_many([5.2, 5.3, 5.1, 1.0])
+        assert 5.0 <= hist.mode_center() <= 6.0
+
+    def test_render(self):
+        hist = Histogram.from_samples([1.0, 2.0], bins=4)
+        out = hist.render(label="test")
+        assert "test" in out
+        assert out.count("\n") == 4
+
+    def test_validation(self):
+        with pytest.raises(MeasurementError):
+            Histogram(lo=1.0, hi=1.0)
+        with pytest.raises(MeasurementError):
+            Histogram.from_samples([])

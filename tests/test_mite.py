@@ -1,0 +1,51 @@
+"""Tests for the MITE legacy-decode cost model."""
+
+from __future__ import annotations
+
+from repro.frontend.mite import FETCH_BYTES_PER_CYCLE, MiteDecoder
+from repro.frontend.params import FrontendParams
+from repro.isa.instructions import add_reg, add_reg_lcp, jmp_rel32, mov_imm32, store
+
+
+class TestDecodeWindow:
+    def setup_method(self):
+        self.mite = MiteDecoder(FrontendParams())
+
+    def test_empty_window_free(self):
+        cost = self.mite.decode_window([], 0)
+        assert cost.cycles == 0.0
+        assert cost.uops == 0
+
+    def test_standard_block_cost(self):
+        instructions = [mov_imm32(r) for r in range(4)] + [jmp_rel32()]
+        cost = self.mite.decode_window(instructions, 25)
+        # 25 bytes => 2 fetch cycles; 5 simple insns => 2 decode cycles.
+        assert cost.cycles == 2 + FrontendParams().mite_window_overhead
+        assert cost.uops == 5
+        assert cost.lcp_stalls == 0
+
+    def test_lcp_stall_counting(self):
+        instructions = [add_reg(), add_reg_lcp(), add_reg(), add_reg_lcp()]
+        cost = self.mite.decode_window(instructions, 10)
+        assert cost.lcp_stalls == 2
+
+    def test_lcp_serialises_decode(self):
+        plain = self.mite.decode_window([add_reg()] * 6, 12)
+        prefixed = self.mite.decode_window([add_reg_lcp()] * 6, 18)
+        assert prefixed.cycles > plain.cycles
+
+    def test_complex_instructions_use_complex_decoder(self):
+        # 4 stores (2 uops each) need 4 complex-decode cycles.
+        cost = self.mite.decode_window([store()] * 4, 16)
+        simple = self.mite.decode_window([mov_imm32()] * 4, 20)
+        assert cost.cycles > simple.cycles
+        assert cost.uops == 8
+
+    def test_fetch_bound_for_large_windows(self):
+        # 32 bytes of 1-uop instructions: fetch (2 cycles) dominates a
+        # 3-wide simple decode only when instruction count is small.
+        few_big = self.mite.decode_window([mov_imm32()] * 2, 32)
+        assert few_big.cycles >= 2.0
+
+    def test_fetch_width_constant(self):
+        assert FETCH_BYTES_PER_CYCLE == 16

@@ -1,0 +1,91 @@
+"""Tests for the path probes and the exception hierarchy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import errors
+from repro.channels.probes import PathProbe, path_power_samples, path_timing_samples
+from repro.errors import ChannelError
+from repro.frontend.paths import DeliveryPath
+from repro.machine.machine import Machine
+from repro.machine.specs import GOLD_6226, XEON_E2174G
+
+
+class TestPathProbe:
+    def test_lsd_probe_fits_lsd(self):
+        machine = Machine(GOLD_6226, seed=3)
+        probe = PathProbe.lsd(machine)
+        assert probe.program.uops_per_iteration <= 64
+
+    def test_dsb_probe_exceeds_lsd_fits_dsb(self):
+        machine = Machine(GOLD_6226, seed=3)
+        probe = PathProbe.dsb(machine)
+        assert probe.program.uops_per_iteration > 64
+        report = machine.run_loop(probe.program.with_iterations(100))
+        assert report.dominant_path() is DeliveryPath.DSB
+
+    def test_mite_probe_thrashes(self):
+        machine = Machine(GOLD_6226, seed=3)
+        probe = PathProbe.mite(machine)
+        report = machine.run_loop(probe.program.with_iterations(100))
+        assert report.dominant_path() is DeliveryPath.MITE
+
+    def test_all_probes_pin_their_paths(self):
+        machine = Machine(GOLD_6226, seed=3)
+        for path, probe in PathProbe.all_probes(machine, iterations=100).items():
+            machine.reset()
+            report = machine.run_loop(probe.program)
+            assert report.dominant_path() is path, path
+
+    def test_lsd_probe_falls_to_dsb_without_lsd(self):
+        machine = Machine(XEON_E2174G, seed=3)
+        probe = PathProbe.lsd(machine)
+        report = machine.run_loop(probe.program.with_iterations(100))
+        assert report.dominant_path() is DeliveryPath.DSB
+
+
+class TestSampleHelpers:
+    def test_timing_samples_shape(self):
+        machine = Machine(GOLD_6226, seed=3)
+        samples = path_timing_samples(machine, samples=10)
+        assert set(samples) == set(DeliveryPath)
+        assert all(len(obs) == 10 for obs in samples.values())
+
+    def test_power_samples_positive(self):
+        machine = Machine(GOLD_6226, seed=3)
+        samples = path_power_samples(machine, samples=5, iterations=5000)
+        assert all(value > 0 for obs in samples.values() for value in obs)
+
+    def test_rejects_zero_samples(self):
+        machine = Machine(GOLD_6226, seed=3)
+        with pytest.raises(ChannelError):
+            path_timing_samples(machine, samples=0)
+        with pytest.raises(ChannelError):
+            path_power_samples(machine, samples=0)
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            errors.ConfigurationError,
+            errors.LayoutError,
+            errors.ExecutionError,
+            errors.MeasurementError,
+            errors.ChannelError,
+            errors.EnclaveError,
+            errors.SpectreError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, errors.ReproError)
+        with pytest.raises(errors.ReproError):
+            raise exc("boom")
+
+    def test_repro_error_is_exception(self):
+        assert issubclass(errors.ReproError, Exception)
+
+    def test_distinct_branches(self):
+        assert not issubclass(errors.ChannelError, errors.LayoutError)
+        assert not issubclass(errors.EnclaveError, errors.ChannelError)

@@ -1,0 +1,134 @@
+"""Property-based tests for the extension modules."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.capacity import bsc_capacity, information_rate
+from repro.analysis.threshold import ThresholdDecoder
+from repro.channels.coding import (
+    DifferentialCode,
+    ManchesterCode,
+    RepetitionCode,
+)
+from repro.frontend.lsd import misalignment_collides
+from repro.frontend.params import FrontendParams
+from repro.isa.assembler import SUPPORTED_MNEMONICS, assemble
+from repro.isa.layout import BlockChainLayout
+from repro.isa.program import LoopProgram
+
+DECODER = ThresholdDecoder(
+    threshold=100.0, one_is_high=True, mean_zero=50.0, mean_one=150.0
+)
+
+bit_lists = st.lists(st.integers(min_value=0, max_value=1), min_size=1, max_size=48)
+
+
+def noiseless_measurements(symbols: list[int]) -> list[float]:
+    return [150.0 if s else 50.0 for s in symbols]
+
+
+class TestCodingRoundtrips:
+    @given(bit_lists, st.sampled_from([1, 3, 5, 7]))
+    @settings(max_examples=60)
+    def test_repetition_roundtrip(self, bits, n):
+        code = RepetitionCode(n)
+        assert code.decode(noiseless_measurements(code.encode(bits)), DECODER) == bits
+
+    @given(bit_lists)
+    @settings(max_examples=60)
+    def test_manchester_roundtrip(self, bits):
+        code = ManchesterCode()
+        assert code.decode(noiseless_measurements(code.encode(bits)), DECODER) == bits
+
+    @given(bit_lists)
+    @settings(max_examples=60)
+    def test_differential_roundtrip(self, bits):
+        code = DifferentialCode()
+        assert code.decode(noiseless_measurements(code.encode(bits)), DECODER) == bits
+
+    @given(bit_lists, st.integers(min_value=0, max_value=200))
+    @settings(max_examples=60)
+    def test_manchester_offset_immunity(self, bits, offset):
+        """Any common-mode offset leaves Manchester decoding unchanged."""
+        code = ManchesterCode()
+        shifted = [m + offset for m in noiseless_measurements(code.encode(bits))]
+        assert code.decode(shifted, DECODER) == bits
+
+    @given(bit_lists)
+    @settings(max_examples=40)
+    def test_repetition_tolerates_minority_corruption(self, bits):
+        """Flipping one symbol per group never flips the majority of 3."""
+        code = RepetitionCode(3)
+        measurements = noiseless_measurements(code.encode(bits))
+        for group in range(len(bits)):
+            corrupted = list(measurements)
+            index = group * 3
+            corrupted[index] = 200.0 - corrupted[index] + 0.0  # flip one
+            assert code.decode(corrupted, DECODER) == bits
+
+
+class TestMisalignmentRuleProperties:
+    params = FrontendParams()
+    layout = BlockChainLayout()
+
+    def program(self, aligned: int, misaligned: int) -> LoopProgram:
+        return LoopProgram(self.layout.mixed_chain(3, aligned, misaligned), 1)
+
+    @given(st.integers(min_value=0, max_value=6), st.integers(min_value=1, max_value=4))
+    @settings(max_examples=40)
+    def test_monotone_in_misaligned_blocks(self, aligned, misaligned):
+        """Adding a misaligned block can never un-collide a loop."""
+        if misalignment_collides(self.program(aligned, misaligned), self.params):
+            assert misalignment_collides(
+                self.program(aligned, misaligned + 1), self.params
+            )
+
+    @given(st.integers(min_value=1, max_value=10))
+    @settings(max_examples=20)
+    def test_aligned_only_never_collides(self, aligned):
+        assert not misalignment_collides(self.program(aligned, 0), self.params)
+
+    @given(st.integers(min_value=0, max_value=7), st.integers(min_value=0, max_value=4))
+    @settings(max_examples=40)
+    def test_rule_matches_closed_form(self, aligned, misaligned):
+        if aligned + misaligned == 0:
+            return
+        expected = (misaligned >= 1 and aligned + 2 * misaligned > 8) or (
+            misaligned >= self.params.lsd_misalign_limit
+        )
+        assert (
+            misalignment_collides(self.program(aligned, misaligned), self.params)
+            == expected
+        )
+
+
+class TestAssemblerProperties:
+    @given(
+        st.lists(st.sampled_from(SUPPORTED_MNEMONICS), min_size=1, max_size=12),
+        st.integers(min_value=0, max_value=1000),
+    )
+    @settings(max_examples=60)
+    def test_listing_roundtrip_structure(self, mnemonics, base_slot):
+        listing = "\n".join(f"{m} r0, r1" for m in mnemonics)
+        block = assemble(listing, base=base_slot * 32)
+        assert len(block.instructions) == len(mnemonics)
+        # store decodes to 2 uops, everything else to 1.
+        expected_uops = sum(2 if m == "store" else 1 for m in mnemonics)
+        assert block.uop_count == expected_uops
+
+
+class TestCapacityProperties:
+    @given(st.floats(min_value=0.0, max_value=0.5),
+           st.floats(min_value=0.0, max_value=1e6))
+    @settings(max_examples=60)
+    def test_information_never_exceeds_raw(self, error, rate):
+        assert information_rate(rate, error) <= rate + 1e-9
+
+    @given(st.floats(min_value=0.0, max_value=1.0))
+    @settings(max_examples=60)
+    def test_capacity_bounded(self, p):
+        assert 0.0 <= bsc_capacity(p) <= 1.0

@@ -1,0 +1,64 @@
+"""Tests for the reproduction-report generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.reporting import REPORT_ORDER, collect_sections, write_report
+
+
+@pytest.fixture
+def results_dir(tmp_path):
+    directory = tmp_path / "results"
+    directory.mkdir()
+    (directory / "table1_specs.txt").write_text("Table I content\n")
+    (directory / "fig04_timing_histogram.txt").write_text("Figure 4 content\n")
+    (directory / "unknown_experiment.txt").write_text("ignored\n")
+    return directory
+
+
+class TestCollectSections:
+    def test_collects_known_in_order(self, results_dir):
+        sections = collect_sections(results_dir)
+        assert [s.stem for s in sections] == ["table1_specs", "fig04_timing_histogram"]
+
+    def test_ignores_unknown_files(self, results_dir):
+        stems = {s.stem for s in collect_sections(results_dir)}
+        assert "unknown_experiment" not in stems
+
+    def test_missing_directory(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            collect_sections(tmp_path / "nope")
+
+
+class TestWriteReport:
+    def test_writes_markdown(self, results_dir, tmp_path):
+        output = write_report(results_dir, tmp_path / "REPORT.md")
+        text = output.read_text()
+        assert text.startswith("# Leaky Frontends")
+        assert "## Table I — machine specifications" in text
+        assert "Table I content" in text
+        assert "Sections present: 2/" in text
+
+    def test_empty_results_rejected(self, tmp_path):
+        empty = tmp_path / "results"
+        empty.mkdir()
+        with pytest.raises(ConfigurationError):
+            write_report(empty, tmp_path / "REPORT.md")
+
+    def test_order_table_consistent(self):
+        stems = [stem for stem, _ in REPORT_ORDER]
+        assert len(stems) == len(set(stems))
+        assert "table7_spectre" in stems
+        assert "defense_matrix" in stems
+
+    def test_cli_report(self, results_dir, tmp_path, capsys):
+        from repro.cli import main
+
+        output = tmp_path / "R.md"
+        assert main(
+            ["report", "--results", str(results_dir), "--output", str(output)]
+        ) == 0
+        assert output.exists()
+        assert "wrote" in capsys.readouterr().out

@@ -1,0 +1,84 @@
+"""Tests for windowed counter sampling."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.bits import alternating_bits
+from repro.channels.eviction import NonMtEvictionChannel
+from repro.errors import MeasurementError
+from repro.frontend.engine import LoopReport
+from repro.isa.program import LoopProgram
+from repro.machine.machine import Machine
+from repro.machine.specs import GOLD_6226
+from repro.measure.sampler import CounterSampler
+
+
+def region(cycles: float, evictions: int = 0, flushes: int = 0) -> LoopReport:
+    return LoopReport(cycles=cycles, dsb_evictions=evictions, lsd_flushes=flushes)
+
+
+class TestCounterSampler:
+    def test_windows_emitted_by_duration(self):
+        sampler = CounterSampler(window_cycles=100.0)
+        sampler.record(region(250.0, evictions=10))
+        assert len(sampler.samples) == 2  # two full windows, 50 pending
+
+    def test_flush_emits_partial(self):
+        sampler = CounterSampler(window_cycles=100.0)
+        sampler.record(region(250.0))
+        sampler.flush()
+        assert len(sampler.samples) == 3
+
+    def test_rates_per_kcycle(self):
+        sampler = CounterSampler(window_cycles=1000.0)
+        sampler.record(region(1000.0, evictions=5, flushes=2))
+        sample = sampler.samples[0]
+        assert sample.evictions_per_kcycle == pytest.approx(5.0)
+        assert sample.flushes_per_kcycle == pytest.approx(2.0)
+
+    def test_burst_fraction(self):
+        sampler = CounterSampler(window_cycles=100.0)
+        sampler.record(region(100.0, evictions=50))  # hot window
+        sampler.record(region(100.0))  # quiet
+        sampler.record(region(100.0))  # quiet
+        assert sampler.burst_fraction(threshold=1.0) == pytest.approx(1 / 3)
+
+    def test_peak(self):
+        sampler = CounterSampler(window_cycles=100.0)
+        sampler.record(region(100.0, evictions=50))
+        sampler.record(region(100.0, evictions=5))
+        assert sampler.peak() == pytest.approx(500.0)
+
+    def test_empty_raises(self):
+        sampler = CounterSampler()
+        with pytest.raises(MeasurementError):
+            sampler.burst_fraction()
+        with pytest.raises(MeasurementError):
+            sampler.peak()
+
+    def test_validation(self):
+        with pytest.raises(MeasurementError):
+            CounterSampler(window_cycles=0.0)
+
+    def test_attack_burstiness_vs_benign(self):
+        """Time-series view: the eviction channel keeps the eviction
+        rate bursty across windows; a benign hot loop stays at zero."""
+        machine = Machine(GOLD_6226, seed=44)
+        attack_sampler = CounterSampler(window_cycles=2000.0)
+        channel = NonMtEvictionChannel(machine, variant="stealthy")
+        channel.calibrate(8)
+        for bit in alternating_bits(16):
+            program = LoopProgram(channel.bit_body(bit), channel.config.p)
+            attack_sampler.record(machine.run_loop(program))
+        attack_sampler.flush()
+
+        benign_machine = Machine(GOLD_6226, seed=45)
+        benign_sampler = CounterSampler(window_cycles=2000.0)
+        hot = LoopProgram(benign_machine.layout().chain(7, 8), 200)
+        for _ in range(16):
+            benign_sampler.record(benign_machine.run_loop(hot))
+        benign_sampler.flush()
+
+        assert attack_sampler.burst_fraction(threshold=1.0) > 0.3
+        assert benign_sampler.burst_fraction(threshold=1.0) < 0.1

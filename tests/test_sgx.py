@@ -1,0 +1,160 @@
+"""Tests for the SGX enclave model and SGX attacks (Section VII)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.bits import alternating_bits
+from repro.channels.base import ChannelConfig
+from repro.errors import ChannelError, EnclaveError
+from repro.isa.program import LoopProgram
+from repro.machine.machine import Machine
+from repro.machine.specs import GOLD_6226, XEON_E2174G, XEON_E2288G
+from repro.measure.noise import QUIET_PROFILE
+from repro.sgx.attacks import SgxMtAttack, SgxNonMtAttack
+from repro.sgx.enclave import Enclave, EnclaveParams
+
+
+def sgx_machine(spec=XEON_E2174G, seed=51) -> Machine:
+    return Machine(spec, seed=seed, timing_noise=QUIET_PROFILE,
+                   smt_timing_noise=QUIET_PROFILE)
+
+
+class TestEnclaveModel:
+    def test_rejects_non_sgx_machine(self):
+        with pytest.raises(EnclaveError):
+            Enclave(Machine(GOLD_6226))
+
+    def test_lifecycle(self):
+        enclave = Enclave(sgx_machine())
+        assert not enclave.entered
+        enclave.enter()
+        assert enclave.entered
+        enclave.exit()
+        assert not enclave.entered
+        assert enclave.transitions == 2
+
+    def test_double_enter_rejected(self):
+        enclave = Enclave(sgx_machine())
+        enclave.enter()
+        with pytest.raises(EnclaveError):
+            enclave.enter()
+
+    def test_exit_without_enter_rejected(self):
+        with pytest.raises(EnclaveError):
+            Enclave(sgx_machine()).exit()
+
+    def test_run_requires_entry(self):
+        machine = sgx_machine()
+        enclave = Enclave(machine)
+        program = LoopProgram(machine.layout().chain(3, 2), 5)
+        with pytest.raises(EnclaveError):
+            enclave.run(program)
+
+    def test_slowdown_applied(self):
+        machine = sgx_machine()
+        program = LoopProgram(machine.layout().chain(3, 8), 100)
+        plain = machine.run_loop(program)
+        machine.reset()
+        enclave = Enclave(machine, EnclaveParams(slowdown=4.0))
+        enclave.enter()
+        inside = enclave.run(program)
+        assert inside.cycles == pytest.approx(plain.cycles * 4.0)
+
+    def test_ecall_adds_transition_costs(self):
+        machine = sgx_machine()
+        params = EnclaveParams(eenter_cycles=7000, eexit_cycles=4000, slowdown=1.0)
+        enclave = Enclave(machine, params)
+        program = LoopProgram(machine.layout().chain(3, 8), 100)
+        machine.reset()
+        plain_cycles = Machine(XEON_E2174G, seed=51).run_loop(program).cycles
+        report = enclave.ecall(program)
+        assert report.cycles == pytest.approx(plain_cycles + 11_000)
+        assert not enclave.entered  # exited even on success
+
+    def test_enclave_shares_frontend_state(self):
+        """The attack surface: enclave execution fills the same DSB."""
+        machine = sgx_machine()
+        enclave = Enclave(machine)
+        program = LoopProgram(machine.layout().chain(3, 8), 50)
+        enclave.ecall(program)
+        # Running the same blocks outside now hits the DSB immediately.
+        outside = machine.run_loop(program)
+        assert outside.uops_mite == 0
+
+    def test_param_validation(self):
+        with pytest.raises(Exception):
+            EnclaveParams(slowdown=0.5)
+        with pytest.raises(Exception):
+            EnclaveParams(eenter_cycles=-1)
+
+
+class TestSgxNonMtAttack:
+    def test_rejects_non_sgx_machine(self):
+        with pytest.raises(EnclaveError):
+            SgxNonMtAttack(Machine(GOLD_6226))
+
+    def test_rejects_unknown_mechanism(self):
+        with pytest.raises(ChannelError):
+            SgxNonMtAttack(sgx_machine(), mechanism="prefetch")
+
+    @pytest.mark.parametrize("mechanism", ["eviction", "misalignment"])
+    def test_transmission(self, mechanism):
+        config_kwargs = dict(p=500, q=500, disturb_rate=0.0, sync_fail_rate=0.0)
+        if mechanism == "misalignment":
+            config_kwargs.update(d=5, M=8)
+        attack = SgxNonMtAttack(
+            sgx_machine(), mechanism=mechanism, variant="fast",
+            config=ChannelConfig(**config_kwargs),
+        )
+        result = attack.transmit(alternating_bits(12), training_bits=6)
+        assert result.error_rate == 0.0
+
+    def test_rate_far_below_non_sgx(self):
+        """Paper: SGX rates are ~1/25-1/30 of the non-SGX attacks."""
+        from repro.channels.eviction import NonMtEvictionChannel
+
+        machine = sgx_machine()
+        plain = NonMtEvictionChannel(
+            machine, ChannelConfig(disturb_rate=0.0), variant="stealthy"
+        ).transmit(alternating_bits(8), training_bits=4)
+        sgx = SgxNonMtAttack(
+            sgx_machine(seed=52), mechanism="eviction", variant="stealthy"
+        ).transmit(alternating_bits(8), training_bits=4)
+        assert sgx.kbps < plain.kbps / 10
+
+    def test_default_iterations(self):
+        attack = SgxNonMtAttack(sgx_machine())
+        assert attack.config.p == 1000  # paper: 1,000-5,000
+
+    def test_works_on_azure_no_smt(self):
+        attack = SgxNonMtAttack(sgx_machine(XEON_E2288G), variant="fast")
+        result = attack.transmit(alternating_bits(6), training_bits=4)
+        assert result.kbps > 0
+
+
+class TestSgxMtAttack:
+    def test_requires_smt(self):
+        with pytest.raises(ChannelError):
+            SgxMtAttack(sgx_machine(XEON_E2288G))
+
+    def test_requires_sgx(self):
+        with pytest.raises(EnclaveError):
+            SgxMtAttack(Machine(GOLD_6226))
+
+    @pytest.mark.parametrize("mechanism", ["eviction", "misalignment"])
+    def test_transmission(self, mechanism):
+        config_kwargs = dict(p=300, q=3000, disturb_rate=0.0, sync_fail_rate=0.0)
+        if mechanism == "misalignment":
+            config_kwargs.update(d=5, M=8)
+        attack = SgxMtAttack(
+            sgx_machine(), mechanism=mechanism,
+            config=ChannelConfig(**config_kwargs),
+        )
+        result = attack.transmit(alternating_bits(10), training_bits=6)
+        assert result.error_rate <= 0.1
+
+    def test_default_iterations_follow_paper(self):
+        attack = SgxMtAttack(sgx_machine())
+        assert attack.config.p == 1000
+        assert attack.config.q == 10_000

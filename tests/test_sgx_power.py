@@ -1,0 +1,64 @@
+"""Tests for the privileged-OS power attack on SGX (Section VII-3)."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.analysis.bits import alternating_bits
+from repro.errors import ChannelError, EnclaveError
+from repro.machine.machine import Machine
+from repro.machine.specs import GOLD_6226, XEON_E2174G
+from repro.sgx.power_attack import SgxPowerAttack
+
+
+def rapl_locked_machine(seed: int = 99) -> Machine:
+    """An SGX machine whose *user-level* RAPL access is disabled."""
+    spec = dataclasses.replace(XEON_E2174G, rapl=False, name="E-2174G (RAPL locked)")
+    return Machine(spec, seed=seed)
+
+
+class TestSgxPowerAttack:
+    def test_requires_sgx(self):
+        with pytest.raises(EnclaveError):
+            SgxPowerAttack(Machine(GOLD_6226, seed=1))
+
+    def test_rejects_unknown_mechanism(self):
+        with pytest.raises(ChannelError):
+            SgxPowerAttack(Machine(XEON_E2174G, seed=1), mechanism="dsb-lru")
+
+    def test_works_despite_user_rapl_lockdown(self):
+        """The headline property: disabling user RAPL does not stop a
+        malicious OS from power-profiling the enclave."""
+        machine = rapl_locked_machine()
+        # User-level RAPL is indeed locked...
+        from repro.errors import MeasurementError
+
+        with pytest.raises(MeasurementError):
+            machine.rapl.measure_region(1.0, 1.0)
+        # ...but the privileged attack transmits anyway.
+        attack = SgxPowerAttack(machine, mechanism="eviction")
+        result = attack.transmit(alternating_bits(12), training_bits=6)
+        assert result.error_rate < 0.30
+        assert result.kbps > 0
+
+    @pytest.mark.parametrize("mechanism", ["eviction", "misalignment"])
+    def test_both_mechanisms_transmit(self, mechanism):
+        machine = Machine(XEON_E2174G, seed=99)
+        attack = SgxPowerAttack(machine, mechanism=mechanism)
+        result = attack.transmit(alternating_bits(10), training_bits=6)
+        assert result.error_rate < 0.35
+
+    def test_rate_is_rapl_limited(self):
+        """Sub-Kbps, like the non-SGX power channels, further slowed by
+        the enclave factor."""
+        machine = Machine(XEON_E2174G, seed=99)
+        attack = SgxPowerAttack(machine, mechanism="eviction")
+        result = attack.transmit(alternating_bits(10), training_bits=6)
+        assert result.kbps < 1.0
+
+    def test_default_iterations(self):
+        machine = Machine(XEON_E2174G, seed=99)
+        attack = SgxPowerAttack(machine)
+        assert attack.config.p == 240_000

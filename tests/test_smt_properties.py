@@ -1,0 +1,70 @@
+"""Property tests for the SMT executor: extrapolation fidelity and
+interference invariants over random program pairs."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.isa.layout import BlockChainLayout
+from repro.isa.program import LoopProgram
+from repro.machine.machine import Machine
+from repro.machine.specs import GOLD_6226
+
+LAYOUT = BlockChainLayout()
+
+
+@st.composite
+def smt_pairs(draw):
+    """(receiver, sender) loop pairs over random sets and sizes."""
+    recv_set = draw(st.integers(min_value=0, max_value=31))
+    send_set = draw(st.integers(min_value=0, max_value=31))
+    recv_blocks = draw(st.integers(min_value=1, max_value=8))
+    send_blocks = draw(st.integers(min_value=1, max_value=8))
+    recv_iters = draw(st.integers(min_value=20, max_value=400))
+    send_iters = draw(st.integers(min_value=5, max_value=40))
+    receiver = LoopProgram(
+        LAYOUT.chain(recv_set, recv_blocks), recv_iters, "recv"
+    )
+    sender = LoopProgram(
+        LAYOUT.chain(send_set, send_blocks, first_slot=50), send_iters, "send"
+    )
+    return receiver, sender
+
+
+class TestSmtProperties:
+    @given(smt_pairs())
+    @settings(max_examples=20, deadline=None)
+    def test_extrapolation_close_to_exact(self, pair):
+        receiver, sender = pair
+        exact = Machine(GOLD_6226, seed=1).run_smt(receiver, sender, exact=True)
+        fast = Machine(GOLD_6226, seed=1).run_smt(receiver, sender)
+        assert fast.primary.total_uops == exact.primary.total_uops
+        assert fast.secondary.total_uops == exact.secondary.total_uops
+        assert fast.primary.cycles == pytest.approx(exact.primary.cycles, rel=0.05)
+
+    @given(smt_pairs())
+    @settings(max_examples=20, deadline=None)
+    def test_uop_conservation_both_threads(self, pair):
+        receiver, sender = pair
+        result = Machine(GOLD_6226, seed=1).run_smt(receiver, sender, exact=True)
+        assert result.primary.total_uops == receiver.total_uops
+        assert result.secondary.total_uops == sender.total_uops
+
+    @given(smt_pairs())
+    @settings(max_examples=15, deadline=None)
+    def test_sibling_never_speeds_up_receiver(self, pair):
+        """Sharing the frontend can only cost the receiver cycles."""
+        receiver, sender = pair
+        solo = Machine(GOLD_6226, seed=1).run_loop(receiver, exact=True)
+        shared = Machine(GOLD_6226, seed=1).run_smt(receiver, sender, exact=True)
+        assert shared.primary.cycles >= solo.cycles * 0.999
+
+    @given(smt_pairs())
+    @settings(max_examples=15, deadline=None)
+    def test_wall_clock_covers_both(self, pair):
+        receiver, sender = pair
+        result = Machine(GOLD_6226, seed=1).run_smt(receiver, sender, exact=True)
+        assert result.total_cycles >= result.primary.cycles - 1e-9
+        assert result.total_cycles >= result.secondary.cycles - 1e-9

@@ -1,0 +1,78 @@
+"""Tests for the Streamline-style ring-buffer channel."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.bits import alternating_bits, random_bits
+from repro.channels.base import ChannelConfig
+from repro.channels.misalignment import NonMtMisalignmentChannel
+from repro.channels.streamline import RingBufferChannel
+from repro.errors import ChannelError
+from repro.machine.machine import Machine
+from repro.machine.specs import GOLD_6226, XEON_E2174G
+
+
+def machine(seed: int = 77, spec=GOLD_6226) -> Machine:
+    return Machine(spec, seed=seed)
+
+
+class TestRingBufferChannel:
+    def test_ring_sets_validation(self):
+        with pytest.raises(ChannelError):
+            RingBufferChannel(machine(), ring_sets=1)
+        with pytest.raises(ChannelError):
+            RingBufferChannel(machine(), ring_sets=33)
+
+    def test_stream_roundtrip_low_error(self):
+        m = machine()
+        channel = RingBufferChannel(m)
+        bits = random_bits(128, m.rngs.stream("payload"))
+        result = channel.transmit_stream(bits)
+        assert result.error_rate < 0.10
+
+    def test_faster_than_synchronised_channels(self):
+        """The point of the Streamline construction: amortising the
+        per-bit protocol overhead yields an order of magnitude."""
+        m = machine()
+        bits = random_bits(96, m.rngs.stream("payload"))
+        ring = RingBufferChannel(m).transmit_stream(bits)
+        sync = NonMtMisalignmentChannel(
+            machine(seed=78), variant="fast"
+        ).transmit(bits)
+        assert ring.kbps > 5 * sync.kbps
+
+    def test_partial_final_round(self):
+        """Messages not divisible by the ring size still decode."""
+        m = machine()
+        channel = RingBufferChannel(m, ring_sets=16)
+        bits = random_bits(21, m.rngs.stream("payload"))  # 16 + 5
+        result = channel.transmit_stream(bits)
+        assert len(result.received_bits) == 21
+        assert result.error_rate < 0.25
+
+    def test_single_bit_interface_for_calibration(self):
+        m = machine()
+        channel = RingBufferChannel(m)
+        channel.calibrate(8)
+        assert channel.decoder.margin > 0
+
+    def test_works_without_lsd(self):
+        m = machine(spec=XEON_E2174G)
+        channel = RingBufferChannel(m)
+        bits = alternating_bits(64)
+        result = channel.transmit_stream(bits)
+        assert result.error_rate < 0.10
+
+    def test_validation(self):
+        channel = RingBufferChannel(machine())
+        with pytest.raises(ChannelError):
+            channel.transmit_stream([])
+        with pytest.raises(ChannelError):
+            channel.transmit_stream([0, 2])
+
+    def test_smaller_ring_works(self):
+        m = machine()
+        channel = RingBufferChannel(m, ring_sets=4)
+        result = channel.transmit_stream(alternating_bits(32))
+        assert result.error_rate < 0.20

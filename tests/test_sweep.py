@@ -1,0 +1,90 @@
+"""Tests for the parameter-sweep framework."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sweep import ParameterSweep, SweepPoint
+
+
+def quadratic(point: SweepPoint) -> dict:
+    x = point["x"]
+    return {"y": float(x * x), "seed_mod": float(point.seed % 7)}
+
+
+class TestParameterSweep:
+    def test_grid_product(self):
+        sweep = ParameterSweep(quadratic, {"x": [1, 2], "z": ["a", "b", "c"]})
+        assert len(sweep.points()) == 6
+
+    def test_trials_multiply_points(self):
+        sweep = ParameterSweep(quadratic, {"x": [1, 2]}, trials=3)
+        assert len(sweep.points()) == 6
+
+    def test_seeds_unique_per_point_and_trial(self):
+        sweep = ParameterSweep(quadratic, {"x": [1, 2]}, trials=3)
+        seeds = [p.seed for p in sweep.points()]
+        assert len(set(seeds)) == len(seeds)
+
+    def test_seeds_stable_across_runs(self):
+        a = ParameterSweep(quadratic, {"x": [1, 2]}, trials=2).points()
+        b = ParameterSweep(quadratic, {"x": [1, 2]}, trials=2).points()
+        assert [p.seed for p in a] == [p.seed for p in b]
+
+    def test_run_aggregates(self):
+        table = ParameterSweep(quadratic, {"x": [1, 2, 3]}, trials=2).run()
+        rows = {row["x"]: row for row in table.rows()}
+        assert rows[2]["y_mean"] == pytest.approx(4.0)
+        assert rows[3]["y_min"] == rows[3]["y_max"] == pytest.approx(9.0)
+
+    def test_column_in_grid_order(self):
+        table = ParameterSweep(quadratic, {"x": [3, 1, 2]}).run()
+        assert table.column("y") == [9.0, 1.0, 4.0]
+
+    def test_render(self):
+        text = ParameterSweep(quadratic, {"x": [1, 2]}).run().render()
+        assert "y_mean" in text
+        assert "4.00" in text
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ParameterSweep(quadratic, {})
+        with pytest.raises(ConfigurationError):
+            ParameterSweep(quadratic, {"x": []})
+        with pytest.raises(ConfigurationError):
+            ParameterSweep(quadratic, {"x": [1]}, trials=0)
+
+    def test_inconsistent_metrics_rejected(self):
+        calls = []
+
+        def flaky(point):
+            calls.append(point)
+            return {"a": 1.0} if len(calls) == 1 else {"b": 1.0}
+
+        with pytest.raises(ConfigurationError):
+            ParameterSweep(flaky, {"x": [1, 2]}).run()
+
+    def test_empty_metrics_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ParameterSweep(lambda p: {}, {"x": [1]}).run()
+
+    def test_real_channel_sweep(self):
+        """End to end: sweep the eviction channel's d like Figure 11."""
+        from repro.analysis.bits import alternating_bits
+        from repro.channels.base import ChannelConfig
+        from repro.channels.eviction import NonMtEvictionChannel
+        from repro.machine.machine import Machine
+        from repro.machine.specs import GOLD_6226
+
+        def run_point(point: SweepPoint) -> dict:
+            machine = Machine(GOLD_6226, seed=point.seed)
+            channel = NonMtEvictionChannel(
+                machine, ChannelConfig(d=point["d"]), variant="fast"
+            )
+            result = channel.transmit(alternating_bits(16))
+            return {"kbps": result.kbps, "error": result.error_rate}
+
+        table = ParameterSweep(run_point, {"d": [2, 6]}, trials=2).run()
+        kbps = table.column("kbps")
+        assert all(rate > 100 for rate in kbps)

@@ -1,0 +1,75 @@
+"""Tests for the benign workload library."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.machine.machine import Machine
+from repro.machine.specs import GOLD_6226
+from repro.workloads import WorkloadLibrary
+
+
+@pytest.fixture
+def library() -> WorkloadLibrary:
+    return WorkloadLibrary(np.random.default_rng(7), iterations=2000)
+
+
+class TestWorkloadLibrary:
+    def test_all_workloads_distinct_names(self, library):
+        specs = library.all_workloads()
+        names = [spec.name for spec in specs]
+        assert len(names) == len(set(names)) == 5
+
+    def test_deterministic_given_stream(self):
+        a = WorkloadLibrary(np.random.default_rng(7)).all_workloads()
+        b = WorkloadLibrary(np.random.default_rng(7)).all_workloads()
+        for spec_a, spec_b in zip(a, b):
+            assert [blk.base for blk in spec_a.program.body] == [
+                blk.base for blk in spec_b.program.body
+            ]
+
+    def test_hot_kernel_fits_lsd(self, library):
+        spec = library.hot_kernel()
+        assert spec.program.uops_per_iteration <= 64
+
+    def test_branchy_exceeds_lsd(self, library):
+        spec = library.branchy()
+        assert spec.program.uops_per_iteration > 64
+
+    def test_lcp_media_contains_prefixes(self, library):
+        spec = library.lcp_media()
+        assert spec.program.lcp_instructions_per_iteration > 0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            WorkloadLibrary(np.random.default_rng(0), iterations=0)
+        with pytest.raises(ConfigurationError):
+            WorkloadLibrary(np.random.default_rng(0)).interpreter(handlers=0)
+
+    def test_all_run_on_a_machine(self, library):
+        machine = Machine(GOLD_6226, seed=7)
+        for spec in library.all_workloads():
+            report = machine.run_loop(spec.program)
+            assert report.total_uops == (
+                spec.program.uops_per_iteration * spec.program.iterations
+            )
+
+    def test_workload_character(self, library):
+        """The library spans the benign frontend-behaviour space."""
+        machine = Machine(GOLD_6226, seed=7)
+        reports = {
+            spec.name: machine.run_loop(spec.program)
+            for spec in library.all_workloads()
+        }
+        # hot kernel: LSD-dominated, no evictions.
+        hot = reports["hot_kernel"]
+        assert hot.uops_lsd > 0.9 * hot.total_uops
+        assert hot.dsb_evictions == 0
+        # interpreter: modest natural eviction/switch activity.
+        interp = reports["interpreter"]
+        assert interp.uops_mite > 0
+        # lcp_media: stalls present but bounded.
+        media = reports["lcp_media"]
+        assert media.lcp_stalls > 0
