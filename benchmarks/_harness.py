@@ -5,16 +5,50 @@ evaluation: it runs the experiment on the simulated machines, prints the
 same rows/series the paper reports (with the paper's numbers alongside
 for comparison), writes the output under ``benchmarks/results/``, and
 asserts the qualitative *shape* (orderings, rough factors, crossovers).
+
+Sweep-driven benchmarks route through :func:`run_sweep`, which picks up
+execution options from the environment so the whole suite can be fanned
+out or memoised without touching any benchmark source:
+
+* ``REPRO_SWEEP_JOBS=N``      — run sweep points on N worker processes;
+* ``REPRO_SWEEP_CACHE_DIR=D`` — cache point metrics on disk under D;
+* ``REPRO_SWEEP_NO_CACHE=1``  — ignore the cache even if a dir is set.
 """
 
 from __future__ import annotations
 
 import io
 import os
+import sys
 from contextlib import redirect_stdout
 from typing import Callable, Sequence
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def sweep_executor():
+    """Executor + cache configured from ``REPRO_SWEEP_*`` env vars."""
+    from repro.exec import ParallelExecutor, ResultCache, SerialExecutor
+
+    jobs = int(os.environ.get("REPRO_SWEEP_JOBS", "1"))
+    executor = ParallelExecutor(jobs=jobs) if jobs > 1 else SerialExecutor()
+    cache = None
+    cache_dir = os.environ.get("REPRO_SWEEP_CACHE_DIR")
+    if cache_dir and not os.environ.get("REPRO_SWEEP_NO_CACHE"):
+        cache = ResultCache(cache_dir)
+    return executor, cache
+
+
+def run_sweep(sweep):
+    """Run a :class:`~repro.sweep.ParameterSweep` under the env-selected
+    executor/cache; throughput goes to stderr so captured result files
+    stay byte-identical across execution modes."""
+    from repro.reporting import format_execution_stats
+
+    executor, cache = sweep_executor()
+    table = sweep.run(executor=executor, cache=cache)
+    print(format_execution_stats(sweep.last_stats), file=sys.stderr)
+    return table
 
 
 def run_and_report(benchmark, name: str, experiment: Callable[[], object]) -> object:

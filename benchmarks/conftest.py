@@ -1,0 +1,19 @@
+"""Benchmark-suite collection rules.
+
+Every full-grid paper benchmark is auto-marked ``slow`` so the default
+run (`pytest`, which also powers tier-1 CI) only executes the fast
+``smoke`` targets from this directory.  Regenerate the full results with
+``pytest benchmarks/ --benchmark-only -m slow``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def pytest_collection_modifyitems(items) -> None:
+    for item in items:
+        if "benchmarks" not in str(item.fspath):
+            continue
+        if item.get_closest_marker("smoke") is None:
+            item.add_marker(pytest.mark.slow)

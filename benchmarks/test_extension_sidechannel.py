@@ -9,7 +9,7 @@ even under amplified noise.
 
 from __future__ import annotations
 
-from _harness import format_table, run_and_report
+from _harness import format_table, run_and_report, run_sweep
 
 from repro.analysis.bits import random_bits
 from repro.machine.machine import Machine
@@ -41,7 +41,7 @@ def experiment() -> dict:
         trials=3,
         base_seed=3131,
     )
-    table = sweep.run()
+    table = run_sweep(sweep)
     print("Key extraction: bit accuracy vs observations and noise "
           f"({KEY_BITS}-bit keys, 3 trials per cell)")
     print(table.render(precision=3))

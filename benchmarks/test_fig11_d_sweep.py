@@ -4,32 +4,50 @@ eviction-based attack.
 The paper sweeps d = 1..8: small d gives tiny timing differences (the
 receiver redelivers few blocks) and therefore unreliable decoding, while
 larger d strengthens the signal; the paper picks d = 6 as the balance.
+
+The grid runs through :class:`~repro.sweep.ParameterSweep` and the
+executor layer: set ``REPRO_SWEEP_JOBS`` / ``REPRO_SWEEP_CACHE_DIR`` to
+fan the points across processes or reuse cached metrics — the table is
+identical either way.
 """
 
 from __future__ import annotations
 
-from _harness import format_table, run_and_report
+from _harness import format_table, run_and_report, run_sweep
 
 from repro.analysis.bits import alternating_bits
 from repro.channels.base import ChannelConfig
 from repro.channels.eviction import MtEvictionChannel
 from repro.machine.machine import Machine
 from repro.machine.specs import GOLD_6226
+from repro.sweep import ParameterSweep, SweepPoint
 
 MESSAGE_BITS = 48
+BASE_SEED = 1100
 
 
-def run_d(d: int) -> tuple[float, float, float]:
-    machine = Machine(GOLD_6226, seed=1100 + d)
+def run_point(point: SweepPoint) -> dict:
+    machine = Machine(GOLD_6226, seed=point.seed)
     channel = MtEvictionChannel(
-        machine, ChannelConfig(d=d, p=1000, q=100)
+        machine, ChannelConfig(d=point["d"], p=1000, q=100)
     )
     result = channel.transmit(alternating_bits(MESSAGE_BITS))
-    return result.kbps, result.error_rate, channel.decoder.margin
+    return {
+        "kbps": result.kbps,
+        "error": result.error_rate,
+        "margin": channel.decoder.margin,
+    }
 
 
 def experiment() -> dict[int, tuple[float, float, float]]:
-    results = {d: run_d(d) for d in range(1, 9)}
+    sweep = ParameterSweep(
+        run_point, grid={"d": list(range(1, 9))}, base_seed=BASE_SEED
+    )
+    table = run_sweep(sweep)
+    results = {
+        row["d"]: (row["kbps_mean"], row["error_mean"], row["margin_mean"])
+        for row in table.rows()
+    }
     rows = [
         (d, f"{kbps:.2f}", f"{err * 100:.2f}%", f"{margin:.0f}")
         for d, (kbps, err, margin) in results.items()

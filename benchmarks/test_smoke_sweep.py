@@ -1,0 +1,72 @@
+"""Executor-layer smoke sweep — stays in the default (tier-1) run.
+
+One small, real sweep (a 4-point slice of the Figure 11 d-sweep) runs
+through every execution strategy and must agree bit-for-bit:
+
+* ``SerialExecutor`` — the reference;
+* ``ParallelExecutor(jobs=2)`` — fan-out across worker processes;
+* cache-cold then cache-warm serial runs — memoised metrics.
+
+This is deliberately a plain test (no ``benchmark`` fixture) so it
+executes in every configuration, including ``pytest`` with no plugins
+selected.  The full-grid benchmarks are ``slow``-marked and excluded
+from the default run (see ``conftest.py``).
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.analysis.bits import alternating_bits
+from repro.channels.base import ChannelConfig
+from repro.channels.eviction import MtEvictionChannel
+from repro.exec import ParallelExecutor, ResultCache, SerialExecutor
+from repro.machine.machine import Machine
+from repro.machine.specs import GOLD_6226
+from repro.sweep import ParameterSweep, SweepPoint
+
+pytestmark = pytest.mark.smoke
+
+GRID = {"d": [1, 2, 4, 6]}
+BASE_SEED = 1100
+
+
+def run_point(point: SweepPoint) -> dict:
+    machine = Machine(GOLD_6226, seed=point.seed)
+    channel = MtEvictionChannel(
+        machine, ChannelConfig(d=point["d"], p=1000, q=100)
+    )
+    result = channel.transmit(alternating_bits(16))
+    return {"kbps": result.kbps, "error": result.error_rate}
+
+
+def make_sweep() -> ParameterSweep:
+    return ParameterSweep(run_point, grid=GRID, base_seed=BASE_SEED)
+
+
+def test_smoke_sweep_executors_agree(tmp_path):
+    serial_sweep = make_sweep()
+    t0 = time.perf_counter()
+    serial = serial_sweep.run(SerialExecutor())
+    cold_serial_s = time.perf_counter() - t0
+    assert serial_sweep.last_stats.cache_hits == 0
+
+    parallel_sweep = make_sweep()
+    parallel = parallel_sweep.run(ParallelExecutor(jobs=2))
+    assert parallel == serial
+    assert parallel_sweep.last_stats.executor == "parallel"
+    assert parallel_sweep.last_stats.jobs == 2
+
+    cache = ResultCache(tmp_path / "cache")
+    make_sweep().run(SerialExecutor(), cache=cache)
+    warm_sweep = make_sweep()
+    t0 = time.perf_counter()
+    warm = warm_sweep.run(SerialExecutor(), cache=cache)
+    warm_s = time.perf_counter() - t0
+    assert warm == serial
+    assert warm_sweep.last_stats.cache_hits == len(warm_sweep.points())
+    # Cache-warm reruns skip all simulation; generous 4x margin on the
+    # acceptance bound (warm < 25% of cold serial) to stay CI-proof.
+    assert warm_s < cold_serial_s

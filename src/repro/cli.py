@@ -9,25 +9,36 @@ Gives each of the library's headline capabilities a one-line invocation:
 * ``spectre``     — recover a secret via Spectre v1 over a chosen channel;
 * ``sgx``         — run an SGX enclave attack;
 * ``defense``     — print the mitigation/attack matrix;
+* ``sweep``       — grid-sweep channel parameters (parallel + cached);
 * ``validate``    — run the 10-point model-invariant checklist;
 * ``report``      — assemble benchmark results into REPORT.md.
 
-All commands accept ``--seed`` for exact reproducibility.
+All commands accept ``--seed`` for exact reproducibility.  ``sweep``
+additionally takes ``--jobs N`` (worker processes), ``--cache-dir``
+(on-disk result cache, default ``.repro-cache``) and ``--no-cache``.
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
+import functools
 import sys
 from typing import Sequence
 
 from repro.analysis.bits import alternating_bits, random_bits, string_to_bits
+from repro.channels.base import ChannelConfig
 from repro.channels.eviction import MtEvictionChannel, NonMtEvictionChannel
 from repro.channels.misalignment import (
+    MISALIGN_DEFAULTS,
     MtMisalignmentChannel,
     NonMtMisalignmentChannel,
 )
-from repro.channels.power import PowerEvictionChannel, PowerMisalignmentChannel
+from repro.channels.power import (
+    POWER_ITERATIONS,
+    PowerEvictionChannel,
+    PowerMisalignmentChannel,
+)
 from repro.channels.probes import path_timing_samples
 from repro.channels.slow_switch import SlowSwitchChannel
 from repro.errors import ReproError
@@ -122,6 +133,53 @@ def build_parser() -> argparse.ArgumentParser:
     )
     defense.add_argument("--bits", type=int, default=32)
 
+    sweep = sub.add_parser(
+        "sweep",
+        help="grid-sweep channel parameters (parallel + cached)",
+        parents=[common],
+    )
+    sweep.add_argument("--machine", default="Gold 6226")
+    sweep.add_argument(
+        "--channel",
+        default="eviction",
+        choices=[
+            "eviction",
+            "misalignment",
+            "slow-switch",
+            "mt-eviction",
+            "mt-misalignment",
+            "power-eviction",
+            "power-misalignment",
+        ],
+    )
+    sweep.add_argument(
+        "--variant", default="fast", choices=["stealthy", "fast"]
+    )
+    sweep.add_argument(
+        "--param",
+        action="append",
+        required=True,
+        metavar="NAME=V1,V2,...",
+        help="grid axis over a ChannelConfig field, e.g. d=1,2,4,6,8 "
+        "(repeat for multi-axis grids)",
+    )
+    sweep.add_argument("--trials", type=int, default=1)
+    sweep.add_argument("--bits", type=int, default=32, help="message bits per point")
+    sweep.add_argument(
+        "--jobs", type=int, default=1, help="worker processes (1 = serial)"
+    )
+    sweep.add_argument(
+        "--cache-dir",
+        default=".repro-cache",
+        help="on-disk result cache directory",
+    )
+    sweep.add_argument(
+        "--no-cache", action="store_true", help="disable the result cache"
+    )
+    sweep.add_argument(
+        "--progress", action="store_true", help="print per-point progress to stderr"
+    )
+
     sub.add_parser(
         "validate",
         help="check the model's paper invariants (10-point checklist)",
@@ -156,19 +214,99 @@ def _cmd_machines(_args) -> int:
     return 0
 
 
-def _build_channel(machine: Machine, name: str, variant: str):
+def _build_channel(machine: Machine, name: str, variant: str, config=None):
     builders = {
-        "eviction": lambda: NonMtEvictionChannel(machine, variant=variant),
-        "misalignment": lambda: NonMtMisalignmentChannel(machine, variant=variant),
-        "slow-switch": lambda: SlowSwitchChannel(machine),
-        "mt-eviction": lambda: MtEvictionChannel(machine),
-        "mt-misalignment": lambda: MtMisalignmentChannel(machine),
-        "power-eviction": lambda: PowerEvictionChannel(machine, variant=variant),
+        "eviction": lambda: NonMtEvictionChannel(machine, config, variant=variant),
+        "misalignment": lambda: NonMtMisalignmentChannel(
+            machine, config, variant=variant
+        ),
+        "slow-switch": lambda: SlowSwitchChannel(machine, config),
+        "mt-eviction": lambda: MtEvictionChannel(machine, config),
+        "mt-misalignment": lambda: MtMisalignmentChannel(machine, config),
+        "power-eviction": lambda: PowerEvictionChannel(
+            machine, config, variant=variant
+        ),
         "power-misalignment": lambda: PowerMisalignmentChannel(
-            machine, variant=variant
+            machine, config, variant=variant
         ),
     }
     return builders[name]()
+
+
+#: Per-channel default protocol parameters, mirroring each constructor's
+#: ``config is None`` branch so sweep overrides start from the same
+#: baseline as a plain ``transmit``.
+_CHANNEL_DEFAULTS: dict[str, dict] = {
+    "eviction": {},
+    "misalignment": dict(MISALIGN_DEFAULTS),
+    "slow-switch": {},
+    "mt-eviction": dict(MtEvictionChannel.MT_DEFAULTS),
+    "mt-misalignment": dict(MtMisalignmentChannel.MT_DEFAULTS),
+    "power-eviction": {"p": POWER_ITERATIONS, "q": POWER_ITERATIONS},
+    "power-misalignment": {
+        "p": POWER_ITERATIONS,
+        "q": POWER_ITERATIONS,
+        "d": 5,
+        "M": 8,
+    },
+}
+
+
+def _sweep_config(channel_name: str, overrides) -> ChannelConfig:
+    """ChannelConfig for one grid point: channel defaults + overrides."""
+    from repro.errors import ConfigurationError
+
+    known = {f.name for f in dataclasses.fields(ChannelConfig)}
+    unknown = sorted(set(overrides) - known)
+    if unknown:
+        raise ConfigurationError(
+            f"unknown ChannelConfig parameter(s) {unknown}; choose from "
+            f"{sorted(known)}"
+        )
+    merged = {**_CHANNEL_DEFAULTS[channel_name], **dict(overrides)}
+    try:
+        return ChannelConfig(**merged)
+    except TypeError as exc:
+        # e.g. a string grid value for a numeric protocol parameter.
+        raise ConfigurationError(
+            f"invalid ChannelConfig for {channel_name}: {exc}"
+        ) from exc
+
+
+def _sweep_point_metrics(
+    machine_name: str, channel_name: str, variant: str, bits: int, point
+) -> dict:
+    """Sweep factory: one channel transmission at one grid point.
+
+    Module-level (and dispatched via :func:`functools.partial`) so the
+    parallel executor can pickle it into worker processes.
+    """
+    machine = Machine(spec_by_name(machine_name), seed=point.seed)
+    config = _sweep_config(channel_name, point.values)
+    channel = _build_channel(machine, channel_name, variant, config)
+    result = channel.transmit(alternating_bits(bits))
+    return {"kbps": result.kbps, "error": result.error_rate}
+
+
+def _parse_param_axis(text: str) -> tuple[str, list]:
+    """Parse one ``--param name=v1,v2,...`` grid axis."""
+    from repro.errors import ConfigurationError
+
+    name, sep, tail = text.partition("=")
+    if not sep or not name or not tail:
+        raise ConfigurationError(
+            f"--param expects NAME=V1,V2,... (got {text!r})"
+        )
+
+    def parse_value(token: str):
+        for caster in (int, float):
+            try:
+                return caster(token)
+            except ValueError:
+                continue
+        return token
+
+    return name, [parse_value(token) for token in tail.split(",")]
 
 
 def _cmd_transmit(args) -> int:
@@ -267,6 +405,35 @@ def _cmd_report(args) -> int:
     return 0
 
 
+def _cmd_sweep(args) -> int:
+    from repro.exec import ParallelExecutor, ResultCache, SerialExecutor
+    from repro.reporting import format_execution_stats, progress_printer
+    from repro.sweep import ParameterSweep
+
+    grid = dict(_parse_param_axis(axis) for axis in args.param)
+    factory = functools.partial(
+        _sweep_point_metrics, args.machine, args.channel, args.variant, args.bits
+    )
+    sweep = ParameterSweep(factory, grid, trials=args.trials, base_seed=args.seed)
+    if args.jobs < 1:
+        from repro.errors import ConfigurationError
+
+        raise ConfigurationError(f"--jobs must be >= 1, got {args.jobs}")
+    executor = (
+        ParallelExecutor(jobs=args.jobs) if args.jobs > 1 else SerialExecutor()
+    )
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    progress = progress_printer() if args.progress else None
+    table = sweep.run(executor=executor, cache=cache, progress=progress)
+    print(
+        f"sweep over {', '.join(grid)} — {args.channel} on {args.machine} "
+        f"({args.bits}-bit message, {args.trials} trial(s)/point)"
+    )
+    print(table.render(precision=3))
+    print(format_execution_stats(sweep.last_stats))
+    return 0
+
+
 def _cmd_defense(args) -> int:
     from repro.defense import ALL_MITIGATIONS, DefenseEvaluator
 
@@ -297,6 +464,7 @@ _COMMANDS = {
     "spectre": _cmd_spectre,
     "sgx": _cmd_sgx,
     "defense": _cmd_defense,
+    "sweep": _cmd_sweep,
     "validate": _cmd_validate,
     "report": _cmd_report,
 }

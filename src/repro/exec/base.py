@@ -1,0 +1,147 @@
+"""Executor abstraction: how a sweep's grid points get computed.
+
+:class:`ParameterSweep` describes *what* to run (the grid, the trials,
+the factory); an :class:`Executor` decides *how* — serially in-process,
+fanned out across worker processes, or short-circuited through an
+on-disk :class:`~repro.exec.cache.ResultCache`.  All executors observe
+the same contract:
+
+* results come back **in point order**, regardless of completion order,
+  so a parallel run produces a table identical to a serial run;
+* every run yields an :class:`ExecutionStats` with per-point timings,
+  throughput, and the cache hit rate, for progress/throughput reporting.
+"""
+
+from __future__ import annotations
+
+import abc
+import time
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Iterable, Mapping, Sequence
+
+from repro.errors import ConfigurationError
+from repro.exec.canonical import callable_fingerprint
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.exec.cache import ResultCache
+    from repro.sweep import SweepPoint, SweepResult
+
+__all__ = ["PointTiming", "ExecutionStats", "Executor", "ProgressFn"]
+
+
+@dataclass(frozen=True)
+class PointTiming:
+    """Wall time of one computed (or cache-served) grid point."""
+
+    index: int
+    elapsed_s: float
+    cached: bool
+
+
+@dataclass
+class ExecutionStats:
+    """Throughput summary of one executor run."""
+
+    executor: str
+    jobs: int
+    points: int
+    cache_hits: int
+    elapsed_s: float
+    timings: list[PointTiming] = field(default_factory=list)
+
+    @property
+    def cache_hit_rate(self) -> float:
+        return self.cache_hits / self.points if self.points else 0.0
+
+    @property
+    def points_per_second(self) -> float:
+        return self.points / self.elapsed_s if self.elapsed_s > 0 else 0.0
+
+    @property
+    def computed_points(self) -> int:
+        return self.points - self.cache_hits
+
+
+#: Progress callback: ``(completed, total, timing)`` after every point.
+ProgressFn = Callable[[int, int, PointTiming], None]
+
+
+class Executor(abc.ABC):
+    """Runs a factory over grid points, preserving point order.
+
+    Subclasses implement :meth:`_compute`, yielding ``(index, metrics,
+    elapsed_s)`` for the points the cache could not serve, in any
+    completion order.  The base class handles cache lookups/stores,
+    deterministic reassembly, timing, and progress callbacks.
+    """
+
+    name: str = "executor"
+    jobs: int = 1
+
+    def run(
+        self,
+        points: Sequence["SweepPoint"],
+        factory: Callable[["SweepPoint"], Mapping[str, float]],
+        cache: "ResultCache | None" = None,
+        progress: ProgressFn | None = None,
+    ) -> tuple[list["SweepResult"], ExecutionStats]:
+        from repro.sweep import SweepResult
+
+        start = time.perf_counter()
+        total = len(points)
+        metrics_by_index: list[Mapping[str, float] | None] = [None] * total
+        timings: list[PointTiming | None] = [None] * total
+        cache_hits = 0
+        done = 0
+
+        fingerprint = callable_fingerprint(factory) if cache is not None else ""
+        pending: list[tuple[int, "SweepPoint"]] = []
+        for index, point in enumerate(points):
+            entry = cache.load(point, fingerprint) if cache is not None else None
+            if entry is not None:
+                metrics_by_index[index] = entry
+                timing = PointTiming(index=index, elapsed_s=0.0, cached=True)
+                timings[index] = timing
+                cache_hits += 1
+                done += 1
+                if progress is not None:
+                    progress(done, total, timing)
+            else:
+                pending.append((index, point))
+
+        for index, metrics, elapsed in self._compute(pending, factory):
+            metrics_by_index[index] = metrics
+            timing = PointTiming(index=index, elapsed_s=elapsed, cached=False)
+            timings[index] = timing
+            if cache is not None:
+                cache.store(points[index], fingerprint, metrics)
+            done += 1
+            if progress is not None:
+                progress(done, total, timing)
+
+        missing = [i for i, m in enumerate(metrics_by_index) if m is None]
+        if missing:
+            raise ConfigurationError(
+                f"{self.name} executor returned no result for point(s) {missing}"
+            )
+        results = [
+            SweepResult(point=points[i], metrics=metrics_by_index[i])
+            for i in range(total)
+        ]
+        stats = ExecutionStats(
+            executor=self.name,
+            jobs=self.jobs,
+            points=total,
+            cache_hits=cache_hits,
+            elapsed_s=time.perf_counter() - start,
+            timings=[t for t in timings if t is not None],
+        )
+        return results, stats
+
+    @abc.abstractmethod
+    def _compute(
+        self,
+        pending: Sequence[tuple[int, "SweepPoint"]],
+        factory: Callable[["SweepPoint"], Mapping[str, float]],
+    ) -> Iterable[tuple[int, Mapping[str, float], float]]:
+        """Yield ``(index, metrics, elapsed_s)`` for every pending point."""

@@ -1,0 +1,128 @@
+"""Content-addressed on-disk cache of sweep-point metrics.
+
+Every figure/table rerun recomputes the same grid points; this cache
+makes repeat runs near-free.  Entries are keyed on the *content* of the
+computation:
+
+* the canonical type-tagged encoding of the point's coordinate values
+  (see :mod:`repro.exec.canonical`) — so ``1`` and ``1.0`` never collide
+  and repr drift never aliases two different points;
+* the trial index and derived seed — different trials cache separately;
+* the factory fingerprint — editing the experiment code invalidates its
+  entries automatically.
+
+Metrics are stored as JSON.  Python's JSON round-trips finite floats via
+shortest-repr exactly, so a cache hit returns **bit-identical** metrics.
+Writes go through a temp file + :func:`os.replace`, so concurrent
+workers (or concurrent benchmark invocations) never observe a torn
+entry.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import TYPE_CHECKING, Mapping
+
+from repro.errors import ConfigurationError
+from repro.exec.canonical import canonical_point_key
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sweep import SweepPoint
+
+__all__ = ["ResultCache"]
+
+_FORMAT_VERSION = 1
+
+
+class ResultCache:
+    """Directory-backed store of per-point sweep metrics.
+
+    Parameters
+    ----------
+    root:
+        Cache directory; created on first use.  Safe to share between
+        concurrent processes and to delete at any time.
+    """
+
+    def __init__(self, root: str | os.PathLike) -> None:
+        self.root = Path(root)
+        if self.root.exists() and not self.root.is_dir():
+            raise ConfigurationError(f"cache path {self.root} is not a directory")
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    def key(self, point: "SweepPoint", fingerprint: str) -> str:
+        """Content hash identifying one (point, trial, seed, factory)."""
+        material = json.dumps(
+            {
+                "version": _FORMAT_VERSION,
+                "point": canonical_point_key(point.values),
+                "trial": point.trial,
+                "seed": point.seed,
+                "factory": fingerprint,
+            },
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        return hashlib.sha256(material.encode()).hexdigest()
+
+    def _path(self, key: str) -> Path:
+        # Two-level fan-out keeps directories small on big grids.
+        return self.root / key[:2] / f"{key}.json"
+
+    # ------------------------------------------------------------------
+    def load(self, point: "SweepPoint", fingerprint: str) -> dict | None:
+        """Return cached metrics for ``point``, or ``None`` on a miss.
+
+        Corrupt or unreadable entries count as misses: they are simply
+        recomputed and overwritten.
+        """
+        path = self._path(self.key(point, fingerprint))
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, ValueError):
+            return None
+        metrics = payload.get("metrics")
+        if not isinstance(metrics, dict):
+            return None
+        return metrics
+
+    def store(
+        self, point: "SweepPoint", fingerprint: str, metrics: Mapping[str, float]
+    ) -> Path:
+        """Persist one point's metrics; atomic against concurrent readers."""
+        key = self.key(point, fingerprint)
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "version": _FORMAT_VERSION,
+            "key": key,
+            "values": {name: repr(value) for name, value in point.values.items()},
+            "trial": point.trial,
+            "seed": point.seed,
+            "metrics": dict(metrics),
+        }
+        # No sort_keys: metric insertion order is part of the contract
+        # (tables list metrics in factory-return order, hit or miss).
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        tmp.write_text(json.dumps(payload))
+        os.replace(tmp, path)
+        return path
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*/*.json"))
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number removed."""
+        removed = 0
+        for entry in self.root.glob("*/*.json"):
+            entry.unlink(missing_ok=True)
+            removed += 1
+        return removed
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ResultCache(root={str(self.root)!r}, entries={len(self)})"

@@ -1,0 +1,124 @@
+"""Canonical, cross-process-stable encodings for sweep coordinates.
+
+Seed derivation and result caching both need a *stable identity* for a
+grid point: the same coordinates must map to the same seed (and the same
+cache key) in every process, on every run, forever.  ``repr``-based
+encodings fail this in two ways:
+
+* ``sorted(values.items())`` raises ``TypeError`` for grids that mix
+  unorderable value types on one axis-key set (``{"x": [1, "a"]}``);
+* ``repr`` drift silently changes seeds — ``1`` vs ``1.0`` collide or
+  diverge depending on float formatting, and exotic value types have
+  address-bearing reprs.
+
+This module instead encodes values as *type-tagged* JSON: every scalar
+carries an explicit type tag, floats are encoded via ``float.hex()``
+(bit-exact, locale/repr independent), and mapping keys are sorted by
+their encoded form so no cross-type comparison ever happens.
+"""
+
+from __future__ import annotations
+
+import functools
+import hashlib
+import inspect
+import json
+import numbers
+from typing import Mapping
+
+__all__ = [
+    "canonical_value",
+    "canonical_point_key",
+    "point_seed_name",
+    "callable_fingerprint",
+]
+
+
+def canonical_value(value: object) -> list:
+    """Encode ``value`` as a type-tagged, JSON-serialisable structure.
+
+    Distinct types never collide (``1`` ≠ ``1.0`` ≠ ``True`` ≠ ``"1"``)
+    and the encoding is identical across processes and Python runs.
+    """
+    # bool first: bool is an int subclass and must keep its own tag.
+    if isinstance(value, bool):
+        return ["bool", bool(value)]
+    if isinstance(value, numbers.Integral):
+        return ["int", int(value)]
+    if isinstance(value, numbers.Real):
+        # float.hex() is bit-exact and immune to repr/locale drift.
+        return ["float", float(value).hex()]
+    if isinstance(value, str):
+        return ["str", value]
+    if isinstance(value, bytes):
+        return ["bytes", value.hex()]
+    if value is None:
+        return ["null"]
+    if isinstance(value, (list, tuple)):
+        return ["seq", [canonical_value(item) for item in value]]
+    if isinstance(value, (set, frozenset)):
+        encoded = sorted(json.dumps(canonical_value(item)) for item in value)
+        return ["set", encoded]
+    if isinstance(value, Mapping):
+        items = sorted(
+            (
+                json.dumps(canonical_value(key)),
+                canonical_value(val),
+            )
+            for key, val in value.items()
+        )
+        return ["map", [[k, v] for k, v in items]]
+    # Last resort: type-qualified repr.  Stable only for types with
+    # value-based reprs; grids should stick to the scalar types above.
+    return ["repr", type(value).__qualname__, repr(value)]
+
+
+def canonical_point_key(values: Mapping[str, object]) -> str:
+    """Canonical string identity of one grid coordinate.
+
+    Keys are sorted, values type-tagged; the result is a compact JSON
+    document suitable both as seed-derivation material and as cache-key
+    material.
+    """
+    encoded = {str(name): canonical_value(value) for name, value in values.items()}
+    return json.dumps(encoded, sort_keys=True, separators=(",", ":"))
+
+
+def point_seed_name(values: Mapping[str, object], trial: int) -> str:
+    """Stream name for :func:`repro.rng.derive_seed` at one point/trial."""
+    return f"sweep-point:{canonical_point_key(values)}|trial={int(trial)}"
+
+
+def callable_fingerprint(fn: object) -> str:
+    """Content fingerprint of a sweep factory, stable across processes.
+
+    Cache entries must be invalidated when the factory's *code* changes,
+    so the fingerprint hashes the source text when available, falling
+    back to the compiled code object, and finally to the qualified name.
+    ``functools.partial`` objects fingerprint as (wrapped function,
+    bound arguments), so CLI-built factories cache correctly.
+    """
+    if isinstance(fn, functools.partial):
+        inner = callable_fingerprint(fn.func)
+        bound = canonical_value([list(fn.args), dict(fn.keywords or {})])
+        material = f"partial:{inner}:{json.dumps(bound, sort_keys=True)}"
+        return hashlib.sha256(material.encode()).hexdigest()
+
+    parts = [
+        f"name:{getattr(fn, '__module__', '?')}.{getattr(fn, '__qualname__', type(fn).__qualname__)}"
+    ]
+    try:
+        parts.append("src:" + inspect.getsource(fn))
+    except (OSError, TypeError):
+        code = getattr(fn, "__code__", None)
+        if code is None and hasattr(fn, "__call__"):
+            code = getattr(fn.__call__, "__code__", None)
+        if code is not None:
+            parts.append(
+                "code:"
+                + code.co_name
+                + code.co_code.hex()
+                + repr(code.co_names)
+                + repr(code.co_consts)
+            )
+    return hashlib.sha256("\n".join(parts).encode()).hexdigest()

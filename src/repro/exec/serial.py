@@ -1,0 +1,31 @@
+"""In-process executor: the sweep's original one-after-another behaviour."""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Iterable, Mapping, Sequence
+
+from repro.exec.base import Executor
+
+__all__ = ["SerialExecutor"]
+
+
+class SerialExecutor(Executor):
+    """Computes every pending point in order, in the calling process.
+
+    The default executor: zero overhead, exact historical semantics, and
+    the reference any parallel executor must reproduce bit-for-bit.
+    """
+
+    name = "serial"
+    jobs = 1
+
+    def _compute(
+        self,
+        pending: Sequence[tuple[int, object]],
+        factory: Callable[[object], Mapping[str, float]],
+    ) -> Iterable[tuple[int, Mapping[str, float], float]]:
+        for index, point in pending:
+            t0 = time.perf_counter()
+            metrics = dict(factory(point))
+            yield index, metrics, time.perf_counter() - t0

@@ -19,6 +19,13 @@ from repro.frontend.engine import LoopReport
 
 __all__ = ["CounterSample", "CounterSampler"]
 
+#: LoopReport counters folded into per-window rates.
+_EVENT_FIELDS = ("dsb_evictions", "lsd_flushes", "switches_to_mite", "uops_mite")
+
+
+def _empty_acc() -> dict[str, float]:
+    return {name: 0.0 for name in _EVENT_FIELDS}
+
 
 @dataclass(frozen=True)
 class CounterSample:
@@ -36,6 +43,14 @@ class CounterSample:
 class CounterSampler:
     """Accumulates execution into fixed-duration counter windows.
 
+    A report spanning several windows has its events split
+    *proportionally* across the cycles of each window it covers (the
+    reports carry no per-event timestamps, so a uniform spread over the
+    report's duration is the best available attribution).  Attributing
+    everything to the first window — the previous behaviour — produced
+    one inflated window followed by all-zero windows for long reports,
+    skewing ``burst_fraction`` and ``peak``.
+
     Parameters
     ----------
     window_cycles:
@@ -47,7 +62,7 @@ class CounterSampler:
     window_cycles: float = 50_000.0
     _samples: list[CounterSample] = field(default_factory=list)
     _clock: float = 0.0
-    _acc: LoopReport = field(default_factory=LoopReport)
+    _acc: dict[str, float] = field(default_factory=_empty_acc)
     _acc_start: float = 0.0
 
     def __post_init__(self) -> None:
@@ -57,30 +72,42 @@ class CounterSampler:
     # ------------------------------------------------------------------
     def record(self, report: LoopReport) -> None:
         """Fold one execution region into the sample stream."""
-        self._acc.merge(report)
-        self._clock += report.cycles
-        while self._clock - self._acc_start >= self.window_cycles:
-            self._emit_window()
+        start = self._clock
+        end = start + report.cycles
+        self._clock = end
+        if report.cycles <= 0:
+            # Instantaneous report: all events land in the open window.
+            for name in _EVENT_FIELDS:
+                self._acc[name] += getattr(report, name)
+            return
+        while True:
+            window_end = self._acc_start + self.window_cycles
+            lo = max(start, self._acc_start)
+            hi = min(end, window_end)
+            if hi > lo:
+                fraction = (hi - lo) / report.cycles
+                for name in _EVENT_FIELDS:
+                    self._acc[name] += getattr(report, name) * fraction
+            if end >= window_end:
+                self._emit_window()
+            else:
+                break
 
     def _emit_window(self) -> None:
         duration = self.window_cycles
         kcycles = duration / 1000.0
         acc = self._acc
-        # Rates attribute the accumulated events to this window; the
-        # remainder carries into the next (simple proportional split
-        # would need per-event timestamps the reports do not carry, and
-        # the detector thresholds are coarse enough not to care).
         self._samples.append(
             CounterSample(
                 start_cycle=self._acc_start,
                 duration_cycles=duration,
-                evictions_per_kcycle=acc.dsb_evictions / kcycles,
-                flushes_per_kcycle=acc.lsd_flushes / kcycles,
-                switches_per_kcycle=acc.switches_to_mite / kcycles,
-                mite_uops_per_kcycle=acc.uops_mite / kcycles,
+                evictions_per_kcycle=acc["dsb_evictions"] / kcycles,
+                flushes_per_kcycle=acc["lsd_flushes"] / kcycles,
+                switches_per_kcycle=acc["switches_to_mite"] / kcycles,
+                mite_uops_per_kcycle=acc["uops_mite"] / kcycles,
             )
         )
-        self._acc = LoopReport()
+        self._acc = _empty_acc()
         self._acc_start += duration
 
     def flush(self) -> None:

@@ -1,19 +1,78 @@
-"""Reproduction report generation.
+"""Reproduction report generation and run-progress formatting.
 
 Collects the benchmark harness outputs (``benchmarks/results/*.txt``)
 into a single ``REPORT.md`` — the artifact a reviewer reads first.  Runs
 from the CLI (``python -m repro report``) after
-``pytest benchmarks/ --benchmark-only`` has populated the results.
+``pytest benchmarks/ --benchmark-only -m slow`` has populated the
+results.
+
+Also home to the human-facing formatting of the execution layer's
+throughput numbers (:class:`~repro.exec.base.ExecutionStats`): sweep
+commands and the benchmark harness print one
+:func:`format_execution_stats` line per run, and long sweeps can stream
+per-point progress through :func:`progress_printer`.
 """
 
 from __future__ import annotations
 
+import sys
 from dataclasses import dataclass
 from pathlib import Path
+from typing import IO, TYPE_CHECKING, Callable
 
 from repro.errors import ConfigurationError
 
-__all__ = ["ReportSection", "collect_sections", "write_report", "REPORT_ORDER"]
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.exec.base import ExecutionStats, PointTiming
+
+__all__ = [
+    "ReportSection",
+    "collect_sections",
+    "write_report",
+    "REPORT_ORDER",
+    "format_execution_stats",
+    "progress_printer",
+]
+
+
+def format_execution_stats(stats: "ExecutionStats") -> str:
+    """One-line throughput summary of an executor run.
+
+    Example::
+
+        16 points via parallel(jobs=4) in 1.82s — 8.8 points/s, cache
+        hits 8/16 (50%), slowest point 0.41s
+    """
+    parts = [
+        f"{stats.points} points via {stats.executor}(jobs={stats.jobs}) "
+        f"in {stats.elapsed_s:.2f}s",
+        f"{stats.points_per_second:.1f} points/s",
+        f"cache hits {stats.cache_hits}/{stats.points} "
+        f"({stats.cache_hit_rate * 100:.0f}%)",
+    ]
+    computed = [t.elapsed_s for t in stats.timings if not t.cached]
+    if computed:
+        parts.append(f"slowest point {max(computed):.2f}s")
+    return " — ".join(parts[:1]) + " — " + ", ".join(parts[1:])
+
+
+def progress_printer(
+    stream: IO[str] | None = None, every: int = 1
+) -> Callable[[int, int, "PointTiming"], None]:
+    """Progress callback for :meth:`repro.sweep.ParameterSweep.run`.
+
+    Prints ``[done/total]`` lines (every ``every``-th point and the
+    last) to ``stream`` (default stderr), flagging cache hits.
+    """
+    out = stream if stream is not None else sys.stderr
+
+    def callback(done: int, total: int, timing: "PointTiming") -> None:
+        if done % every and done != total:
+            return
+        source = "cache" if timing.cached else f"{timing.elapsed_s:.2f}s"
+        print(f"[{done}/{total}] point {timing.index} ({source})", file=out)
+
+    return callback
 
 #: Result-file stem -> human heading, in the paper's presentation order.
 REPORT_ORDER: tuple[tuple[str, str], ...] = (
@@ -59,7 +118,7 @@ def collect_sections(results_dir: str | Path) -> list[ReportSection]:
     if not results_dir.is_dir():
         raise ConfigurationError(
             f"{results_dir} is not a directory; run "
-            "`pytest benchmarks/ --benchmark-only` first"
+            "`pytest benchmarks/ --benchmark-only -m slow` first"
         )
     sections = []
     for stem, heading in REPORT_ORDER:
@@ -81,14 +140,14 @@ def write_report(
     if not sections:
         raise ConfigurationError(
             f"no benchmark results found in {results_dir}; run "
-            "`pytest benchmarks/ --benchmark-only` first"
+            "`pytest benchmarks/ --benchmark-only -m slow` first"
         )
     known = {stem for stem, _ in REPORT_ORDER}
     lines = [
         f"# {title}",
         "",
         "Generated from `benchmarks/results/` — regenerate with",
-        "`pytest benchmarks/ --benchmark-only && python -m repro report`.",
+        "`pytest benchmarks/ --benchmark-only -m slow && python -m repro report`.",
         "",
         f"Sections present: {len(sections)}/{len(known)}.",
         "",

@@ -15,18 +15,32 @@ module factors that pattern into a reusable, deterministic grid runner::
 Each grid point runs ``trials`` times with per-point derived seeds; the
 result table carries mean/min/max per metric and renders as ASCII or
 exports to plain dicts for further analysis.
+
+How the points get computed is pluggable (:mod:`repro.exec`): the
+default :class:`~repro.exec.serial.SerialExecutor` preserves the
+historical in-process behaviour, a
+:class:`~repro.exec.parallel.ParallelExecutor` fans points across worker
+processes, and a :class:`~repro.exec.cache.ResultCache` memoises
+already-computed points on disk.  All strategies produce identical
+tables; ``sweep.last_stats`` carries the throughput/cache statistics of
+the most recent run.
 """
 
 from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Callable, Mapping, Sequence
+from typing import TYPE_CHECKING, Callable, Mapping, Sequence
 
 import numpy as np
 
 from repro.errors import ConfigurationError
+from repro.exec.canonical import point_seed_name
 from repro.rng import derive_seed
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.exec.base import ExecutionStats, Executor, ProgressFn
+    from repro.exec.cache import ResultCache
 
 __all__ = ["SweepPoint", "SweepResult", "SweepTable", "ParameterSweep"]
 
@@ -53,20 +67,45 @@ class SweepResult:
 
 @dataclass
 class SweepTable:
-    """Aggregated sweep output: one row per grid coordinate."""
+    """Aggregated sweep output: one row per grid coordinate.
+
+    Rows come back in **grid order** (the cartesian-product order of
+    ``grid``) regardless of the order results were appended in — a
+    parallel executor completing points out of order still yields the
+    same table.  Coordinates not described by ``grid`` (or all rows,
+    when ``grid`` is omitted) keep first-appearance order.
+
+    The per-row aggregation is cached; use :meth:`append` (not direct
+    mutation of ``results``) so the cache invalidates correctly.
+    """
 
     parameter_names: tuple[str, ...]
     metric_names: tuple[str, ...]
     results: list[SweepResult] = field(default_factory=list)
+    grid: Mapping[str, Sequence[object]] | None = None
+    _rows_cache: list[dict] | None = field(
+        default=None, repr=False, compare=False
+    )
+
+    def append(self, result: SweepResult) -> None:
+        """Add one result and invalidate the cached aggregation."""
+        self.results.append(result)
+        self._rows_cache = None
 
     def rows(self) -> list[dict]:
         """Per-coordinate aggregation (mean/min/max over trials)."""
+        if self._rows_cache is None:
+            self._rows_cache = self._aggregate()
+        return [dict(row) for row in self._rows_cache]
+
+    def _aggregate(self) -> list[dict]:
         grouped: dict[tuple, list[SweepResult]] = {}
         for result in self.results:
             key = tuple(result.point.values[name] for name in self.parameter_names)
             grouped.setdefault(key, []).append(result)
         rows = []
-        for key, bucket in grouped.items():
+        for key in self._ordered_keys(grouped):
+            bucket = grouped[key]
             row: dict = dict(zip(self.parameter_names, key))
             for metric in self.metric_names:
                 samples = [r.metrics[metric] for r in bucket]
@@ -75,6 +114,24 @@ class SweepTable:
                 row[f"{metric}_max"] = float(np.max(samples))
             rows.append(row)
         return rows
+
+    def _ordered_keys(self, grouped: Mapping[tuple, object]) -> list[tuple]:
+        """Grouped coordinate keys, sorted into grid order."""
+        keys = list(grouped)
+        if self.grid is None:
+            return keys
+        axes = [list(self.grid.get(name, [])) for name in self.parameter_names]
+        in_grid: list[tuple[tuple[int, ...], tuple]] = []
+        extras: list[tuple] = []
+        for key in keys:
+            try:
+                rank = tuple(axis.index(value) for axis, value in zip(axes, key))
+            except ValueError:
+                extras.append(key)
+            else:
+                in_grid.append((rank, key))
+        in_grid.sort(key=lambda item: item[0])
+        return [key for _, key in in_grid] + extras
 
     def column(self, metric: str) -> list[float]:
         """Mean values of one metric, in grid order."""
@@ -110,13 +167,19 @@ class ParameterSweep:
     factory:
         Callable ``(point) -> Mapping[str, float]`` running one trial and
         returning named metrics.  It receives a :class:`SweepPoint` whose
-        ``seed`` is unique and stable per (coordinate, trial).
+        ``seed`` is unique and stable per (coordinate, trial).  To run
+        under a :class:`~repro.exec.parallel.ParallelExecutor` the
+        factory must be picklable (module-level function or
+        ``functools.partial``).
     grid:
         Parameter name -> list of values.  The cartesian product is run.
     trials:
         Repetitions per coordinate (different seeds).
     base_seed:
-        Root of the per-point seed derivation.
+        Root of the per-point seed derivation.  Seeds use a canonical
+        type-tagged encoding of the coordinate (:mod:`repro.exec.canonical`),
+        so they are stable across processes and immune to ``repr`` drift,
+        and grids may mix value types freely on an axis.
     """
 
     def __init__(
@@ -136,6 +199,8 @@ class ParameterSweep:
         self.grid = {name: list(values) for name, values in grid.items()}
         self.trials = trials
         self.base_seed = base_seed
+        #: Stats of the most recent :meth:`run` (None before the first).
+        self.last_stats: "ExecutionStats | None" = None
 
     def points(self) -> list[SweepPoint]:
         names = list(self.grid)
@@ -143,18 +208,52 @@ class ParameterSweep:
         for combo in itertools.product(*(self.grid[name] for name in names)):
             values = dict(zip(names, combo))
             for trial in range(self.trials):
-                seed = derive_seed(self.base_seed, f"{sorted(values.items())}/{trial}")
+                seed = derive_seed(self.base_seed, point_seed_name(values, trial))
                 points.append(SweepPoint(values=values, trial=trial, seed=seed))
         return points
 
-    def run(self) -> SweepTable:
-        results = []
+    def run(
+        self,
+        executor: "Executor | None" = None,
+        cache: "ResultCache | None" = None,
+        progress: "ProgressFn | None" = None,
+    ) -> SweepTable:
+        """Execute the grid and aggregate into a :class:`SweepTable`.
+
+        Parameters
+        ----------
+        executor:
+            Execution strategy; defaults to a fresh
+            :class:`~repro.exec.serial.SerialExecutor`.
+        cache:
+            Optional :class:`~repro.exec.cache.ResultCache`; hits skip
+            the factory entirely.
+        progress:
+            Optional ``(completed, total, timing)`` callback invoked
+            after every point.
+        """
+        from repro.exec.serial import SerialExecutor
+
+        if executor is None:
+            executor = SerialExecutor()
+        points = self.points()
+        results, stats = executor.run(points, self.factory, cache=cache, progress=progress)
+        metric_names = self._validate_metrics(results)
+        self.last_stats = stats
+        return SweepTable(
+            parameter_names=tuple(self.grid),
+            metric_names=metric_names,
+            results=list(results),
+            grid={name: tuple(values) for name, values in self.grid.items()},
+        )
+
+    def _validate_metrics(self, results: Sequence[SweepResult]) -> tuple[str, ...]:
         metric_names: tuple[str, ...] = ()
-        for point in self.points():
-            metrics = dict(self.factory(point))
+        for result in results:
+            metrics = result.metrics
             if not metrics:
                 raise ConfigurationError(
-                    f"sweep factory returned no metrics at {point.values}"
+                    f"sweep factory returned no metrics at {result.point.values}"
                 )
             if not metric_names:
                 metric_names = tuple(metrics)
@@ -163,9 +262,4 @@ class ParameterSweep:
                     "sweep factory must return the same metrics at every "
                     f"point (got {tuple(metrics)} vs {metric_names})"
                 )
-            results.append(SweepResult(point=point, metrics=metrics))
-        return SweepTable(
-            parameter_names=tuple(self.grid),
-            metric_names=metric_names,
-            results=results,
-        )
+        return metric_names

@@ -71,6 +71,61 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "sgx-non-mt" in out
 
+    def test_sweep_serial_with_cache(self, capsys, tmp_path):
+        argv = [
+            "sweep", "--channel", "eviction", "--variant", "fast",
+            "--param", "d=2,4", "--bits", "8",
+            "--cache-dir", str(tmp_path / "cache"),
+        ]
+        assert main(argv) == 0
+        cold = capsys.readouterr().out
+        assert "kbps_mean" in cold
+        assert "cache hits 0/2" in cold
+        # Warm rerun serves every point from the cache, same table.
+        assert main(argv) == 0
+        warm = capsys.readouterr().out
+        assert "cache hits 2/2" in warm
+        assert warm.splitlines()[:4] == cold.splitlines()[:4]
+
+    def test_sweep_parallel_matches_serial(self, capsys):
+        base = [
+            "sweep", "--channel", "eviction", "--variant", "fast",
+            "--param", "d=2,4", "--bits", "8", "--no-cache",
+        ]
+        assert main(base) == 0
+        serial = capsys.readouterr().out.splitlines()[:4]
+        assert main(base + ["--jobs", "2"]) == 0
+        parallel = capsys.readouterr().out.splitlines()[:4]
+        assert parallel == serial
+
+    def test_sweep_progress_goes_to_stderr(self, capsys):
+        argv = [
+            "sweep", "--param", "d=2", "--bits", "8", "--no-cache",
+            "--progress", "--variant", "fast",
+        ]
+        assert main(argv) == 0
+        captured = capsys.readouterr()
+        assert "[1/1]" in captured.err
+        assert "[1/1]" not in captured.out
+
+    def test_sweep_rejects_zero_jobs(self, capsys):
+        code = main(["sweep", "--param", "d=2", "--no-cache", "--jobs", "0"])
+        assert code == 1
+        assert "--jobs must be >= 1" in capsys.readouterr().err
+
+    def test_sweep_rejects_non_numeric_value_cleanly(self, capsys):
+        code = main(["sweep", "--param", "q=100,fast", "--no-cache"])
+        assert code == 1
+        assert "invalid ChannelConfig" in capsys.readouterr().err
+
+    def test_sweep_rejects_bad_param(self, capsys):
+        assert main(["sweep", "--param", "d", "--no-cache"]) == 1
+        assert "--param expects" in capsys.readouterr().err
+
+    def test_sweep_rejects_unknown_config_field(self, capsys):
+        assert main(["sweep", "--param", "nope=1", "--no-cache"]) == 1
+        assert "unknown ChannelConfig parameter" in capsys.readouterr().err
+
     def test_mt_channel_on_non_smt_machine_fails_cleanly(self, capsys):
         code = main(
             ["transmit", "--machine", "E-2288G", "--channel", "mt-eviction"]

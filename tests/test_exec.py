@@ -1,0 +1,255 @@
+"""Determinism suite for the execution layer (``repro.exec``).
+
+The contract every scaling feature builds on: parallel execution and
+result caching must be *invisible* — same table, same seeds, same bits —
+and seed derivation is pinned to golden values so refactors cannot
+silently shift every experiment.
+"""
+
+from __future__ import annotations
+
+import functools
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.exec import (
+    ExecutionStats,
+    ParallelExecutor,
+    ResultCache,
+    SerialExecutor,
+    callable_fingerprint,
+    canonical_point_key,
+    canonical_value,
+    point_seed_name,
+)
+from repro.rng import derive_seed
+from repro.sweep import ParameterSweep, SweepPoint, SweepResult, SweepTable
+
+
+def quadratic(point: SweepPoint) -> dict:
+    """Module-level factory: picklable for the process-pool executor."""
+    x = point["x"]
+    return {"y": float(x * x), "seed_mod": float(point.seed % 7)}
+
+
+def awkward_floats(point: SweepPoint) -> dict:
+    """Metrics with non-terminating binary expansions: the round-trip
+    through the on-disk cache must still be bit-identical."""
+    x = point["x"]
+    return {"a": 0.1 + 0.2 * x, "b": x / 3.0, "c": 1e-300 * (x + 1)}
+
+
+def make_sweep(trials: int = 2) -> ParameterSweep:
+    return ParameterSweep(quadratic, {"x": [1, 2, 3]}, trials=trials, base_seed=7)
+
+
+# ----------------------------------------------------------------------
+# canonical encoding + seed derivation
+# ----------------------------------------------------------------------
+class TestCanonicalEncoding:
+    def test_type_tags_distinguish_scalars(self):
+        assert canonical_value(1) != canonical_value(1.0)
+        assert canonical_value(1) != canonical_value(True)
+        assert canonical_value(1) != canonical_value("1")
+        assert canonical_value(0) != canonical_value(False)
+
+    def test_numeric_equivalence_within_type(self):
+        assert canonical_value(1.0) == canonical_value(1.0 + 0.0)
+        # repr drift (e.g. 0.1 printing differently) cannot occur:
+        # floats encode via hex.
+        assert canonical_value(0.1) == ["float", (0.1).hex()]
+
+    def test_mixed_types_on_one_axis_do_not_crash(self):
+        # The old repr/sort scheme raised TypeError on int-vs-str axes.
+        key_a = canonical_point_key({"x": 1, "mode": "fast"})
+        key_b = canonical_point_key({"mode": "fast", "x": 1})
+        assert key_a == key_b  # key order never matters
+
+    def test_unorderable_grid_values_sweep_cleanly(self):
+        table = ParameterSweep(
+            quadratic, {"x": [1, 2], "mode": ["fast", None]}
+        ).run()
+        assert len(table.rows()) == 4
+
+    def test_containers_encode_recursively(self):
+        assert canonical_value([1, "a"]) == ["seq", [["int", 1], ["str", "a"]]]
+        assert canonical_value((1, "a")) == canonical_value([1, "a"])
+        assert canonical_value({1, 2}) == canonical_value({2, 1})
+
+    def test_golden_point_key(self):
+        assert (
+            canonical_point_key({"x": 1, "z": "a"})
+            == '{"x":["int",1],"z":["str","a"]}'
+        )
+
+    def test_golden_seeds(self):
+        """Pinned seed values: a change here silently shifts every
+        experiment in the repository.  Do not update casually."""
+        assert derive_seed(0, point_seed_name({"d": 6}, 0)) == 1859919037931516298
+        assert derive_seed(0, point_seed_name({"d": 6.0}, 0)) == 16883461249749157310
+        assert derive_seed(0, point_seed_name({"d": True}, 0)) == 13923685620645232500
+        points = make_sweep(trials=2).points()
+        assert [p.seed for p in points[:4]] == [
+            12318746435937831291,
+            11626969504137549776,
+            5706562028069310972,
+            17730203699526921936,
+        ]
+
+    def test_fingerprint_distinguishes_functions(self):
+        assert callable_fingerprint(quadratic) != callable_fingerprint(awkward_floats)
+        assert callable_fingerprint(quadratic) == callable_fingerprint(quadratic)
+
+    def test_fingerprint_partial_binds_arguments(self):
+        base = functools.partial(quadratic)
+        bound = functools.partial(quadratic, extra=1)
+        assert callable_fingerprint(base) != callable_fingerprint(bound)
+
+
+# ----------------------------------------------------------------------
+# executor equivalence
+# ----------------------------------------------------------------------
+class TestExecutorDeterminism:
+    def test_parallel_matches_serial(self):
+        serial = make_sweep().run(SerialExecutor())
+        parallel = make_sweep().run(ParallelExecutor(jobs=4))
+        assert parallel == serial
+
+    def test_parallel_preserves_point_order(self):
+        table = make_sweep().run(ParallelExecutor(jobs=4))
+        expected = [p.seed for p in make_sweep().points()]
+        assert [r.point.seed for r in table.results] == expected
+
+    def test_jobs_one_degenerates_to_serial(self):
+        assert make_sweep().run(ParallelExecutor(jobs=1)) == make_sweep().run()
+
+    def test_invalid_jobs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ParallelExecutor(jobs=0)
+
+    def test_stats_populated(self):
+        sweep = make_sweep()
+        sweep.run(ParallelExecutor(jobs=2))
+        stats = sweep.last_stats
+        assert isinstance(stats, ExecutionStats)
+        assert stats.points == 6
+        assert stats.cache_hits == 0
+        assert stats.computed_points == 6
+        assert stats.points_per_second > 0
+        assert len(stats.timings) == 6
+        assert all(not t.cached for t in stats.timings)
+
+    def test_progress_callback_sees_every_point(self):
+        seen = []
+        make_sweep().run(progress=lambda done, total, t: seen.append((done, total)))
+        assert seen == [(i, 6) for i in range(1, 7)]
+
+
+# ----------------------------------------------------------------------
+# result cache
+# ----------------------------------------------------------------------
+class TestResultCache:
+    def test_round_trip_bit_identical(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        sweep = ParameterSweep(awkward_floats, {"x": [1, 2, 3]}, base_seed=3)
+        cold = sweep.run(cache=cache)
+        assert sweep.last_stats.cache_hits == 0
+        warm_sweep = ParameterSweep(awkward_floats, {"x": [1, 2, 3]}, base_seed=3)
+        warm = warm_sweep.run(cache=cache)
+        assert warm_sweep.last_stats.cache_hits == 3
+        assert warm == cold  # includes exact float equality
+        for a, b in zip(cold.results, warm.results):
+            for name in a.metrics:
+                # bit-identical, not just approximately equal
+                assert a.metrics[name].hex() == b.metrics[name].hex()
+
+    def test_cache_respects_factory_identity(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        ParameterSweep(quadratic, {"x": [1, 2]}).run(cache=cache)
+        other = ParameterSweep(awkward_floats, {"x": [1, 2]})
+        other.run(cache=cache)
+        assert other.last_stats.cache_hits == 0
+
+    def test_cache_distinguishes_trials_and_seeds(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        ParameterSweep(quadratic, {"x": [1]}, trials=2).run(cache=cache)
+        assert len(cache) == 2
+        reseeded = ParameterSweep(quadratic, {"x": [1]}, trials=2, base_seed=99)
+        reseeded.run(cache=cache)
+        assert reseeded.last_stats.cache_hits == 0
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        sweep = ParameterSweep(quadratic, {"x": [1]})
+        sweep.run(cache=cache)
+        for entry in (tmp_path / "cache").glob("*/*.json"):
+            entry.write_text("{not json")
+        again = ParameterSweep(quadratic, {"x": [1]})
+        again.run(cache=cache)
+        assert again.last_stats.cache_hits == 0
+
+    def test_parallel_with_cache_matches_serial(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        serial = make_sweep().run(SerialExecutor())
+        half = make_sweep()
+        half.run(ParallelExecutor(jobs=2), cache=cache)
+        warm = make_sweep()
+        table = warm.run(ParallelExecutor(jobs=2), cache=cache)
+        assert table == serial
+        assert warm.last_stats.cache_hit_rate == 1.0
+
+    def test_clear_and_len(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        make_sweep().run(cache=cache)
+        assert len(cache) == 6
+        assert cache.clear() == 6
+        assert len(cache) == 0
+
+    def test_cache_path_must_be_directory(self, tmp_path):
+        blocker = tmp_path / "file"
+        blocker.write_text("x")
+        with pytest.raises(ConfigurationError):
+            ResultCache(blocker)
+
+
+# ----------------------------------------------------------------------
+# table aggregation semantics under the new layer
+# ----------------------------------------------------------------------
+class TestSweepTableGridOrder:
+    def _table(self) -> SweepTable:
+        return SweepTable(
+            parameter_names=("x",),
+            metric_names=("y",),
+            grid={"x": (3, 1, 2)},
+        )
+
+    def _result(self, x: int) -> SweepResult:
+        point = SweepPoint(values={"x": x}, trial=0, seed=x)
+        return SweepResult(point=point, metrics={"y": float(x * x)})
+
+    def test_rows_follow_grid_order_not_append_order(self):
+        table = self._table()
+        for x in (2, 3, 1):  # appended out of grid order
+            table.append(self._result(x))
+        assert [row["x"] for row in table.rows()] == [3, 1, 2]
+        assert table.column("y") == [9.0, 1.0, 4.0]
+
+    def test_append_invalidates_cached_rows(self):
+        table = self._table()
+        table.append(self._result(3))
+        assert [row["x"] for row in table.rows()] == [3]
+        table.append(self._result(1))
+        assert [row["x"] for row in table.rows()] == [3, 1]
+
+    def test_rows_returns_copies(self):
+        table = self._table()
+        table.append(self._result(3))
+        table.rows()[0]["y_mean"] = -1.0
+        assert table.rows()[0]["y_mean"] == 9.0
+
+    def test_off_grid_coordinates_keep_appearance_order(self):
+        table = self._table()
+        table.append(self._result(9))  # not on the declared axis
+        table.append(self._result(1))
+        assert [row["x"] for row in table.rows()] == [1, 9]

@@ -61,6 +61,41 @@ class TestCounterSampler:
         with pytest.raises(MeasurementError):
             CounterSampler(window_cycles=0.0)
 
+    def test_long_report_splits_events_proportionally(self):
+        """A report spanning k windows spreads its events across all k,
+        instead of attributing everything to the first window."""
+        sampler = CounterSampler(window_cycles=100.0)
+        sampler.record(region(400.0, evictions=40))
+        rates = [s.evictions_per_kcycle for s in sampler.samples]
+        assert len(rates) == 4
+        # 10 evictions per 100-cycle window -> 100/kcycle in every window.
+        assert rates == pytest.approx([100.0, 100.0, 100.0, 100.0])
+
+    def test_split_respects_partial_overlap(self):
+        sampler = CounterSampler(window_cycles=100.0)
+        sampler.record(region(50.0))  # advance mid-window, no events
+        sampler.record(region(100.0, evictions=10))  # spans both windows
+        sampler.flush()
+        rates = [s.evictions_per_kcycle for s in sampler.samples]
+        # Half the report (5 events) in each window.
+        assert rates == pytest.approx([50.0, 50.0])
+
+    def test_zero_cycle_report_lands_in_open_window(self):
+        sampler = CounterSampler(window_cycles=100.0)
+        sampler.record(region(0.0, evictions=3))
+        sampler.record(region(100.0, evictions=1))
+        assert sampler.samples[0].evictions_per_kcycle == pytest.approx(40.0)
+
+    def test_burst_fraction_not_skewed_by_long_reports(self):
+        """The old first-window attribution turned one long uniform
+        report into one inflated window + zeros (burst fraction 1/k);
+        the proportional split reports the true sustained rate."""
+        sampler = CounterSampler(window_cycles=100.0)
+        sampler.record(region(500.0, evictions=50))  # uniform 1/cycle
+        assert sampler.burst_fraction(threshold=50.0) == pytest.approx(1.0)
+        # And peak reflects the sustained rate, not a 5x-inflated spike.
+        assert sampler.peak() == pytest.approx(100.0)
+
     def test_attack_burstiness_vs_benign(self):
         """Time-series view: the eviction channel keeps the eviction
         rate bursty across windows; a benign hot loop stays at zero."""

@@ -69,6 +69,37 @@ class TestParameterSweep:
         with pytest.raises(ConfigurationError):
             ParameterSweep(lambda p: {}, {"x": [1]}).run()
 
+    def test_mixed_type_axis_supported(self):
+        """Axes may mix unorderable value types: seed derivation uses a
+        canonical type-tagged encoding, not repr sorting."""
+        table = ParameterSweep(quadratic, {"x": [1, 2], "tag": ["a", None]}).run()
+        assert len(table.rows()) == 4
+        seeds = [p.seed for p in ParameterSweep(
+            quadratic, {"x": [1, 2], "tag": ["a", None]}
+        ).points()]
+        assert len(set(seeds)) == len(seeds)
+
+    def test_int_and_float_axis_values_get_distinct_seeds(self):
+        int_points = ParameterSweep(quadratic, {"x": [1]}).points()
+        float_points = ParameterSweep(quadratic, {"x": [1.0]}).points()
+        assert int_points[0].seed != float_points[0].seed
+
+    def test_last_stats_exposed(self):
+        sweep = ParameterSweep(quadratic, {"x": [1, 2]}, trials=2)
+        assert sweep.last_stats is None
+        sweep.run()
+        assert sweep.last_stats.points == 4
+        assert sweep.last_stats.executor == "serial"
+
+    def test_run_accepts_parallel_executor(self):
+        from repro.exec import ParallelExecutor
+
+        serial = ParameterSweep(quadratic, {"x": [1, 2, 3]}, trials=2).run()
+        parallel = ParameterSweep(quadratic, {"x": [1, 2, 3]}, trials=2).run(
+            executor=ParallelExecutor(jobs=2)
+        )
+        assert parallel == serial
+
     def test_real_channel_sweep(self):
         """End to end: sweep the eviction channel's d like Figure 11."""
         from repro.analysis.bits import alternating_bits
