@@ -6,11 +6,14 @@ from LSD streaming to DSB+MITE delivery, which requires DSB evictions to
 ablated, a streaming loop keeps streaming even while its lines are
 evicted underneath it, and the m=0/m=1 margin collapses for the
 LSD-resident part of the signal.
+
+The two hierarchy policies run as a 1-D :class:`ParameterSweep` through
+:func:`run_sweep`.
 """
 
 from __future__ import annotations
 
-from _harness import format_table, run_and_report
+from _harness import format_table, run_and_report, run_sweep
 
 from repro.channels.base import ChannelConfig
 from repro.channels.eviction import MtEvictionChannel
@@ -18,13 +21,19 @@ from repro.frontend.params import FrontendParams
 from repro.machine.machine import Machine
 from repro.machine.specs import GOLD_6226
 from repro.measure.noise import QUIET_PROFILE
+from repro.sweep import ParameterSweep, SweepPoint
+
+HIERARCHIES = ("inclusive", "ablated")
+
+#: Fixed ablation seed; ``point.seed`` is deliberately unused.
+ABLATION_SEED = 909
 
 
-def channel_margin(inclusive: bool) -> float:
-    params = FrontendParams(lsd_inclusive=inclusive)
+def inclusivity_metrics(point: SweepPoint) -> dict:
+    params = FrontendParams(lsd_inclusive=point["hierarchy"] == "inclusive")
     machine = Machine(
         GOLD_6226,
-        seed=909,
+        seed=ABLATION_SEED,
         params=params,
         timing_noise=QUIET_PROFILE,
         smt_timing_noise=QUIET_PROFILE,
@@ -34,15 +43,17 @@ def channel_margin(inclusive: bool) -> float:
         ChannelConfig(p=1000, q=100, disturb_rate=0.0, sync_fail_rate=0.0),
     )
     channel.calibrate(8)
-    return channel.decoder.margin
+    return {"margin": channel.decoder.margin}
 
 
 def experiment() -> dict:
-    inclusive = channel_margin(True)
-    ablated = channel_margin(False)
+    table = run_sweep(
+        ParameterSweep(inclusivity_metrics, {"hierarchy": HIERARCHIES})
+    )
+    results = {row["hierarchy"]: row["margin_mean"] for row in table.rows()}
     rows = [
-        ("inclusive (real hardware)", f"{inclusive:.0f}"),
-        ("non-inclusive (ablation)", f"{ablated:.0f}"),
+        ("inclusive (real hardware)", f"{results['inclusive']:.0f}"),
+        ("non-inclusive (ablation)", f"{results['ablated']:.0f}"),
     ]
     print(
         format_table(
@@ -51,7 +62,7 @@ def experiment() -> dict:
             rows,
         )
     )
-    return {"inclusive": inclusive, "ablated": ablated}
+    return results
 
 
 def test_ablation_inclusivity(benchmark):

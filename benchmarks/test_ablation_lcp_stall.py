@@ -6,11 +6,15 @@ DSB-to-MITE switch penalty (32 round trips for mixed-issue vs ~2 for
 ordered-issue).  Sweeping the stall penalty from 0 to 3 cycles shows the
 margin is switch-dominated; sweeping the switch penalty scales it
 directly.
+
+Both penalty axes run as 1-D :class:`ParameterSweep` grids through
+:func:`run_sweep` (one per axis — each sweep holds the *other* penalty
+at its ablation baseline, which a 2-D product would not).
 """
 
 from __future__ import annotations
 
-from _harness import format_table, run_and_report
+from _harness import format_table, run_and_report, run_sweep
 
 from repro.channels.base import ChannelConfig
 from repro.channels.slow_switch import SlowSwitchChannel
@@ -18,6 +22,10 @@ from repro.frontend.params import FrontendParams
 from repro.machine.machine import Machine
 from repro.machine.specs import GOLD_6226
 from repro.measure.noise import QUIET_PROFILE
+from repro.sweep import ParameterSweep, SweepPoint
+
+#: Fixed ablation seed; ``point.seed`` is deliberately unused.
+ABLATION_SEED = 1001
 
 
 def margin(lcp_stall: float, switch_penalty: float) -> float:
@@ -25,16 +33,37 @@ def margin(lcp_stall: float, switch_penalty: float) -> float:
         lcp_stall=lcp_stall, dsb_to_mite_penalty=switch_penalty
     )
     machine = Machine(
-        GOLD_6226, seed=1001, params=params, timing_noise=QUIET_PROFILE
+        GOLD_6226, seed=ABLATION_SEED, params=params, timing_noise=QUIET_PROFILE
     )
     channel = SlowSwitchChannel(machine, ChannelConfig(r=16, disturb_rate=0.0))
     channel.calibrate(8)
     return channel.decoder.margin
 
 
+def stall_margin_metrics(point: SweepPoint) -> dict:
+    return {"margin": margin(point["lcp_stall"], 4.0)}
+
+
+def switch_margin_metrics(point: SweepPoint) -> dict:
+    return {"margin": margin(3.0, point["dsb_to_mite_penalty"])}
+
+
 def experiment() -> dict:
-    stall_sweep = {stall: margin(stall, 4.0) for stall in (0.0, 1.0, 2.0, 3.0)}
-    switch_sweep = {pen: margin(3.0, pen) for pen in (0.0, 2.0, 4.0, 8.0)}
+    stall_table = run_sweep(
+        ParameterSweep(stall_margin_metrics, {"lcp_stall": [0.0, 1.0, 2.0, 3.0]})
+    )
+    switch_table = run_sweep(
+        ParameterSweep(
+            switch_margin_metrics, {"dsb_to_mite_penalty": [0.0, 2.0, 4.0, 8.0]}
+        )
+    )
+    stall_sweep = {
+        row["lcp_stall"]: row["margin_mean"] for row in stall_table.rows()
+    }
+    switch_sweep = {
+        row["dsb_to_mite_penalty"]: row["margin_mean"]
+        for row in switch_table.rows()
+    }
     rows = [
         ("lcp_stall", f"{stall:.0f}", f"{value:.0f}")
         for stall, value in stall_sweep.items()

@@ -5,11 +5,17 @@ Settings follow the paper: d=6 for eviction channels, d=5/M=8 for
 misalignment channels, alternating 0/1 message.  The E-2288G has
 hyper-threading disabled, so MT attacks are skipped there, exactly as in
 the paper's table.
+
+The (machine, attack) matrix runs as one :class:`ParameterSweep` over a
+single ``case`` axis (a cartesian product would generate the invalid
+MT-attack-on-non-SMT combinations), so ``REPRO_SWEEP_JOBS`` /
+``REPRO_SWEEP_CACHE_DIR`` parallelise and memoise it like every other
+sweep benchmark.
 """
 
 from __future__ import annotations
 
-from _harness import format_table, run_and_report
+from _harness import format_table, run_and_report, run_sweep
 
 from repro.analysis.bits import alternating_bits
 from repro.channels.base import ChannelConfig
@@ -19,9 +25,14 @@ from repro.channels.misalignment import (
     NonMtMisalignmentChannel,
 )
 from repro.machine.machine import Machine
-from repro.machine.specs import ALL_SPECS
+from repro.machine.specs import ALL_SPECS, spec_by_name
+from repro.sweep import ParameterSweep, SweepPoint
 
 MESSAGE_BITS = 64
+
+#: Table seed — every cell transmits on a fresh machine seeded the same
+#: way, as the paper measures each attack on an otherwise idle core.
+TABLE_SEED = 303
 
 #: Paper's Table III values (Kbps, error %) where legible in the source.
 PAPER = {
@@ -38,48 +49,62 @@ PAPER = {
     ("mt-eviction", "Xeon E-2286G"): (161.63, 13.93),
 }
 
+#: Channel name -> constructor, in the table's row order per machine.
+CHANNEL_BUILDERS = {
+    "non-mt-stealthy-eviction": lambda m: NonMtEvictionChannel(
+        m, ChannelConfig(d=6), variant="stealthy"
+    ),
+    "non-mt-fast-eviction": lambda m: NonMtEvictionChannel(
+        m, ChannelConfig(d=6), variant="fast"
+    ),
+    "non-mt-stealthy-misalignment": lambda m: NonMtMisalignmentChannel(
+        m, ChannelConfig(d=5, M=8), variant="stealthy"
+    ),
+    "non-mt-fast-misalignment": lambda m: NonMtMisalignmentChannel(
+        m, ChannelConfig(d=5, M=8), variant="fast"
+    ),
+    "mt-eviction": lambda m: MtEvictionChannel(m),
+    "mt-misalignment": lambda m: MtMisalignmentChannel(m),
+}
 
-def build_channels(machine: Machine):
-    channels = [
-        NonMtEvictionChannel(machine, ChannelConfig(d=6), variant="stealthy"),
-        NonMtEvictionChannel(machine, ChannelConfig(d=6), variant="fast"),
-        NonMtMisalignmentChannel(machine, ChannelConfig(d=5, M=8), variant="stealthy"),
-        NonMtMisalignmentChannel(machine, ChannelConfig(d=5, M=8), variant="fast"),
-    ]
-    if machine.spec.smt:
-        channels.append(MtEvictionChannel(machine))
-        channels.append(MtMisalignmentChannel(machine))
-    return channels
+#: The table's valid (machine, attack) cells, in the paper's row order.
+CASES = [
+    (spec.name, channel_name)
+    for spec in ALL_SPECS
+    for channel_name in CHANNEL_BUILDERS
+    if spec.smt or not channel_name.startswith("mt-")
+]
+
+
+def case_metrics(point: SweepPoint) -> dict:
+    """Transmit one table cell; ``point.seed`` is deliberately unused —
+    the paper's table fixes one machine seed per cell."""
+    machine_name, channel_name = point["case"]
+    machine = Machine(spec_by_name(machine_name), seed=TABLE_SEED)
+    channel = CHANNEL_BUILDERS[channel_name](machine)
+    result = channel.transmit(alternating_bits(MESSAGE_BITS))
+    return {"kbps": result.kbps, "error": result.error_rate}
 
 
 def experiment() -> dict:
+    table = run_sweep(ParameterSweep(case_metrics, {"case": CASES}))
     results: dict[tuple[str, str], tuple[float, float]] = {}
     rows = []
-    for spec in ALL_SPECS:
-        for channel_template in build_channels(Machine(spec, seed=303)):
-            machine = Machine(spec, seed=303)
-            channel = type(channel_template)(
-                machine,
-                channel_template.config,
-                **(
-                    {"variant": channel_template.variant}
-                    if hasattr(channel_template, "variant")
-                    else {}
-                ),
+    for row in table.rows():
+        machine_name, channel_name = row["case"]
+        kbps, error = row["kbps_mean"], row["error_mean"]
+        results[(channel_name, machine_name)] = (kbps, error)
+        paper = PAPER.get((channel_name, machine_name))
+        rows.append(
+            (
+                channel_name,
+                machine_name,
+                f"{kbps:.2f}",
+                f"{error * 100:.2f}%",
+                f"{paper[0]:.2f}" if paper else "-",
+                f"{paper[1]:.2f}%" if paper else "-",
             )
-            result = channel.transmit(alternating_bits(MESSAGE_BITS))
-            results[(channel.name, spec.name)] = (result.kbps, result.error_rate)
-            paper = PAPER.get((channel.name, spec.name))
-            rows.append(
-                (
-                    channel.name,
-                    spec.name,
-                    f"{result.kbps:.2f}",
-                    f"{result.error_rate * 100:.2f}%",
-                    f"{paper[0]:.2f}" if paper else "-",
-                    f"{paper[1]:.2f}%" if paper else "-",
-                )
-            )
+        )
     print(
         format_table(
             "Table III: rates/errors of eviction and misalignment attacks "

@@ -10,43 +10,42 @@ Gives each of the library's headline capabilities a one-line invocation:
 * ``sgx``         — run an SGX enclave attack;
 * ``defense``     — print the mitigation/attack matrix;
 * ``sweep``       — grid-sweep channel parameters (parallel + cached);
+* ``serve``       — run the sweep service on a Unix socket;
+* ``submit``      — submit a grid to a running service, stream progress;
 * ``validate``    — run the 10-point model-invariant checklist;
 * ``report``      — assemble benchmark results into REPORT.md.
 
 All commands accept ``--seed`` for exact reproducibility.  ``sweep``
 additionally takes ``--jobs N`` (worker processes), ``--cache-dir``
 (on-disk result cache, default ``.repro-cache``) and ``--no-cache``.
+``sweep --progress`` and ``submit`` stream JSONL events (the service's
+event format, see ``docs/service.md``) to **stderr**; stdout carries
+only results, so piping stays clean.
 """
 
 from __future__ import annotations
 
 import argparse
-import dataclasses
 import functools
 import sys
 from typing import Sequence
 
 from repro.analysis.bits import alternating_bits, random_bits, string_to_bits
-from repro.channels.base import ChannelConfig
-from repro.channels.eviction import MtEvictionChannel, NonMtEvictionChannel
-from repro.channels.misalignment import (
-    MISALIGN_DEFAULTS,
-    MtMisalignmentChannel,
-    NonMtMisalignmentChannel,
-)
-from repro.channels.power import (
-    POWER_ITERATIONS,
-    PowerEvictionChannel,
-    PowerMisalignmentChannel,
-)
 from repro.channels.probes import path_timing_samples
-from repro.channels.slow_switch import SlowSwitchChannel
 from repro.errors import ReproError
 from repro.frontend.paths import DeliveryPath
 from repro.machine.machine import Machine
 from repro.machine.specs import ALL_SPECS, spec_by_name
+from repro.service.spec import (
+    CHANNEL_NAMES,
+    build_channel,
+    parse_param_axis,
+    sweep_point_metrics,
+)
 
 __all__ = ["main", "build_parser"]
+
+DEFAULT_SOCKET = ".repro-service.sock"
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -67,17 +66,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     transmit.add_argument("--machine", default="Gold 6226")
     transmit.add_argument(
-        "--channel",
-        default="eviction",
-        choices=[
-            "eviction",
-            "misalignment",
-            "slow-switch",
-            "mt-eviction",
-            "mt-misalignment",
-            "power-eviction",
-            "power-misalignment",
-        ],
+        "--channel", default="eviction", choices=list(CHANNEL_NAMES)
     )
     transmit.add_argument(
         "--variant", default="stealthy", choices=["stealthy", "fast"]
@@ -138,33 +127,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="grid-sweep channel parameters (parallel + cached)",
         parents=[common],
     )
-    sweep.add_argument("--machine", default="Gold 6226")
-    sweep.add_argument(
-        "--channel",
-        default="eviction",
-        choices=[
-            "eviction",
-            "misalignment",
-            "slow-switch",
-            "mt-eviction",
-            "mt-misalignment",
-            "power-eviction",
-            "power-misalignment",
-        ],
-    )
-    sweep.add_argument(
-        "--variant", default="fast", choices=["stealthy", "fast"]
-    )
-    sweep.add_argument(
-        "--param",
-        action="append",
-        required=True,
-        metavar="NAME=V1,V2,...",
-        help="grid axis over a ChannelConfig field, e.g. d=1,2,4,6,8 "
-        "(repeat for multi-axis grids)",
-    )
-    sweep.add_argument("--trials", type=int, default=1)
-    sweep.add_argument("--bits", type=int, default=32, help="message bits per point")
+    _add_grid_arguments(sweep)
     sweep.add_argument(
         "--jobs", type=int, default=1, help="worker processes (1 = serial)"
     )
@@ -177,8 +140,48 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-cache", action="store_true", help="disable the result cache"
     )
     sweep.add_argument(
-        "--progress", action="store_true", help="print per-point progress to stderr"
+        "--progress",
+        action="store_true",
+        help="stream per-point JSONL events to stderr",
     )
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the sweep service on a Unix socket",
+        parents=[common],
+    )
+    serve.add_argument(
+        "--socket", default=DEFAULT_SOCKET, help="Unix socket path to listen on"
+    )
+    serve.add_argument(
+        "--jobs", type=int, default=1, help="worker processes per batch (1 = serial)"
+    )
+    serve.add_argument(
+        "--workers", type=int, default=2, help="concurrently scheduled jobs"
+    )
+    serve.add_argument(
+        "--batch-size", type=int, default=8, help="points per executor dispatch"
+    )
+    serve.add_argument(
+        "--cache-dir",
+        default=".repro-cache",
+        help="on-disk result cache directory shared by all jobs",
+    )
+    serve.add_argument(
+        "--no-cache", action="store_true", help="disable the result cache"
+    )
+
+    submit = sub.add_parser(
+        "submit",
+        help="submit a sweep to a running service and stream progress",
+        parents=[common],
+    )
+    submit.add_argument(
+        "--socket", default=DEFAULT_SOCKET, help="Unix socket of the service"
+    )
+    _add_grid_arguments(submit)
+    submit.add_argument("--priority", type=int, default=0)
+    submit.add_argument("--label", default=None, help="job label for the event log")
 
     sub.add_parser(
         "validate",
@@ -199,6 +202,29 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _add_grid_arguments(parser: argparse.ArgumentParser) -> None:
+    """The grid-description options shared by ``sweep`` and ``submit``."""
+    parser.add_argument("--machine", default="Gold 6226")
+    parser.add_argument(
+        "--channel", default="eviction", choices=list(CHANNEL_NAMES)
+    )
+    parser.add_argument(
+        "--variant", default="fast", choices=["stealthy", "fast"]
+    )
+    parser.add_argument(
+        "--param",
+        action="append",
+        required=True,
+        metavar="NAME=V1,V2,...",
+        help="grid axis over a ChannelConfig field, e.g. d=1,2,4,6,8 "
+        "(repeat for multi-axis grids)",
+    )
+    parser.add_argument("--trials", type=int, default=1)
+    parser.add_argument(
+        "--bits", type=int, default=32, help="message bits per point"
+    )
+
+
 # ----------------------------------------------------------------------
 # command implementations
 # ----------------------------------------------------------------------
@@ -214,104 +240,9 @@ def _cmd_machines(_args) -> int:
     return 0
 
 
-def _build_channel(machine: Machine, name: str, variant: str, config=None):
-    builders = {
-        "eviction": lambda: NonMtEvictionChannel(machine, config, variant=variant),
-        "misalignment": lambda: NonMtMisalignmentChannel(
-            machine, config, variant=variant
-        ),
-        "slow-switch": lambda: SlowSwitchChannel(machine, config),
-        "mt-eviction": lambda: MtEvictionChannel(machine, config),
-        "mt-misalignment": lambda: MtMisalignmentChannel(machine, config),
-        "power-eviction": lambda: PowerEvictionChannel(
-            machine, config, variant=variant
-        ),
-        "power-misalignment": lambda: PowerMisalignmentChannel(
-            machine, config, variant=variant
-        ),
-    }
-    return builders[name]()
-
-
-#: Per-channel default protocol parameters, mirroring each constructor's
-#: ``config is None`` branch so sweep overrides start from the same
-#: baseline as a plain ``transmit``.
-_CHANNEL_DEFAULTS: dict[str, dict] = {
-    "eviction": {},
-    "misalignment": dict(MISALIGN_DEFAULTS),
-    "slow-switch": {},
-    "mt-eviction": dict(MtEvictionChannel.MT_DEFAULTS),
-    "mt-misalignment": dict(MtMisalignmentChannel.MT_DEFAULTS),
-    "power-eviction": {"p": POWER_ITERATIONS, "q": POWER_ITERATIONS},
-    "power-misalignment": {
-        "p": POWER_ITERATIONS,
-        "q": POWER_ITERATIONS,
-        "d": 5,
-        "M": 8,
-    },
-}
-
-
-def _sweep_config(channel_name: str, overrides) -> ChannelConfig:
-    """ChannelConfig for one grid point: channel defaults + overrides."""
-    from repro.errors import ConfigurationError
-
-    known = {f.name for f in dataclasses.fields(ChannelConfig)}
-    unknown = sorted(set(overrides) - known)
-    if unknown:
-        raise ConfigurationError(
-            f"unknown ChannelConfig parameter(s) {unknown}; choose from "
-            f"{sorted(known)}"
-        )
-    merged = {**_CHANNEL_DEFAULTS[channel_name], **dict(overrides)}
-    try:
-        return ChannelConfig(**merged)
-    except TypeError as exc:
-        # e.g. a string grid value for a numeric protocol parameter.
-        raise ConfigurationError(
-            f"invalid ChannelConfig for {channel_name}: {exc}"
-        ) from exc
-
-
-def _sweep_point_metrics(
-    machine_name: str, channel_name: str, variant: str, bits: int, point
-) -> dict:
-    """Sweep factory: one channel transmission at one grid point.
-
-    Module-level (and dispatched via :func:`functools.partial`) so the
-    parallel executor can pickle it into worker processes.
-    """
-    machine = Machine(spec_by_name(machine_name), seed=point.seed)
-    config = _sweep_config(channel_name, point.values)
-    channel = _build_channel(machine, channel_name, variant, config)
-    result = channel.transmit(alternating_bits(bits))
-    return {"kbps": result.kbps, "error": result.error_rate}
-
-
-def _parse_param_axis(text: str) -> tuple[str, list]:
-    """Parse one ``--param name=v1,v2,...`` grid axis."""
-    from repro.errors import ConfigurationError
-
-    name, sep, tail = text.partition("=")
-    if not sep or not name or not tail:
-        raise ConfigurationError(
-            f"--param expects NAME=V1,V2,... (got {text!r})"
-        )
-
-    def parse_value(token: str):
-        for caster in (int, float):
-            try:
-                return caster(token)
-            except ValueError:
-                continue
-        return token
-
-    return name, [parse_value(token) for token in tail.split(",")]
-
-
 def _cmd_transmit(args) -> int:
     machine = Machine(spec_by_name(args.machine), seed=args.seed)
-    channel = _build_channel(machine, args.channel, args.variant)
+    channel = build_channel(machine, args.channel, args.variant)
     if args.message:
         bits = string_to_bits(args.message)
     else:
@@ -407,12 +338,13 @@ def _cmd_report(args) -> int:
 
 def _cmd_sweep(args) -> int:
     from repro.exec import ParallelExecutor, ResultCache, SerialExecutor
-    from repro.reporting import format_execution_stats, progress_printer
+    from repro.reporting import format_execution_stats
+    from repro.service.events import jsonl_progress
     from repro.sweep import ParameterSweep
 
-    grid = dict(_parse_param_axis(axis) for axis in args.param)
+    grid = dict(parse_param_axis(axis) for axis in args.param)
     factory = functools.partial(
-        _sweep_point_metrics, args.machine, args.channel, args.variant, args.bits
+        sweep_point_metrics, args.machine, args.channel, args.variant, args.bits
     )
     sweep = ParameterSweep(factory, grid, trials=args.trials, base_seed=args.seed)
     if args.jobs < 1:
@@ -423,7 +355,9 @@ def _cmd_sweep(args) -> int:
         ParallelExecutor(jobs=args.jobs) if args.jobs > 1 else SerialExecutor()
     )
     cache = None if args.no_cache else ResultCache(args.cache_dir)
-    progress = progress_printer() if args.progress else None
+    # Progress events go to stderr in the service's JSONL format, so
+    # stdout stays byte-identical with and without --progress.
+    progress = jsonl_progress() if args.progress else None
     table = sweep.run(executor=executor, cache=cache, progress=progress)
     print(
         f"sweep over {', '.join(grid)} — {args.channel} on {args.machine} "
@@ -431,6 +365,78 @@ def _cmd_sweep(args) -> int:
     )
     print(table.render(precision=3))
     print(format_execution_stats(sweep.last_stats))
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    from repro.errors import ConfigurationError
+    from repro.exec import ParallelExecutor, ResultCache, SerialExecutor
+    from repro.service import SweepServer, SweepService
+
+    if args.jobs < 1:
+        raise ConfigurationError(f"--jobs must be >= 1, got {args.jobs}")
+    executor = (
+        ParallelExecutor(jobs=args.jobs) if args.jobs > 1 else SerialExecutor()
+    )
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    service = SweepService(
+        executor=executor,
+        cache=cache,
+        batch_size=args.batch_size,
+        workers=args.workers,
+    )
+    server = SweepServer(service, args.socket)
+    print(f"sweep service listening on {args.socket}", file=sys.stderr)
+    try:
+        asyncio.run(server.serve_forever())
+    except KeyboardInterrupt:
+        print("sweep service stopped", file=sys.stderr)
+    return 0
+
+
+def _cmd_submit(args) -> int:
+    from repro.service.client import render_rows, submit_and_stream
+    from repro.service.spec import SweepSpec
+
+    grid = dict(parse_param_axis(axis) for axis in args.param)
+    spec = SweepSpec(
+        grid=grid,
+        machine=args.machine,
+        channel=args.channel,
+        variant=args.variant,
+        bits=args.bits,
+        trials=args.trials,
+        base_seed=args.seed,
+        priority=args.priority,
+        label=args.label,
+    )
+    final = submit_and_stream(args.socket, spec)
+    if final.kind != "job-done":
+        print(f"error: {final.get('message')}", file=sys.stderr)
+        return 1
+    status = final.get("status")
+    if status != "ok":
+        print(f"job {final.get('job')} finished with status: {status}",
+              file=sys.stderr)
+        return 1
+    print(
+        f"sweep over {', '.join(grid)} — {args.channel} on {args.machine} "
+        f"({args.bits}-bit message, {args.trials} trial(s)/point)"
+    )
+    print(
+        render_rows(
+            final.get("parameters", []),
+            final.get("metrics", []),
+            final.get("rows", []),
+        )
+    )
+    print(
+        f"{final.get('points')} points via service — "
+        f"cache hits {final.get('cache_hits')}, computed {final.get('computed')}, "
+        f"shared {final.get('shared')}, {final.get('elapsed_s'):.2f}s"
+    )
     return 0
 
 
@@ -465,6 +471,8 @@ _COMMANDS = {
     "sgx": _cmd_sgx,
     "defense": _cmd_defense,
     "sweep": _cmd_sweep,
+    "serve": _cmd_serve,
+    "submit": _cmd_submit,
     "validate": _cmd_validate,
     "report": _cmd_report,
 }

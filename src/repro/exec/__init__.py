@@ -20,6 +20,7 @@ from repro.exec.canonical import (
     callable_fingerprint,
     canonical_point_key,
     canonical_value,
+    point_key,
     point_seed_name,
 )
 from repro.exec.parallel import ParallelExecutor
@@ -36,5 +37,6 @@ __all__ = [
     "canonical_value",
     "canonical_point_key",
     "point_seed_name",
+    "point_key",
     "callable_fingerprint",
 ]

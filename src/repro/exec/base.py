@@ -48,6 +48,8 @@ class ExecutionStats:
     cache_hits: int
     elapsed_s: float
     timings: list[PointTiming] = field(default_factory=list)
+    #: Corrupt/truncated cache entries evicted (and recomputed) this run.
+    cache_corrupt: int = 0
 
     @property
     def cache_hit_rate(self) -> float:
@@ -95,6 +97,7 @@ class Executor(abc.ABC):
         done = 0
 
         fingerprint = callable_fingerprint(factory) if cache is not None else ""
+        corrupt_before = cache.corrupt_evictions if cache is not None else 0
         pending: list[tuple[int, "SweepPoint"]] = []
         for index, point in enumerate(points):
             entry = cache.load(point, fingerprint) if cache is not None else None
@@ -135,8 +138,29 @@ class Executor(abc.ABC):
             cache_hits=cache_hits,
             elapsed_s=time.perf_counter() - start,
             timings=[t for t in timings if t is not None],
+            cache_corrupt=(
+                cache.corrupt_evictions - corrupt_before
+                if cache is not None
+                else 0
+            ),
         )
         return results, stats
+
+    def compute_stream(
+        self,
+        pending: Sequence[tuple[int, "SweepPoint"]],
+        factory: Callable[["SweepPoint"], Mapping[str, float]],
+    ) -> Iterable[tuple[int, Mapping[str, float], float]]:
+        """Raw streaming compute: ``(index, metrics, elapsed_s)`` tuples
+        in **completion order**, with no cache, reordering, or stats.
+
+        This is the primitive the sweep service's scheduler bridges onto:
+        it batches deduplicated points from many jobs and needs each
+        point's metrics the moment that point finishes, not when the
+        whole batch does.  :meth:`run` remains the one-shot, ordered,
+        cache-aware entry point for everything else.
+        """
+        return self._compute(pending, factory)
 
     @abc.abstractmethod
     def _compute(

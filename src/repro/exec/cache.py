@@ -16,25 +16,31 @@ shortest-repr exactly, so a cache hit returns **bit-identical** metrics.
 Writes go through a temp file + :func:`os.replace`, so concurrent
 workers (or concurrent benchmark invocations) never observe a torn
 entry.
+
+Corrupt or truncated entries (killed writer, disk trouble, manual
+editing) are treated as misses: the bad file is evicted so the slot
+heals on the recompute, and the eviction is counted in
+:attr:`ResultCache.corrupt_evictions` so
+:class:`~repro.exec.base.ExecutionStats` can report it instead of a
+sweep dying halfway through.
 """
 
 from __future__ import annotations
 
-import hashlib
 import json
 import os
 from pathlib import Path
 from typing import TYPE_CHECKING, Mapping
 
 from repro.errors import ConfigurationError
-from repro.exec.canonical import canonical_point_key
+from repro.exec.canonical import POINT_KEY_VERSION, point_key
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.sweep import SweepPoint
 
 __all__ = ["ResultCache"]
 
-_FORMAT_VERSION = 1
+_FORMAT_VERSION = POINT_KEY_VERSION
 
 
 class ResultCache:
@@ -52,22 +58,13 @@ class ResultCache:
         if self.root.exists() and not self.root.is_dir():
             raise ConfigurationError(f"cache path {self.root} is not a directory")
         self.root.mkdir(parents=True, exist_ok=True)
+        #: Corrupt/truncated entries evicted by :meth:`load` so far.
+        self.corrupt_evictions = 0
 
     # ------------------------------------------------------------------
     def key(self, point: "SweepPoint", fingerprint: str) -> str:
         """Content hash identifying one (point, trial, seed, factory)."""
-        material = json.dumps(
-            {
-                "version": _FORMAT_VERSION,
-                "point": canonical_point_key(point.values),
-                "trial": point.trial,
-                "seed": point.seed,
-                "factory": fingerprint,
-            },
-            sort_keys=True,
-            separators=(",", ":"),
-        )
-        return hashlib.sha256(material.encode()).hexdigest()
+        return point_key(point.values, point.trial, point.seed, fingerprint)
 
     def _path(self, key: str) -> Path:
         # Two-level fan-out keeps directories small on big grids.
@@ -77,18 +74,34 @@ class ResultCache:
     def load(self, point: "SweepPoint", fingerprint: str) -> dict | None:
         """Return cached metrics for ``point``, or ``None`` on a miss.
 
-        Corrupt or unreadable entries count as misses: they are simply
-        recomputed and overwritten.
+        Corrupt or truncated entries count as misses; the bad file is
+        evicted (so the recompute heals it) and the eviction recorded in
+        :attr:`corrupt_evictions`.
         """
         path = self._path(self.key(point, fingerprint))
         try:
-            payload = json.loads(path.read_text())
-        except (OSError, ValueError):
-            return None
-        metrics = payload.get("metrics")
+            text = path.read_text()
+        except OSError:
+            return None  # absent (or unreadable): a plain miss
+        except UnicodeDecodeError:
+            return self._evict_corrupt(path)  # garbage bytes on disk
+        try:
+            payload = json.loads(text)
+        except ValueError:
+            return self._evict_corrupt(path)
+        metrics = payload.get("metrics") if isinstance(payload, dict) else None
         if not isinstance(metrics, dict):
-            return None
+            return self._evict_corrupt(path)
         return metrics
+
+    def _evict_corrupt(self, path: Path) -> None:
+        """Drop one unparseable entry and count the eviction."""
+        try:
+            path.unlink()
+        except OSError:  # pragma: no cover - raced with another evictor
+            pass
+        self.corrupt_evictions += 1
+        return None
 
     def store(
         self, point: "SweepPoint", fingerprint: str, metrics: Mapping[str, float]

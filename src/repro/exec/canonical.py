@@ -30,8 +30,13 @@ __all__ = [
     "canonical_value",
     "canonical_point_key",
     "point_seed_name",
+    "point_key",
     "callable_fingerprint",
 ]
+
+#: Version of the point-key material; bump to invalidate every existing
+#: cache entry and dedup key at once.
+POINT_KEY_VERSION = 1
 
 
 def canonical_value(value: object) -> list:
@@ -87,6 +92,30 @@ def canonical_point_key(values: Mapping[str, object]) -> str:
 def point_seed_name(values: Mapping[str, object], trial: int) -> str:
     """Stream name for :func:`repro.rng.derive_seed` at one point/trial."""
     return f"sweep-point:{canonical_point_key(values)}|trial={int(trial)}"
+
+
+def point_key(
+    values: Mapping[str, object], trial: int, seed: int, fingerprint: str
+) -> str:
+    """Content hash identifying one (coordinate, trial, seed, factory).
+
+    The single identity shared by the on-disk
+    :class:`~repro.exec.cache.ResultCache` and the sweep service's
+    cross-job dedup: two grid points with the same key are the *same
+    computation* and may share one execution and one cached result.
+    """
+    material = json.dumps(
+        {
+            "version": POINT_KEY_VERSION,
+            "point": canonical_point_key(values),
+            "trial": trial,
+            "seed": seed,
+            "factory": fingerprint,
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(material.encode()).hexdigest()
 
 
 def callable_fingerprint(fn: object) -> str:

@@ -1,0 +1,50 @@
+"""Sweep service: an async job queue over the execution layer.
+
+Turns the sweep engine into a servable system: a long-running
+:class:`SweepService` accepts prioritised grid submissions, expands them
+to canonical points, **dedupes identical points across concurrent
+jobs**, consults the shared :class:`~repro.exec.cache.ResultCache`
+before dispatching anything, and batches the remainder onto the
+existing executors — all while narrating progress as a JSONL
+:class:`Event` stream.
+
+Layers (bottom up):
+
+* :mod:`repro.service.scheduler` — point claiming, cross-job dedup,
+  cache consults, batched dispatch onto
+  :meth:`~repro.exec.base.Executor.compute_stream`;
+* :mod:`repro.service.jobs` — :class:`Job` lifecycle and the priority
+  :class:`JobQueue`;
+* :mod:`repro.service.service` — the :class:`SweepService` facade;
+* :mod:`repro.service.events` — the JSONL event vocabulary (shared
+  with ``repro sweep --progress``);
+* :mod:`repro.service.spec` — :class:`SweepSpec`, the JSON-safe
+  submission format, plus the channel-sweep factory;
+* :mod:`repro.service.server` / :mod:`repro.service.client` — the
+  Unix-socket protocol behind ``python -m repro serve`` / ``submit``.
+
+See ``docs/service.md`` for the architecture and event schema.
+"""
+
+from repro.service.events import EVENT_KINDS, Event, jsonl_progress
+from repro.service.jobs import Job, JobQueue, JobStatus
+from repro.service.scheduler import Scheduler
+from repro.service.server import SweepServer
+from repro.service.service import SweepService
+from repro.service.spec import SweepSpec
+from repro.service.client import ServiceClient, submit_and_stream
+
+__all__ = [
+    "EVENT_KINDS",
+    "Event",
+    "jsonl_progress",
+    "Job",
+    "JobQueue",
+    "JobStatus",
+    "Scheduler",
+    "ServiceClient",
+    "SweepServer",
+    "SweepService",
+    "SweepSpec",
+    "submit_and_stream",
+]

@@ -1,0 +1,147 @@
+"""Client side of the sweep service's Unix-socket protocol.
+
+:class:`ServiceClient` is the async API; :func:`submit_and_stream` is
+the synchronous convenience the ``python -m repro submit`` command uses:
+it submits one :class:`~repro.service.spec.SweepSpec`, mirrors every
+event as a JSONL line on ``events_out`` (stderr in the CLI), and returns
+the terminal ``job-done`` event — whose ``rows`` payload carries the
+aggregated result table.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import sys
+from typing import IO, AsyncIterator
+
+from repro.errors import ConfigurationError
+from repro.service.events import Event
+from repro.service.spec import SweepSpec
+
+__all__ = ["ServiceClient", "submit_and_stream", "render_rows"]
+
+
+class ServiceClient:
+    """Talks JSONL to a :class:`~repro.service.server.SweepServer`."""
+
+    def __init__(self, socket_path: str | os.PathLike) -> None:
+        self.socket_path = str(socket_path)
+
+    # ------------------------------------------------------------------
+    async def submit(self, spec: SweepSpec) -> AsyncIterator[Event]:
+        """Submit one spec; yields its events through ``job-done``."""
+        reader, writer = await self._connect()
+        try:
+            await self._send(writer, {"op": "submit", "spec": spec.to_dict()})
+            async for event in self._events(reader):
+                yield event
+                if event.kind in ("job-done", "error"):
+                    break
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+                pass
+
+    async def cancel(self, job_id: str) -> bool:
+        """Request cancellation of a job by id; True if it was live."""
+        event = await self._round_trip({"op": "cancel", "job": job_id})
+        return bool(event.get("ok"))
+
+    async def ping(self) -> Event:
+        """Liveness check; returns the server's ``pong`` counters."""
+        return await self._round_trip({"op": "ping"})
+
+    # ------------------------------------------------------------------
+    async def _connect(self):
+        try:
+            return await asyncio.open_unix_connection(self.socket_path)
+        except (ConnectionRefusedError, FileNotFoundError) as exc:
+            raise ConfigurationError(
+                f"no sweep service listening on {self.socket_path} "
+                f"(start one with: python -m repro serve --socket "
+                f"{self.socket_path})"
+            ) from exc
+
+    async def _round_trip(self, request: dict) -> Event:
+        reader, writer = await self._connect()
+        try:
+            await self._send(writer, request)
+            line = await reader.readline()
+            if not line:
+                raise ConfigurationError("sweep service closed the connection")
+            return Event.from_json(line.decode())
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+                pass
+
+    @staticmethod
+    async def _send(writer: asyncio.StreamWriter, request: dict) -> None:
+        writer.write(json.dumps(request, separators=(",", ":")).encode() + b"\n")
+        await writer.drain()
+
+    @staticmethod
+    async def _events(reader: asyncio.StreamReader) -> AsyncIterator[Event]:
+        while True:
+            line = await reader.readline()
+            if not line:
+                return
+            yield Event.from_json(line.decode())
+
+
+def render_rows(
+    parameters: list, metrics: list, rows: list[dict], precision: int = 3
+) -> str:
+    """ASCII table from a ``job-done`` event's rows payload (mirrors
+    :meth:`repro.sweep.SweepTable.render` so ``submit`` output matches a
+    local ``sweep`` run)."""
+    if not rows:
+        return "(empty sweep)"
+    headers = [str(p) for p in parameters] + [f"{m}_mean" for m in metrics]
+    widths = [max(len(h), 10) for h in headers]
+    lines = ["".join(h.ljust(w + 2) for h, w in zip(headers, widths))]
+    lines.append("-" * len(lines[0]))
+    for row in rows:
+        cells = []
+        for header, width in zip(headers, widths):
+            value = row.get(header)
+            text = (
+                f"{value:.{precision}f}" if isinstance(value, float) else str(value)
+            )
+            cells.append(text.ljust(width + 2))
+        lines.append("".join(cells))
+    return "\n".join(lines)
+
+
+def submit_and_stream(
+    socket_path: str | os.PathLike,
+    spec: SweepSpec,
+    events_out: IO[str] | None = None,
+) -> Event:
+    """Submit a spec and stream its progress (the CLI ``submit`` body).
+
+    Every event is mirrored as one JSONL line to ``events_out`` (default
+    stderr); returns the terminal event (``job-done``, or the server's
+    ``error``).
+    """
+    err = events_out if events_out is not None else sys.stderr
+
+    async def run() -> Event:
+        client = ServiceClient(socket_path)
+        last: Event | None = None
+        async for event in client.submit(spec):
+            print(event.to_json(), file=err, flush=True)
+            last = event
+        if last is None or last.kind not in ("job-done", "error"):
+            raise ConfigurationError(
+                "sweep service closed the stream before job-done"
+            )
+        return last
+
+    return asyncio.run(run())

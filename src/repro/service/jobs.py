@@ -1,0 +1,121 @@
+"""Jobs and the priority queue feeding the sweep service.
+
+A :class:`Job` is one submitted :class:`~repro.sweep.ParameterSweep`
+plus its lifecycle: queued -> running -> done / cancelled / failed.  The
+:class:`JobQueue` hands queued jobs to the service's workers highest
+priority first (FIFO within a priority), and cancellation works at any
+stage — a queued job never starts, a running job stops at the next
+point boundary.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import enum
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.errors import ConfigurationError
+from repro.service.events import Event
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.exec.base import ExecutionStats
+    from repro.sweep import ParameterSweep, SweepTable
+
+__all__ = ["JobStatus", "Job", "JobQueue"]
+
+
+class JobStatus(str, enum.Enum):
+    """Lifecycle states of a submitted sweep."""
+
+    QUEUED = "queued"
+    RUNNING = "running"
+    DONE = "ok"
+    CANCELLED = "cancelled"
+    FAILED = "error"
+
+    @property
+    def terminal(self) -> bool:
+        return self in (JobStatus.DONE, JobStatus.CANCELLED, JobStatus.FAILED)
+
+
+@dataclass
+class Job:
+    """One submitted sweep and everything the service learns about it."""
+
+    id: str
+    sweep: "ParameterSweep"
+    priority: int = 0
+    label: str | None = None
+    status: JobStatus = JobStatus.QUEUED
+    #: Populated on success.
+    table: "SweepTable | None" = None
+    stats: "ExecutionStats | None" = None
+    #: Populated on failure.
+    error: str | None = None
+    #: Every event emitted for this job, in emission order.
+    events: list[Event] = field(default_factory=list)
+    #: Live event feed (one reader); ``None`` is the end-of-stream mark.
+    event_queue: "asyncio.Queue[Event | None]" = field(
+        default_factory=asyncio.Queue
+    )
+    _cancel: asyncio.Event = field(default_factory=asyncio.Event)
+    _finished: asyncio.Event = field(default_factory=asyncio.Event)
+
+    # ------------------------------------------------------------------
+    def cancel(self) -> None:
+        """Request cancellation; takes effect at the next point boundary."""
+        self._cancel.set()
+
+    @property
+    def cancel_requested(self) -> bool:
+        return self._cancel.is_set()
+
+    async def wait(self) -> JobStatus:
+        """Block until the job reaches a terminal status."""
+        await self._finished.wait()
+        return self.status
+
+    def result(self) -> "SweepTable":
+        """The finished job's table; raises if it did not complete."""
+        if self.status is not JobStatus.DONE or self.table is None:
+            raise ConfigurationError(
+                f"job {self.id} has no result (status: {self.status.value})"
+            )
+        return self.table
+
+    def finish(self, status: JobStatus) -> None:
+        """Mark terminal state and release every waiter."""
+        self.status = status
+        self._finished.set()
+
+
+class JobQueue:
+    """Priority queue of submitted jobs (await-able, cancellation-aware).
+
+    Higher ``priority`` dequeues first; equal priorities keep submission
+    order.  Jobs cancelled while queued are still handed out (so the
+    service can emit their terminal event) but are never executed.
+    """
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[int, int, Job]] = []
+        self._seq = itertools.count()
+        self._available = asyncio.Event()
+
+    def put(self, job: Job) -> None:
+        heapq.heappush(self._heap, (-job.priority, next(self._seq), job))
+        self._available.set()
+
+    async def get(self) -> Job:
+        """Wait for, then pop, the highest-priority queued job."""
+        while not self._heap:
+            self._available.clear()
+            await self._available.wait()
+        _, _, job = heapq.heappop(self._heap)
+        return job
+
+    def __len__(self) -> int:
+        return len(self._heap)

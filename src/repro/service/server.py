@@ -1,0 +1,153 @@
+"""Unix-socket front door for the sweep service (JSONL protocol).
+
+One request per connection, newline-delimited JSON both ways:
+
+* ``{"op": "submit", "spec": {...}}`` — validate the
+  :class:`~repro.service.spec.SweepSpec`, queue it, then stream the
+  job's events until ``job-done`` (which is enriched with the result
+  rows so clients can render the table without a second round trip);
+* ``{"op": "cancel", "job": "job-3"}`` — request cancellation; answers
+  ``{"event": "cancel", "job": ..., "ok": true/false}``;
+* ``{"op": "ping"}`` — liveness check, answers ``{"event": "pong"}``
+  with queue/scheduler counters.
+
+A Unix socket (not TCP) keeps the service machine-local and permission
+-guarded by the filesystem; the protocol itself is transport-agnostic.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+from pathlib import Path
+
+from repro.errors import ConfigurationError, ReproError
+from repro.service.events import Event
+from repro.service.service import SweepService
+from repro.service.spec import SweepSpec
+
+__all__ = ["SweepServer"]
+
+
+class SweepServer:
+    """Serves one :class:`SweepService` over a Unix domain socket."""
+
+    def __init__(self, service: SweepService, socket_path: str | os.PathLike) -> None:
+        self.service = service
+        self.socket_path = Path(socket_path)
+        self._server: asyncio.AbstractServer | None = None
+
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        if self.socket_path.exists():
+            self.socket_path.unlink()
+        self.socket_path.parent.mkdir(parents=True, exist_ok=True)
+        self.service.start()
+        self._server = await asyncio.start_unix_server(
+            self._handle, path=str(self.socket_path)
+        )
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        await self.service.stop()
+        self.socket_path.unlink(missing_ok=True)
+
+    async def serve_forever(self) -> None:
+        """Run until cancelled (the ``python -m repro serve`` loop)."""
+        await self.start()
+        try:
+            assert self._server is not None
+            await self._server.serve_forever()
+        except asyncio.CancelledError:
+            pass
+        finally:
+            await self.stop()
+
+    # ------------------------------------------------------------------
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            line = await reader.readline()
+            if not line:
+                return
+            try:
+                request = json.loads(line)
+                if not isinstance(request, dict):
+                    raise ValueError("request must be a JSON object")
+                op = request.get("op")
+                if op == "submit":
+                    await self._handle_submit(request, writer)
+                elif op == "cancel":
+                    await self._send(
+                        writer,
+                        Event(
+                            "cancel",
+                            {
+                                "job": request.get("job"),
+                                "ok": self.service.cancel(str(request.get("job"))),
+                            },
+                        ),
+                    )
+                elif op == "ping":
+                    await self._send(
+                        writer,
+                        Event(
+                            "pong",
+                            {
+                                "jobs": len(self.service.jobs),
+                                "queued": len(self.service.queue),
+                                "executions": self.service.scheduler.executions,
+                            },
+                        ),
+                    )
+                else:
+                    raise ValueError(f"unknown op {op!r}")
+            except (ValueError, ReproError) as exc:
+                await self._send(writer, Event("error", {"message": str(exc)}))
+        except (ConnectionResetError, BrokenPipeError):  # client went away
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+                pass
+
+    async def _handle_submit(
+        self, request: dict, writer: asyncio.StreamWriter
+    ) -> None:
+        spec_payload = request.get("spec")
+        if not isinstance(spec_payload, dict):
+            raise ConfigurationError("submit request needs a spec object")
+        spec = SweepSpec.from_dict(spec_payload)
+        job = self.service.submit(
+            spec.build_sweep(), priority=spec.priority, label=spec.label
+        )
+        # job.event_queue carries every event from "submitted" onwards
+        # (the job is created inside submit(), before any emission), so
+        # draining it until the sentinel streams the full history.
+        while True:
+            event = await job.event_queue.get()
+            if event is None:
+                break
+            if event.kind == "job-done" and job.table is not None:
+                event = Event(
+                    event.kind,
+                    {
+                        **event.data,
+                        "parameters": list(job.table.parameter_names),
+                        "metrics": list(job.table.metric_names),
+                        "rows": job.table.rows(),
+                    },
+                )
+            await self._send(writer, event)
+
+    @staticmethod
+    async def _send(writer: asyncio.StreamWriter, event: Event) -> None:
+        writer.write(event.to_json().encode() + b"\n")
+        await writer.drain()

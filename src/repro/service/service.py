@@ -1,0 +1,312 @@
+"""The long-running sweep service: queue + scheduler + event stream.
+
+:class:`SweepService` is the in-process heart of service mode.  Clients
+submit :class:`~repro.sweep.ParameterSweep` grids (with a priority) and
+get a :class:`~repro.service.jobs.Job` back; worker tasks pull jobs off
+the priority queue, claim their points through the deduplicating
+:class:`~repro.service.scheduler.Scheduler`, and narrate everything as
+:class:`~repro.service.events.Event` objects — per job (``job.events``,
+``job.event_queue``) and to any number of service-wide subscribers.
+
+Usage::
+
+    async with SweepService(cache=ResultCache(".repro-cache")) as service:
+        job = service.submit(sweep, priority=5)
+        await job.wait()
+        table = job.result()
+
+The Unix-socket server (:mod:`repro.service.server`) is a thin network
+shim over this class; tests and the tier-1 smoke benchmark drive it
+directly, no sockets required.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+from time import perf_counter
+from typing import TYPE_CHECKING
+
+from repro.exec.base import ExecutionStats, Executor, PointTiming
+from repro.service.events import Event
+from repro.service.jobs import Job, JobQueue, JobStatus
+from repro.service.scheduler import Resolution, Scheduler
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.exec.cache import ResultCache
+    from repro.sweep import ParameterSweep
+
+__all__ = ["SweepService"]
+
+
+class SweepService:
+    """Asyncio sweep service with cross-job dedup and progress events.
+
+    Parameters
+    ----------
+    executor / cache / batch_size:
+        Forwarded to the :class:`Scheduler` (see its docstring).
+    workers:
+        Concurrent jobs.  More workers means more cross-job point
+        overlap (and therefore more dedup wins); priorities order job
+        *starts* whenever workers are scarcer than queued jobs.
+    """
+
+    def __init__(
+        self,
+        executor: Executor | None = None,
+        cache: "ResultCache | None" = None,
+        batch_size: int = 8,
+        workers: int = 2,
+    ) -> None:
+        self.queue = JobQueue()
+        self.scheduler = Scheduler(
+            executor=executor, cache=cache, batch_size=batch_size
+        )
+        self.workers = max(1, int(workers))
+        self.jobs: dict[str, Job] = {}
+        self._job_ids = itertools.count(1)
+        self._seq = itertools.count()
+        self._worker_tasks: list[asyncio.Task] = []
+        self._subscribers: list[asyncio.Queue] = []
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    async def __aenter__(self) -> "SweepService":
+        self.start()
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.stop()
+
+    def start(self) -> None:
+        """Spin up the scheduler and the worker tasks."""
+        if self._worker_tasks:
+            return
+        self.scheduler.start()
+        loop = asyncio.get_running_loop()
+        self._worker_tasks = [
+            loop.create_task(self._worker(), name=f"sweep-worker-{i}")
+            for i in range(self.workers)
+        ]
+
+    async def stop(self) -> None:
+        """Cancel workers and the scheduler; close subscriber streams."""
+        for task in self._worker_tasks:
+            task.cancel()
+        for task in self._worker_tasks:
+            try:
+                await task
+            except asyncio.CancelledError:
+                pass
+        self._worker_tasks = []
+        await self.scheduler.stop()
+        for queue in self._subscribers:
+            queue.put_nowait(None)
+        self._subscribers = []
+
+    # ------------------------------------------------------------------
+    # client API
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        sweep: "ParameterSweep",
+        priority: int = 0,
+        label: str | None = None,
+    ) -> Job:
+        """Queue one sweep; returns immediately with the live job."""
+        job = Job(
+            id=f"job-{next(self._job_ids)}",
+            sweep=sweep,
+            priority=int(priority),
+            label=label,
+        )
+        self.jobs[job.id] = job
+        self._emit(
+            job,
+            "submitted",
+            points=len(sweep.points()),
+            priority=job.priority,
+            label=job.label,
+        )
+        self.queue.put(job)
+        return job
+
+    def cancel(self, job_id: str) -> bool:
+        """Request cancellation of a queued or running job."""
+        job = self.jobs.get(job_id)
+        if job is None or job.status.terminal:
+            return False
+        job.cancel()
+        return True
+
+    def subscribe(self) -> "asyncio.Queue[Event | None]":
+        """Service-wide event feed; ``None`` marks service shutdown."""
+        queue: asyncio.Queue = asyncio.Queue()
+        self._subscribers.append(queue)
+        return queue
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _emit(self, job: Job | None, kind: str, **data) -> Event:
+        payload = {"job": job.id if job is not None else None, **data}
+        event = Event(kind, {**payload, "seq": next(self._seq)})
+        if job is not None:
+            job.events.append(event)
+            job.event_queue.put_nowait(event)
+            if kind == "job-done":
+                job.event_queue.put_nowait(None)
+        for queue in self._subscribers:
+            queue.put_nowait(event)
+        return event
+
+    async def _worker(self) -> None:
+        while True:
+            job = await self.queue.get()
+            await self._run_job(job)
+
+    async def _run_job(self, job: Job) -> None:
+        if job.cancel_requested:  # cancelled while queued: never starts
+            self._finish(job, JobStatus.CANCELLED, points=0)
+            return
+        job.status = JobStatus.RUNNING
+        start = perf_counter()
+        points = job.sweep.points()
+        total = len(points)
+        try:
+            from repro.exec.canonical import callable_fingerprint
+
+            fingerprint = callable_fingerprint(job.sweep.factory)
+            self._emit(job, "scheduled", points=total)
+            resolutions = self.scheduler.claim(
+                job.id, points, job.sweep.factory, fingerprint
+            )
+        except Exception as exc:
+            self._fail(job, exc, start)
+            return
+
+        metrics_by_index: list = [None] * total
+        timings: list[PointTiming] = []
+        done = cache_hits = computed = shared = 0
+        pending: dict[int, Resolution] = {}
+        for index, resolution in enumerate(resolutions):
+            if resolution.hit:
+                metrics_by_index[index] = resolution.metrics
+                timings.append(PointTiming(index=index, elapsed_s=0.0, cached=True))
+                done += 1
+                cache_hits += 1
+                self._emit(
+                    job,
+                    "cache-hit",
+                    point=index,
+                    done=done,
+                    total=total,
+                    source=resolution.source,
+                )
+            else:
+                pending[index] = resolution
+
+        cancel_wait = asyncio.ensure_future(job._cancel.wait())
+        try:
+            while pending:
+                futures = {r.entry.future for r in pending.values()}
+                await asyncio.wait(
+                    futures | {cancel_wait},
+                    return_when=asyncio.FIRST_COMPLETED,
+                )
+                if job.cancel_requested:
+                    for resolution in pending.values():
+                        self.scheduler.release(resolution.entry)
+                    self._finish(
+                        job,
+                        JobStatus.CANCELLED,
+                        points=total,
+                        done=done,
+                        elapsed_s=perf_counter() - start,
+                    )
+                    return
+                failure: BaseException | None = None
+                for index in [
+                    i for i, r in list(pending.items()) if r.entry.future.done()
+                ]:
+                    resolution = pending.pop(index)
+                    exc = resolution.entry.future.exception()
+                    if exc is not None:
+                        failure = exc
+                        continue
+                    metrics, elapsed = resolution.entry.future.result()
+                    metrics_by_index[index] = metrics
+                    timings.append(
+                        PointTiming(index=index, elapsed_s=elapsed, cached=False)
+                    )
+                    done += 1
+                    if resolution.entry.owner == job.id:
+                        computed += 1
+                    else:
+                        shared += 1
+                    self._emit(
+                        job,
+                        "point-done",
+                        point=index,
+                        done=done,
+                        total=total,
+                        elapsed_s=round(elapsed, 6),
+                        shared=resolution.entry.owner != job.id,
+                    )
+                if failure is not None:
+                    for resolution in pending.values():
+                        self.scheduler.release(resolution.entry)
+                    self._fail(job, failure, start)
+                    return
+        finally:
+            cancel_wait.cancel()
+
+        from repro.sweep import SweepResult
+
+        try:
+            table = job.sweep.build_table(
+                [
+                    SweepResult(point=points[i], metrics=metrics_by_index[i])
+                    for i in range(total)
+                ]
+            )
+        except Exception as exc:
+            self._fail(job, exc, start)
+            return
+        elapsed_total = perf_counter() - start
+        job.table = table
+        job.sweep.last_stats = job.stats = ExecutionStats(
+            executor="service",
+            jobs=self.workers,
+            points=total,
+            cache_hits=cache_hits,
+            elapsed_s=elapsed_total,
+            timings=sorted(timings, key=lambda t: t.index),
+        )
+        self._finish(
+            job,
+            JobStatus.DONE,
+            points=total,
+            cache_hits=cache_hits,
+            computed=computed,
+            shared=shared,
+            elapsed_s=round(elapsed_total, 6),
+        )
+
+    def _finish(self, job: Job, status: JobStatus, **data) -> None:
+        job.finish(status)
+        self._emit(job, "job-done", status=status.value, **data)
+
+    def _fail(self, job: Job, exc: BaseException, start: float) -> None:
+        job.error = f"{type(exc).__name__}: {exc}"
+        self._emit(job, "error", message=job.error)
+        job.finish(JobStatus.FAILED)
+        self._emit(
+            job,
+            "job-done",
+            status=JobStatus.FAILED.value,
+            message=job.error,
+            elapsed_s=round(perf_counter() - start, 6),
+        )

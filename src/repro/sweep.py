@@ -238,8 +238,18 @@ class ParameterSweep:
             executor = SerialExecutor()
         points = self.points()
         results, stats = executor.run(points, self.factory, cache=cache, progress=progress)
-        metric_names = self._validate_metrics(results)
         self.last_stats = stats
+        return self.build_table(results)
+
+    def build_table(self, results: Sequence[SweepResult]) -> SweepTable:
+        """Validate per-point metrics and aggregate into a table.
+
+        Factored out of :meth:`run` so alternative drivers (notably the
+        sweep service, which resolves points through its cross-job dedup
+        layer rather than a single executor call) produce tables with
+        identical validation and grid-order semantics.
+        """
+        metric_names = self._validate_metrics(results)
         return SweepTable(
             parameter_names=tuple(self.grid),
             metric_names=metric_names,

@@ -98,15 +98,26 @@ class TestCommands:
         parallel = capsys.readouterr().out.splitlines()[:4]
         assert parallel == serial
 
-    def test_sweep_progress_goes_to_stderr(self, capsys):
-        argv = [
+    def test_sweep_progress_jsonl_on_stderr_stdout_unchanged(self, capsys):
+        import json
+
+        base = [
             "sweep", "--param", "d=2", "--bits", "8", "--no-cache",
-            "--progress", "--variant", "fast",
+            "--variant", "fast",
         ]
-        assert main(argv) == 0
+        assert main(base) == 0
+        plain = capsys.readouterr()
+        assert plain.err == ""
+
+        assert main(base + ["--progress"]) == 0
         captured = capsys.readouterr()
-        assert "[1/1]" in captured.err
-        assert "[1/1]" not in captured.out
+        # Progress events are service-format JSONL, on stderr only...
+        events = [json.loads(line) for line in captured.err.splitlines()]
+        assert [e["event"] for e in events] == ["point-done"]
+        assert events[0]["done"] == events[0]["total"] == 1
+        # ...and the stdout table stays byte-identical for result piping
+        # (the trailing stats line carries wall times, hence [:4]).
+        assert captured.out.splitlines()[:4] == plain.out.splitlines()[:4]
 
     def test_sweep_rejects_zero_jobs(self, capsys):
         code = main(["sweep", "--param", "d=2", "--no-cache", "--jobs", "0"])

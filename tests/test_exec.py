@@ -189,6 +189,50 @@ class TestResultCache:
         again.run(cache=cache)
         assert again.last_stats.cache_hits == 0
 
+    def test_corrupt_entries_evicted_and_counted(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        sweep = ParameterSweep(quadratic, {"x": [1, 2, 3]})
+        sweep.run(cache=cache)
+        # Damage all three entries three different ways: truncation
+        # (killed writer), garbage bytes, and valid JSON of the wrong
+        # shape.  Every flavour must read as a miss, not an exception.
+        entries = sorted((tmp_path / "cache").glob("*/*.json"))
+        assert len(entries) == 3
+        entries[0].write_text(entries[0].read_text()[: len(entries[0].read_text()) // 2])
+        entries[1].write_bytes(b"\x00\xff not json at all")
+        entries[2].write_text('{"version": 1, "metrics": "oops"}')
+
+        healed = ParameterSweep(quadratic, {"x": [1, 2, 3]})
+        table = healed.run(cache=cache)
+        # All three misses recomputed; the bad files were evicted and
+        # the recompute healed the slots.
+        assert healed.last_stats.cache_hits == 0
+        assert healed.last_stats.cache_corrupt == 3
+        assert cache.corrupt_evictions == 3
+        assert table == ParameterSweep(quadratic, {"x": [1, 2, 3]}).run()
+        assert len(cache) == 3
+
+        # And the healed entries serve a fully warm rerun.
+        warm = ParameterSweep(quadratic, {"x": [1, 2, 3]})
+        warm.run(cache=cache)
+        assert warm.last_stats.cache_hits == 3
+        assert warm.last_stats.cache_corrupt == 0
+
+    def test_stats_corrupt_count_is_per_run(self, tmp_path):
+        """ExecutionStats reports this run's evictions, not the cache's
+        lifetime total."""
+        cache = ResultCache(tmp_path / "cache")
+        ParameterSweep(quadratic, {"x": [1]}).run(cache=cache)
+        for entry in (tmp_path / "cache").glob("*/*.json"):
+            entry.write_text("{broken")
+        first = ParameterSweep(quadratic, {"x": [1]})
+        first.run(cache=cache)
+        assert first.last_stats.cache_corrupt == 1
+        second = ParameterSweep(quadratic, {"x": [1]})
+        second.run(cache=cache)
+        assert second.last_stats.cache_corrupt == 0
+        assert cache.corrupt_evictions == 1
+
     def test_parallel_with_cache_matches_serial(self, tmp_path):
         cache = ResultCache(tmp_path / "cache")
         serial = make_sweep().run(SerialExecutor())

@@ -1,0 +1,565 @@
+"""Tests for the sweep service (``repro.service``).
+
+The service's contract, in order of importance:
+
+* **dedup** — submitting the same grid twice concurrently executes each
+  unique point at most once; both jobs still get full, identical tables;
+* **cache** — a cache-warm resubmit completes with zero executions;
+* **cancellation** — a job cancelled mid-grid stops at a point boundary
+  and releases its unshared pending points;
+* **events** — every job narrates a complete, ordered JSONL stream:
+  submitted, scheduled, per-point events, terminal job-done.
+
+Everything here drives :class:`SweepService` in-process (no sockets);
+the socket protocol has its own section at the bottom.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+import time
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.exec import ResultCache, SerialExecutor
+from repro.service import (
+    Event,
+    JobStatus,
+    ServiceClient,
+    SweepServer,
+    SweepService,
+    SweepSpec,
+)
+from repro.service.client import submit_and_stream
+from repro.sweep import ParameterSweep
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class CountingFactory:
+    """Factory that counts real executions (and can be slowed down)."""
+
+    def __init__(self, delay_s: float = 0.0) -> None:
+        self.calls: list[dict] = []
+        self.delay_s = delay_s
+
+    def __call__(self, point) -> dict:
+        self.calls.append(dict(point.values))
+        if self.delay_s:
+            time.sleep(self.delay_s)
+        x = point["x"]
+        return {"y": float(x * x), "seed_mod": float(point.seed % 7)}
+
+
+def make_sweep(factory, xs=(1, 2, 3, 4), trials=1, base_seed=7) -> ParameterSweep:
+    return ParameterSweep(factory, {"x": list(xs)}, trials=trials, base_seed=base_seed)
+
+
+# ----------------------------------------------------------------------
+# cross-job dedup
+# ----------------------------------------------------------------------
+class TestDedup:
+    def test_concurrent_identical_grids_execute_each_point_once(self):
+        factory = CountingFactory()
+
+        async def scenario():
+            async with SweepService(workers=2, batch_size=2) as service:
+                job_a = service.submit(make_sweep(factory))
+                job_b = service.submit(make_sweep(factory))
+                await asyncio.gather(job_a.wait(), job_b.wait())
+                return job_a, job_b, service.scheduler.executions
+
+        job_a, job_b, executions = run(scenario())
+        assert job_a.status is JobStatus.DONE
+        assert job_b.status is JobStatus.DONE
+        # The acceptance criterion: each unique point at most once.
+        assert len(factory.calls) == 4
+        assert executions == 4
+        # Both jobs still see every point, with identical tables.
+        assert job_a.result().rows() == job_b.result().rows()
+        shares = [
+            e for job in (job_a, job_b) for e in job.events
+            if e.kind == "point-done" and e["shared"]
+        ]
+        assert len(shares) == 4  # one job computed, the other subscribed
+
+    def test_overlapping_grids_share_only_the_overlap(self):
+        factory = CountingFactory()
+
+        async def scenario():
+            async with SweepService(workers=2, batch_size=2) as service:
+                job_a = service.submit(make_sweep(factory, xs=(1, 2, 3)))
+                job_b = service.submit(make_sweep(factory, xs=(2, 3, 4)))
+                await asyncio.gather(job_a.wait(), job_b.wait())
+                return service.scheduler.executions
+
+        executions = run(scenario())
+        assert executions == 4  # union {1,2,3,4}, not 6
+        assert len(factory.calls) == 4
+
+    def test_duplicate_points_within_one_grid_execute_once(self):
+        factory = CountingFactory()
+
+        async def scenario():
+            async with SweepService() as service:
+                job = service.submit(make_sweep(factory, xs=(2, 2, 2)))
+                await job.wait()
+                return job
+
+        job = run(scenario())
+        assert job.status is JobStatus.DONE
+        assert len(factory.calls) == 1
+        assert len(job.result().results) == 3  # all indices resolved
+
+    def test_different_seeds_do_not_dedup(self):
+        factory = CountingFactory()
+
+        async def scenario():
+            async with SweepService() as service:
+                job_a = service.submit(make_sweep(factory, base_seed=1))
+                job_b = service.submit(make_sweep(factory, base_seed=2))
+                await asyncio.gather(job_a.wait(), job_b.wait())
+
+        run(scenario())
+        assert len(factory.calls) == 8  # seeds differ: different points
+
+
+# ----------------------------------------------------------------------
+# cache integration
+# ----------------------------------------------------------------------
+class TestCache:
+    def test_cache_warm_resubmit_zero_executions(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        factory = CountingFactory()
+
+        async def first():
+            async with SweepService(cache=cache) as service:
+                job = service.submit(make_sweep(factory))
+                await job.wait()
+                return job.result().rows()
+
+        cold_rows = run(first())
+        assert len(factory.calls) == 4
+
+        # A *fresh* service (empty in-memory memo) against the same
+        # cache: every point is a disk hit, nothing executes.
+        async def second():
+            async with SweepService(cache=cache) as service:
+                job = service.submit(make_sweep(factory))
+                await job.wait()
+                return job
+
+        job = run(second())
+        assert len(factory.calls) == 4  # unchanged: zero executions
+        assert job.status is JobStatus.DONE
+        assert job.result().rows() == cold_rows
+        kinds = [e.kind for e in job.events]
+        assert kinds.count("cache-hit") == 4
+        assert kinds.count("point-done") == 0
+        assert all(
+            e["source"] == "disk" for e in job.events if e.kind == "cache-hit"
+        )
+
+    def test_same_service_resubmit_hits_memory(self):
+        factory = CountingFactory()
+
+        async def scenario():
+            async with SweepService() as service:
+                first = service.submit(make_sweep(factory))
+                await first.wait()
+                again = service.submit(make_sweep(factory))
+                await again.wait()
+                return again
+
+        job = run(scenario())
+        assert len(factory.calls) == 4
+        sources = {e["source"] for e in job.events if e.kind == "cache-hit"}
+        assert sources == {"memory"}
+
+    def test_service_results_match_plain_sweep_run(self, tmp_path):
+        """The service is an execution strategy, not a semantics change."""
+        factory = CountingFactory()
+        reference = make_sweep(factory).run(SerialExecutor())
+
+        async def scenario():
+            async with SweepService(batch_size=3) as service:
+                job = service.submit(make_sweep(factory))
+                await job.wait()
+                return job.result()
+
+        assert run(scenario()) == reference
+
+
+# ----------------------------------------------------------------------
+# cancellation
+# ----------------------------------------------------------------------
+class TestCancellation:
+    def test_cancel_mid_grid_stops_execution(self):
+        factory = CountingFactory(delay_s=0.02)
+
+        async def scenario():
+            async with SweepService(batch_size=1) as service:
+                job = service.submit(make_sweep(factory, xs=range(1, 21)))
+                # Cancel as soon as the first point completes.
+                while True:
+                    event = await job.event_queue.get()
+                    assert event is not None
+                    if event.kind == "point-done":
+                        break
+                service.cancel(job.id)
+                status = await job.wait()
+                return job, status
+
+        job, status = run(scenario())
+        assert status is JobStatus.CANCELLED
+        assert job.events[-1].kind == "job-done"
+        assert job.events[-1]["status"] == "cancelled"
+        # Far fewer than 20 points ran (only dispatched batches finish).
+        assert 1 <= len(factory.calls) < 20
+        with pytest.raises(ConfigurationError):
+            job.result()
+
+    def test_cancel_queued_job_never_runs(self):
+        factory = CountingFactory(delay_s=0.02)
+
+        async def scenario():
+            async with SweepService(workers=1, batch_size=1) as service:
+                running = service.submit(make_sweep(factory, xs=(1, 2, 3)))
+                queued = service.submit(make_sweep(factory, xs=(7, 8, 9)))
+                assert service.cancel(queued.id)
+                await asyncio.gather(running.wait(), queued.wait())
+                return running, queued
+
+        running, queued = run(scenario())
+        assert running.status is JobStatus.DONE
+        assert queued.status is JobStatus.CANCELLED
+        assert all(call["x"] < 7 for call in factory.calls)
+        assert [e.kind for e in queued.events] == ["submitted", "job-done"]
+
+    def test_cancelled_job_does_not_strand_shared_points(self):
+        """A point shared with a live job survives the owner's cancellation."""
+        factory = CountingFactory(delay_s=0.01)
+
+        async def scenario():
+            async with SweepService(workers=2, batch_size=1) as service:
+                owner = service.submit(make_sweep(factory, xs=(1, 2, 3, 4)))
+                rider = service.submit(make_sweep(factory, xs=(1, 2, 3, 4)))
+                service.cancel(owner.id)
+                await asyncio.gather(owner.wait(), rider.wait())
+                return rider
+
+        rider = run(scenario())
+        assert rider.status is JobStatus.DONE
+        assert len(rider.result().results) == 4
+
+    def test_cancel_unknown_or_finished_job_is_refused(self):
+        factory = CountingFactory()
+
+        async def scenario():
+            async with SweepService() as service:
+                job = service.submit(make_sweep(factory))
+                await job.wait()
+                return service.cancel(job.id), service.cancel("job-999")
+
+        assert run(scenario()) == (False, False)
+
+
+# ----------------------------------------------------------------------
+# event streams
+# ----------------------------------------------------------------------
+class TestEvents:
+    def test_stream_is_ordered_and_complete(self):
+        factory = CountingFactory()
+
+        async def scenario():
+            async with SweepService() as service:
+                job = service.submit(make_sweep(factory, trials=2))
+                await job.wait()
+                return job
+
+        job = run(scenario())
+        kinds = [e.kind for e in job.events]
+        assert kinds[0] == "submitted"
+        assert kinds[1] == "scheduled"
+        assert kinds[-1] == "job-done"
+        per_point = [e for e in job.events if e.kind in ("point-done", "cache-hit")]
+        assert len(per_point) == 8  # 4 coordinates x 2 trials, no gaps
+        assert [e["done"] for e in per_point] == list(range(1, 9))
+        assert {e["point"] for e in per_point} == set(range(8))
+        seqs = [e["seq"] for e in job.events]
+        assert seqs == sorted(seqs)
+        done = job.events[-1]
+        assert done["status"] == "ok"
+        assert done["points"] == 8
+        assert done["computed"] + done["shared"] + done["cache_hits"] == 8
+
+    def test_events_round_trip_through_jsonl(self):
+        factory = CountingFactory()
+
+        async def scenario():
+            async with SweepService() as service:
+                job = service.submit(make_sweep(factory))
+                await job.wait()
+                return job
+
+        job = run(scenario())
+        for event in job.events:
+            decoded = Event.from_json(event.to_json())
+            assert decoded.kind == event.kind
+            assert json.loads(event.to_json())["event"] == event.kind
+
+    def test_service_wide_subscription_sees_all_jobs(self):
+        factory = CountingFactory()
+
+        async def scenario():
+            async with SweepService() as service:
+                feed = service.subscribe()
+                job_a = service.submit(make_sweep(factory, xs=(1, 2)))
+                job_b = service.submit(make_sweep(factory, xs=(3, 4)))
+                await asyncio.gather(job_a.wait(), job_b.wait())
+                seen = []
+                while not feed.empty():
+                    seen.append(feed.get_nowait())
+                return {e["job"] for e in seen if e is not None}
+
+        assert run(scenario()) == {"job-1", "job-2"}
+
+    def test_priority_orders_job_starts(self):
+        factory = CountingFactory(delay_s=0.005)
+
+        async def scenario():
+            service = SweepService(workers=1, batch_size=1)
+            low = service.submit(make_sweep(factory, xs=(1,)), priority=0)
+            high = service.submit(make_sweep(factory, xs=(2,)), priority=10)
+            mid = service.submit(make_sweep(factory, xs=(3,)), priority=5)
+            feed = service.subscribe()
+            async with service:
+                await asyncio.gather(low.wait(), high.wait(), mid.wait())
+            order = []
+            while not feed.empty():
+                event = feed.get_nowait()
+                if event is not None and event.kind == "scheduled":
+                    order.append(event["job"])
+            return low.id, mid.id, high.id, order
+
+        low_id, mid_id, high_id, order = run(scenario())
+        assert order == [high_id, mid_id, low_id]
+
+
+# ----------------------------------------------------------------------
+# failures
+# ----------------------------------------------------------------------
+class TestFailures:
+    def test_factory_error_fails_job_and_service_survives(self):
+        def bad(point):
+            raise ValueError("boom at x=%s" % point["x"])
+
+        good = CountingFactory()
+
+        async def scenario():
+            async with SweepService() as service:
+                failed = service.submit(ParameterSweep(bad, {"x": [1, 2]}))
+                await failed.wait()
+                healthy = service.submit(make_sweep(good))
+                await healthy.wait()
+                return failed, healthy
+
+        failed, healthy = run(scenario())
+        assert failed.status is JobStatus.FAILED
+        assert "boom" in failed.error
+        kinds = [e.kind for e in failed.events]
+        assert "error" in kinds and kinds[-1] == "job-done"
+        assert failed.events[-1]["status"] == "error"
+        assert healthy.status is JobStatus.DONE
+
+    def test_inconsistent_metrics_fail_cleanly(self):
+        def ragged(point):
+            return {"a": 1.0} if point["x"] == 1 else {"b": 2.0}
+
+        async def scenario():
+            async with SweepService() as service:
+                job = service.submit(ParameterSweep(ragged, {"x": [1, 2]}))
+                await job.wait()
+                return job
+
+        job = run(scenario())
+        assert job.status is JobStatus.FAILED
+        assert "same metrics" in job.error
+
+
+# ----------------------------------------------------------------------
+# the socket protocol (serve / submit)
+# ----------------------------------------------------------------------
+class TestSocketProtocol:
+    def test_submit_streams_events_and_rows(self, tmp_path):
+        sock = tmp_path / "svc.sock"
+
+        async def scenario():
+            service = SweepService(batch_size=4)
+            server = SweepServer(service, sock)
+            await server.start()
+            try:
+                client = ServiceClient(sock)
+                pong = await client.ping()
+                assert pong.kind == "pong"
+                spec = SweepSpec(
+                    grid={"d": [2, 4]}, channel="eviction", variant="fast", bits=8
+                )
+                events = [e async for e in client.submit(spec)]
+            finally:
+                await server.stop()
+            return events
+
+        events = run(scenario())
+        kinds = [e.kind for e in events]
+        assert kinds[0] == "submitted"
+        assert kinds[-1] == "job-done"
+        done = events[-1]
+        assert done["status"] == "ok"
+        assert done["parameters"] == ["d"]
+        assert done["metrics"] == ["kbps", "error"]
+        assert [row["d"] for row in done["rows"]] == [2, 4]
+        assert all(row["kbps_mean"] > 0 for row in done["rows"])
+
+    def test_malformed_requests_get_error_events(self, tmp_path):
+        sock = tmp_path / "svc.sock"
+
+        async def scenario():
+            server = SweepServer(SweepService(), sock)
+            await server.start()
+            try:
+                reader, writer = await asyncio.open_unix_connection(str(sock))
+                writer.write(b'{"op": "launch-missiles"}\n')
+                await writer.drain()
+                reply = Event.from_json((await reader.readline()).decode())
+                writer.close()
+
+                reader, writer = await asyncio.open_unix_connection(str(sock))
+                writer.write(b'{"op": "submit", "spec": {"grid": {}}}\n')
+                await writer.drain()
+                bad_spec = Event.from_json((await reader.readline()).decode())
+                writer.close()
+            finally:
+                await server.stop()
+            return reply, bad_spec
+
+        reply, bad_spec = run(scenario())
+        assert reply.kind == "error" and "unknown op" in str(reply["message"])
+        assert bad_spec.kind == "error"
+
+    def test_client_without_server_fails_cleanly(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="no sweep service"):
+            run(ServiceClient(tmp_path / "nope.sock").ping())
+
+    def test_cli_submit_against_live_server(self, tmp_path, capsys):
+        from repro.cli import main
+
+        sock = tmp_path / "svc.sock"
+        started = threading.Event()
+        stop = threading.Event()
+
+        def serve() -> None:
+            async def body():
+                server = SweepServer(SweepService(batch_size=4), sock)
+                await server.start()
+                started.set()
+                try:
+                    while not stop.is_set():
+                        await asyncio.sleep(0.02)
+                finally:
+                    await server.stop()
+
+            asyncio.run(body())
+
+        thread = threading.Thread(target=serve, daemon=True)
+        thread.start()
+        try:
+            assert started.wait(timeout=10)
+            code = main(
+                ["submit", "--socket", str(sock), "--param", "d=2,4",
+                 "--bits", "8", "--channel", "eviction", "--variant", "fast"]
+            )
+        finally:
+            stop.set()
+            thread.join(timeout=10)
+        assert code == 0
+        captured = capsys.readouterr()
+        events = [json.loads(line) for line in captured.err.splitlines()]
+        assert [e["event"] for e in events][-1] == "job-done"
+        assert "kbps_mean" in captured.out  # rendered table on stdout
+
+    def test_submit_and_stream_returns_terminal_event(self, tmp_path):
+        sock = tmp_path / "svc.sock"
+        started = threading.Event()
+        stop = threading.Event()
+
+        def serve() -> None:
+            async def body():
+                server = SweepServer(SweepService(), sock)
+                await server.start()
+                started.set()
+                try:
+                    while not stop.is_set():
+                        await asyncio.sleep(0.02)
+                finally:
+                    await server.stop()
+
+            asyncio.run(body())
+
+        thread = threading.Thread(target=serve, daemon=True)
+        thread.start()
+        try:
+            assert started.wait(timeout=10)
+            import io
+
+            err = io.StringIO()
+            final = submit_and_stream(
+                sock,
+                SweepSpec(grid={"d": [2]}, variant="fast", bits=8),
+                events_out=err,
+            )
+        finally:
+            stop.set()
+            thread.join(timeout=10)
+        assert final.kind == "job-done" and final["status"] == "ok"
+        assert '"event":"submitted"' in err.getvalue()
+
+
+# ----------------------------------------------------------------------
+# the serialisable spec
+# ----------------------------------------------------------------------
+class TestSweepSpec:
+    def test_round_trips_through_json(self):
+        spec = SweepSpec(
+            grid={"d": [1, 2, 4], "M": [8]},
+            machine="Gold 6226",
+            channel="misalignment",
+            variant="stealthy",
+            bits=16,
+            trials=2,
+            base_seed=3,
+            priority=7,
+            label="fig11-slice",
+        )
+        assert SweepSpec.from_dict(json.loads(json.dumps(spec.to_dict()))) == spec
+
+    def test_build_sweep_matches_cli_sweep_semantics(self):
+        spec = SweepSpec(grid={"d": [2]}, variant="fast", bits=8)
+        sweep = spec.build_sweep()
+        points = sweep.points()
+        assert len(points) == 1 and points[0]["d"] == 2
+        metrics = sweep.factory(points[0])
+        assert set(metrics) == {"kbps", "error"}
+
+    def test_rejects_unknown_channel_and_fields(self):
+        with pytest.raises(ConfigurationError):
+            SweepSpec(grid={"d": [1]}, channel="tlb")
+        with pytest.raises(ConfigurationError):
+            SweepSpec.from_dict({"grid": {"d": [1]}, "warp": 9})
+        with pytest.raises(ConfigurationError):
+            SweepSpec.from_dict({"channel": "eviction"})
