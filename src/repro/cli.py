@@ -170,6 +170,14 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--no-cache", action="store_true", help="disable the result cache"
     )
+    serve.add_argument(
+        "--job-ttl",
+        type=float,
+        default=3600.0,
+        metavar="SECONDS",
+        help="evict terminal jobs (and their event logs) after this many "
+        "seconds; <= 0 keeps jobs forever (default: 3600)",
+    )
 
     submit = sub.add_parser(
         "submit",
@@ -187,6 +195,42 @@ def build_parser() -> argparse.ArgumentParser:
         "validate",
         help="check the model's paper invariants (10-point checklist)",
         parents=[common],
+    )
+
+    lint = sub.add_parser(
+        "lint",
+        help="run the determinism/layering/fidelity linter (repro.lint)",
+        parents=[common],
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        default=None,
+        help="files or directories to lint (default: src/repro)",
+    )
+    lint.add_argument(
+        "--format", choices=["text", "json"], default="text", dest="fmt"
+    )
+    lint.add_argument(
+        "--baseline",
+        default=None,
+        metavar="FILE",
+        help="baseline file of tolerated violations (missing file = empty)",
+    )
+    lint.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="snapshot the current active violations into --baseline",
+    )
+    lint.add_argument(
+        "--strict",
+        action="store_true",
+        help="treat warnings as failures",
+    )
+    lint.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogue and exit",
     )
 
     report = sub.add_parser(
@@ -321,6 +365,38 @@ def _cmd_sgx(args) -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    from pathlib import Path
+
+    from repro.errors import ConfigurationError
+    from repro.lint import Baseline, all_rules, run_lint
+    from repro.lint.reporters import write_report
+
+    if args.list_rules:
+        for rule_cls in all_rules():
+            print(
+                f"{rule_cls.name:24s} {rule_cls.default_severity.value:8s} "
+                f"[{rule_cls.family}] {rule_cls.description}"
+            )
+        return 0
+    root = Path.cwd()
+    baseline = Baseline.load(args.baseline)
+    report = run_lint(
+        root, paths=args.paths or None, baseline=baseline, strict=args.strict
+    )
+    if args.write_baseline:
+        if args.baseline is None:
+            raise ConfigurationError("--write-baseline requires --baseline FILE")
+        Baseline.write(args.baseline, report.active)
+        print(
+            f"wrote {len(report.active)} entr"
+            f"{'y' if len(report.active) == 1 else 'ies'} to {args.baseline}"
+        )
+        return 0
+    write_report(report, args.fmt, sys.stdout)
+    return report.exit_code()
+
+
 def _cmd_validate(_args) -> int:
     from repro.validate import run_validation
 
@@ -386,6 +462,7 @@ def _cmd_serve(args) -> int:
         cache=cache,
         batch_size=args.batch_size,
         workers=args.workers,
+        job_ttl_s=args.job_ttl if args.job_ttl > 0 else None,
     )
     server = SweepServer(service, args.socket)
     print(f"sweep service listening on {args.socket}", file=sys.stderr)
@@ -473,6 +550,7 @@ _COMMANDS = {
     "sweep": _cmd_sweep,
     "serve": _cmd_serve,
     "submit": _cmd_submit,
+    "lint": _cmd_lint,
     "validate": _cmd_validate,
     "report": _cmd_report,
 }

@@ -1,0 +1,57 @@
+"""``repro.lint``: AST-based determinism / layering / fidelity linter.
+
+The reproduction's correctness argument is structural — content-hashed
+point keys assume deterministic factories, the service assumes a
+non-blocking event loop, the model assumes the paper's SDM/Table I
+constants — so this package checks those structures mechanically:
+
+* **determinism** (``det-*``): no process-global RNGs anywhere, no
+  wall-clock/OS-entropy/``id()`` reads in the simulator packages, no
+  hash-ordered set iteration feeding returned results;
+* **layering** (``layer-*``): every runtime import is an edge of the
+  configured DAG (:data:`repro.lint.config.DEFAULT_LAYERS`);
+* **concurrency** (``async-*``): no blocking calls inside ``async
+  def`` bodies in the service layer;
+* **paper fidelity** (``fidelity-*``): simulator constants and doc
+  phrases match :mod:`repro.lint.manifest` exactly.
+
+Run it as ``python -m repro.cli lint [--format json] [--baseline FILE]``
+or programmatically::
+
+    from repro.lint import run_lint
+    report = run_lint(".")
+    assert report.exit_code() == 0, report.summary()
+
+See ``docs/linting.md`` for the rule catalogue, the suppression syntax
+(``# repro: lint-disable=<rule>``) and the baseline workflow.
+"""
+
+from repro.lint.baseline import Baseline
+from repro.lint.config import DEFAULT_LAYERS, LintConfig, default_config
+from repro.lint.core import (
+    ModuleInfo,
+    Project,
+    Rule,
+    Severity,
+    Violation,
+    all_rules,
+    rules_by_name,
+)
+from repro.lint.runner import Finding, LintReport, run_lint
+
+__all__ = [
+    "Baseline",
+    "DEFAULT_LAYERS",
+    "Finding",
+    "LintConfig",
+    "LintReport",
+    "ModuleInfo",
+    "Project",
+    "Rule",
+    "Severity",
+    "Violation",
+    "all_rules",
+    "default_config",
+    "rules_by_name",
+    "run_lint",
+]

@@ -1,0 +1,91 @@
+"""Baseline file support: adopt the linter without fixing history first.
+
+A baseline is a JSON list of violation fingerprints that are *known and
+tolerated*; violations matching an entry are reported as ``baselined``
+and do not affect the exit code.  The intended workflow:
+
+1. ``python -m repro.cli lint --baseline .repro-lint-baseline.json
+   --write-baseline`` — snapshot today's violations;
+2. commit the baseline; CI runs with ``--baseline`` and fails only on
+   *new* violations;
+3. burn the baseline down over time — entries whose violations no
+   longer exist are dropped automatically on the next
+   ``--write-baseline``.
+
+This repository's own baseline is empty (the tree lints clean); the
+mechanism exists so future adopted subtrees / vendored code cannot turn
+the linter off wholesale.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.errors import ConfigurationError
+from repro.lint.core import Violation
+
+__all__ = ["Baseline"]
+
+_FORMAT_VERSION = 1
+
+
+@dataclass
+class Baseline:
+    """The set of tolerated violation fingerprints."""
+
+    path: Path | None = None
+    fingerprints: frozenset[str] = frozenset()
+
+    @classmethod
+    def load(cls, path: str | Path | None) -> "Baseline":
+        """Read a baseline file; a missing file is an empty baseline."""
+        if path is None:
+            return cls()
+        path = Path(path)
+        if not path.exists():
+            return cls(path=path)
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, ValueError) as exc:
+            raise ConfigurationError(
+                f"unreadable lint baseline {path}: {exc}"
+            ) from exc
+        if (
+            not isinstance(payload, dict)
+            or payload.get("version") != _FORMAT_VERSION
+            or not isinstance(payload.get("entries"), list)
+        ):
+            raise ConfigurationError(
+                f"lint baseline {path} is not a version-{_FORMAT_VERSION} "
+                "baseline file"
+            )
+        fingerprints = frozenset(
+            str(entry["fingerprint"])
+            for entry in payload["entries"]
+            if isinstance(entry, dict) and "fingerprint" in entry
+        )
+        return cls(path=path, fingerprints=fingerprints)
+
+    def contains(self, violation: Violation) -> bool:
+        return violation.fingerprint in self.fingerprints
+
+    @staticmethod
+    def write(path: str | Path, violations: list[Violation]) -> Path:
+        """Snapshot ``violations`` as the new baseline (sorted, stable)."""
+        path = Path(path)
+        entries = [
+            {
+                "fingerprint": violation.fingerprint,
+                "rule": violation.rule,
+                "path": violation.path,
+                "message": violation.message,
+            }
+            for violation in sorted(
+                violations, key=lambda v: (v.path, v.rule, v.message)
+            )
+        ]
+        payload = {"version": _FORMAT_VERSION, "entries": entries}
+        path.write_text(json.dumps(payload, indent=2) + "\n")
+        return path

@@ -1,0 +1,129 @@
+"""Configuration for the repro linter: scopes, the import DAG, severities.
+
+The layering table below is the repository's architecture written down
+as data.  Each key is a top-level unit under ``repro`` (a subpackage, a
+top-level module, the root package's ``__init__`` as ``"repro"``, or
+``"__main__"``), and the value is the complete set of *other* units it
+may import at runtime (typing-only imports under ``if TYPE_CHECKING:``
+are exempt).  Three properties the tentpole cares about fall out of the
+table rather than being special-cased:
+
+* ``isa`` and ``frontend`` are leaves of the simulator — they may only
+  reach ``errors`` (and, for ``frontend``, the ``isa``/``caches``
+  structures it decodes into);
+* ``exec`` never imports ``service`` — executors are the lower layer
+  the service schedules onto, not the other way around;
+* nothing imports ``cli`` — ``cli`` appears in no allowed set except
+  ``__main__``'s.
+
+Editing the architecture means editing this table in the same PR — the
+diff review *is* the design review.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.lint.core import Severity
+
+__all__ = ["LintConfig", "DEFAULT_LAYERS", "default_config"]
+
+#: unit -> units it may import at runtime (itself is always allowed).
+DEFAULT_LAYERS: Mapping[str, frozenset[str]] = {
+    # -- foundations ----------------------------------------------------
+    "errors": frozenset(),
+    "rng": frozenset({"errors"}),
+    "isa": frozenset({"errors"}),
+    "caches": frozenset({"errors"}),
+    "analysis": frozenset({"errors"}),
+    # -- simulator core -------------------------------------------------
+    "frontend": frozenset({"errors", "isa", "caches"}),
+    "measure": frozenset({"errors", "frontend"}),
+    "backend": frozenset({"errors", "isa", "frontend"}),
+    "machine": frozenset({"errors", "caches", "frontend", "isa", "measure", "rng"}),
+    # -- attacks / defenses on top of the machine -----------------------
+    "channels": frozenset({"analysis", "errors", "frontend", "isa", "machine"}),
+    "fingerprint": frozenset({"analysis", "errors", "isa", "machine"}),
+    "sidechannel": frozenset({"analysis", "errors", "frontend", "isa", "machine"}),
+    "spectre": frozenset({"analysis", "caches", "errors", "isa", "machine"}),
+    "sgx": frozenset({"channels", "errors", "frontend", "isa", "machine", "measure"}),
+    "defense": frozenset(
+        {"analysis", "channels", "errors", "frontend", "isa", "machine"}
+    ),
+    # -- experiment plumbing --------------------------------------------
+    "workloads": frozenset({"errors", "isa"}),
+    "configio": frozenset({"channels", "errors", "frontend", "machine"}),
+    "validate": frozenset({"errors", "fingerprint", "frontend", "isa", "machine"}),
+    # sweep <-> exec are one layer split over two modules: the sweep
+    # grid model and the executors that run it share canonical identity
+    # helpers, so each may import the other (and nothing higher).
+    "sweep": frozenset({"errors", "exec", "rng"}),
+    "exec": frozenset({"errors", "rng", "sweep"}),
+    "reporting": frozenset({"errors", "exec"}),
+    # -- service layer ---------------------------------------------------
+    "service": frozenset(
+        {"analysis", "channels", "errors", "exec", "machine", "sweep"}
+    ),
+    # -- tooling ---------------------------------------------------------
+    # The linter inspects everything but imports only foundations.
+    "lint": frozenset({"errors"}),
+    # -- entry points ----------------------------------------------------
+    "cli": frozenset(
+        {
+            "analysis",
+            "channels",
+            "defense",
+            "errors",
+            "exec",
+            "fingerprint",
+            "frontend",
+            "isa",
+            "lint",
+            "machine",
+            "measure",
+            "reporting",
+            "service",
+            "sgx",
+            "spectre",
+            "sweep",
+            "validate",
+            "workloads",
+        }
+    ),
+    # The root package re-exports the stable public API.
+    "repro": frozenset(
+        {"channels", "errors", "frontend", "isa", "machine", "rng"}
+    ),
+    "__main__": frozenset({"cli"}),
+}
+
+
+@dataclass(frozen=True)
+class LintConfig:
+    """Everything the runner and the rules need to know about the repo."""
+
+    #: Directories (repo-relative) whose ``*.py`` files get linted.
+    include: tuple[str, ...] = ("src/repro",)
+    #: Packages where wall-clock/OS-entropy reads break simulator
+    #: determinism (the cache/dedup correctness argument).
+    deterministic_units: tuple[str, ...] = (
+        "frontend",
+        "machine",
+        "channels",
+        "measure",
+    )
+    #: Packages whose ``async def`` bodies must never block the loop.
+    async_units: tuple[str, ...] = ("service",)
+    #: The import DAG (see module docstring).
+    layers: Mapping[str, frozenset[str]] = field(
+        default_factory=lambda: dict(DEFAULT_LAYERS)
+    )
+    #: Per-rule severity overrides, e.g. {"det-set-iteration": Severity.WARNING}.
+    severity_overrides: Mapping[str, Severity] = field(default_factory=dict)
+    #: Rule names to skip entirely.
+    disabled_rules: tuple[str, ...] = ()
+
+
+def default_config() -> LintConfig:
+    return LintConfig()

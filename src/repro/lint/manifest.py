@@ -1,0 +1,140 @@
+"""Machine-readable manifest of the paper's structural constants.
+
+The reproduction's claims rest on exact figures from the paper (Leaky
+Frontends, HPCA 2022) and the Intel SDM sections it cites: the DSB is
+32 sets x 8 ways with at most 6 uops per 32-byte window, the LSD
+streams up to 64 uops, MITE fetches 16 bytes per cycle with LCP
+predecode stalls of up to 3 cycles, and Table I fixes the four tested
+machines.  Those numbers appear in code (``frontend/params.py``,
+``frontend/mite.py``, ``machine/specs.py``) *and* in prose
+(``docs/model.md``, ``README.md``), so a constant edited in one place
+silently forks the model from its documentation — and, worse, from the
+cached sweep results keyed on the old behaviour.
+
+This manifest is the single source of truth the ``fidelity-*`` lint
+rules check everything else against.  Each :class:`ConstantSpec` names
+a symbol in a source file (a dataclass field default, a module-level
+constant, or a keyword argument of a module-level constructor call) and
+the exact literal it must hold; each :class:`DocSpec` names a phrase a
+documentation file must still contain.  Changing a constant therefore
+requires changing it *here too*, with the citation in view — which is
+the design review the rule enforces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ConstantSpec", "DocSpec", "CONSTANTS", "DOCS"]
+
+
+@dataclass(frozen=True)
+class ConstantSpec:
+    """One structural constant: where it lives and what it must equal.
+
+    ``symbol`` grammar (resolved by the fidelity rule against the AST):
+
+    * ``"NAME"`` — module-level ``NAME = <literal>``;
+    * ``"Class.field"`` — dataclass/class attribute default;
+    * ``"NAME.kwarg"`` — keyword argument of the module-level
+      ``NAME = SomeCall(..., kwarg=<literal>, ...)``.
+    """
+
+    name: str  # manifest id, e.g. "dsb.sets"
+    path: str  # repo-relative source file
+    symbol: str
+    expected: object
+    citation: str
+
+
+@dataclass(frozen=True)
+class DocSpec:
+    """A phrase a documentation file must contain verbatim."""
+
+    name: str
+    path: str
+    phrase: str
+    citation: str
+
+
+_PARAMS = "src/repro/frontend/params.py"
+_MITE = "src/repro/frontend/mite.py"
+_SPECS = "src/repro/machine/specs.py"
+
+CONSTANTS: tuple[ConstantSpec, ...] = (
+    # ---- DSB geometry (SDM via paper Section III-B) -------------------
+    ConstantSpec("dsb.sets", _PARAMS, "FrontendParams.dsb_sets", 32,
+                 "paper Sec. III-B / SDM: DSB has 32 sets"),
+    ConstantSpec("dsb.ways", _PARAMS, "FrontendParams.dsb_ways", 8,
+                 "paper Sec. III-B / SDM: DSB has 8 ways"),
+    ConstantSpec("dsb.line_uops", _PARAMS, "FrontendParams.dsb_line_uops", 6,
+                 "paper Sec. III-B / SDM: <= 6 uops per DSB line"),
+    ConstantSpec("dsb.window_bytes", _PARAMS, "FrontendParams.window_bytes", 32,
+                 "paper Sec. III-B: 32-byte instruction windows"),
+    # ---- LSD ----------------------------------------------------------
+    ConstantSpec("lsd.capacity_uops", _PARAMS, "FrontendParams.lsd_capacity", 64,
+                 "paper Sec. III-C / Table I: 64-uop LSD"),
+    # ---- MITE ---------------------------------------------------------
+    ConstantSpec("mite.fetch_bytes_per_cycle", _MITE, "FETCH_BYTES_PER_CYCLE", 16,
+                 "paper Sec. III-D / SDM: legacy fetch is 16 B/cycle"),
+    ConstantSpec("mite.lcp_stall_cycles", _PARAMS, "FrontendParams.lcp_stall", 3.0,
+                 "paper Sec. III-D: LCP predecode stalls up to 3 cycles"),
+    # ---- issue/rename width -------------------------------------------
+    ConstantSpec("core.issue_width", _PARAMS, "FrontendParams.issue_width", 4,
+                 "paper Sec. III-A4: 4-wide rename/retire"),
+    # ---- shared frontend geometry defaults on MachineSpec -------------
+    ConstantSpec("spec.dsb_sets", _SPECS, "MachineSpec.dsb_sets", 32,
+                 "Table I machines share DSB geometry"),
+    ConstantSpec("spec.dsb_ways", _SPECS, "MachineSpec.dsb_ways", 8,
+                 "Table I machines share DSB geometry"),
+    ConstantSpec("spec.l1i_sets", _SPECS, "MachineSpec.l1i_sets", 64,
+                 "SDM: L1I is 64 sets"),
+    ConstantSpec("spec.l1i_ways", _SPECS, "MachineSpec.l1i_ways", 8,
+                 "SDM: L1I is 8 ways"),
+    ConstantSpec("spec.l1i_line_bytes", _SPECS, "MachineSpec.l1i_line_bytes", 64,
+                 "SDM: 64-byte cache lines"),
+    # ---- Table I machines ---------------------------------------------
+    ConstantSpec("gold6226.frequency_ghz", _SPECS, "GOLD_6226.frequency_ghz", 2.7,
+                 "Table I: Gold 6226 @ 2.7 GHz"),
+    ConstantSpec("gold6226.cores", _SPECS, "GOLD_6226.cores", 12,
+                 "Table I: Gold 6226 has 12 cores"),
+    ConstantSpec("gold6226.threads", _SPECS, "GOLD_6226.threads", 24,
+                 "Table I: Gold 6226 has 24 threads"),
+    ConstantSpec("gold6226.lsd_entries", _SPECS, "GOLD_6226.lsd_entries", 64,
+                 "Table I: Gold 6226 LSD enabled, 64 entries"),
+    ConstantSpec("e2174g.frequency_ghz", _SPECS, "XEON_E2174G.frequency_ghz", 3.8,
+                 "Table I: E-2174G @ 3.8 GHz"),
+    ConstantSpec("e2174g.cores", _SPECS, "XEON_E2174G.cores", 4,
+                 "Table I: E-2174G has 4 cores"),
+    ConstantSpec("e2174g.lsd_entries", _SPECS, "XEON_E2174G.lsd_entries", 0,
+                 "Table I: E-2174G LSD disabled by microcode"),
+    ConstantSpec("e2286g.frequency_ghz", _SPECS, "XEON_E2286G.frequency_ghz", 4.0,
+                 "Table I: E-2286G @ 4.0 GHz"),
+    ConstantSpec("e2286g.cores", _SPECS, "XEON_E2286G.cores", 6,
+                 "Table I: E-2286G has 6 cores"),
+    ConstantSpec("e2286g.lsd_entries", _SPECS, "XEON_E2286G.lsd_entries", 0,
+                 "Table I: E-2286G LSD disabled by microcode"),
+    ConstantSpec("e2288g.frequency_ghz", _SPECS, "XEON_E2288G.frequency_ghz", 3.7,
+                 "Table I: E-2288G @ 3.7 GHz"),
+    ConstantSpec("e2288g.cores", _SPECS, "XEON_E2288G.cores", 8,
+                 "Table I: E-2288G has 8 cores"),
+    ConstantSpec("e2288g.threads", _SPECS, "XEON_E2288G.threads", 8,
+                 "Table I: Azure E-2288G has hyper-threading disabled"),
+    ConstantSpec("e2288g.lsd_entries", _SPECS, "XEON_E2288G.lsd_entries", 64,
+                 "Table I: E-2288G LSD enabled, 64 entries"),
+    ConstantSpec("e2288g.smt", _SPECS, "XEON_E2288G.smt", False,
+                 "Table I: Azure E-2288G has hyper-threading disabled"),
+)
+
+DOCS: tuple[DocSpec, ...] = (
+    DocSpec("docs.dsb_geometry", "docs/model.md", "32 sets x 8 ways",
+            "docs must quote the DSB geometry the code implements"),
+    DocSpec("docs.lsd_capacity", "docs/model.md", "64 uops",
+            "docs must quote the LSD capacity"),
+    DocSpec("docs.mite_fetch", "docs/model.md", "16 B/cycle",
+            "docs must quote the MITE fetch bandwidth"),
+    DocSpec("docs.l1i_geometry", "docs/model.md", "64 sets x 8 ways x 64 B",
+            "docs must quote the L1I geometry"),
+    DocSpec("readme.dsb_geometry", "README.md", "32 sets x 8 ways",
+            "README quotes the DSB geometry"),
+)

@@ -1,0 +1,142 @@
+"""Concurrency rules: keep the sweep service's event loop unblocked.
+
+The service multiplexes job submission, cancellation, progress fan-out
+and batch dispatch on one asyncio loop; a single synchronous call in an
+``async def`` body stalls *every* client until it returns.  The code
+already routes executor work through ``asyncio.to_thread`` — this rule
+keeps it that way by flagging known-blocking calls (sleeps, subprocess
+waits, synchronous file/socket I/O, ``Executor.compute``) inside
+``async def`` bodies of the configured packages
+(``LintConfig.async_units``, by default ``repro/service/``).
+
+Nested *synchronous* ``def``s inside an async function are skipped:
+they do not run on the loop at definition site (they are typically the
+worker-thread bodies handed to ``to_thread``).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.core import (
+    ModuleInfo,
+    Project,
+    Rule,
+    Violation,
+    import_aliases,
+    register,
+    resolve_call_target,
+)
+
+__all__ = ["AsyncBlockingRule"]
+
+#: Fully-qualified call targets that block the calling thread.
+_BLOCKING_TARGETS = {
+    "time.sleep": "sleeps the whole event loop (use 'await asyncio.sleep')",
+    "os.system": "blocks on a subprocess",
+    "subprocess.run": "blocks on a subprocess",
+    "subprocess.call": "blocks on a subprocess",
+    "subprocess.check_call": "blocks on a subprocess",
+    "subprocess.check_output": "blocks on a subprocess",
+    "socket.create_connection": "synchronous connect",
+    "urllib.request.urlopen": "synchronous network I/O",
+}
+
+#: Bare builtins that block (or wait on the user).
+_BLOCKING_BUILTINS = {
+    "open": "synchronous file I/O (wrap in 'await asyncio.to_thread(...)')",
+    "input": "waits on stdin",
+}
+
+#: Method names that are synchronous I/O / waits on any receiver worth
+#: flagging inside the service's async bodies.  ``compute`` covers
+#: ``Executor.compute`` / ``compute_stream`` — executor work belongs in
+#: a worker thread, never inline on the loop.
+_BLOCKING_METHODS = {
+    "read_text": "synchronous file I/O",
+    "write_text": "synchronous file I/O",
+    "read_bytes": "synchronous file I/O",
+    "write_bytes": "synchronous file I/O",
+    "unlink": "synchronous file I/O",
+    "mkdir": "synchronous file I/O",
+    "rmdir": "synchronous file I/O",
+    "touch": "synchronous file I/O",
+    "exists": "synchronous file I/O (stat)",
+    "compute": "synchronous executor work on the event loop",
+    "compute_stream": "synchronous executor work on the event loop",
+    "recv": "synchronous socket read",
+    "accept": "synchronous socket accept",
+    "sendall": "synchronous socket write",
+}
+
+
+@register
+class AsyncBlockingRule(Rule):
+    """No blocking calls inside ``async def`` bodies in service code."""
+
+    name = "async-blocking"
+    family = "concurrency"
+    description = (
+        "blocking call inside an async def in the service layer "
+        "(route through asyncio.to_thread / async APIs)"
+    )
+
+    def check(self, project: Project) -> Iterator[Violation]:
+        units = set(project.config.async_units)  # type: ignore[attr-defined]
+        for module in project.modules:
+            if module.unit not in units:
+                continue
+            aliases = import_aliases(module.tree)
+            for node in ast.walk(module.tree):
+                if isinstance(node, ast.AsyncFunctionDef):
+                    yield from self._check_async_body(module, node, aliases)
+
+    def _check_async_body(
+        self, module: ModuleInfo, func: ast.AsyncFunctionDef, aliases
+    ) -> Iterator[Violation]:
+        for node in _walk_async_scope(func):
+            if not isinstance(node, ast.Call):
+                continue
+            target = resolve_call_target(node, aliases)
+            if target in _BLOCKING_TARGETS:
+                yield self.violation(
+                    module,
+                    node,
+                    f"'{target}()' inside 'async def {func.name}' "
+                    f"{_BLOCKING_TARGETS[target]}",
+                )
+            elif (
+                isinstance(node.func, ast.Name)
+                and node.func.id in _BLOCKING_BUILTINS
+            ):
+                yield self.violation(
+                    module,
+                    node,
+                    f"'{node.func.id}()' inside 'async def {func.name}': "
+                    f"{_BLOCKING_BUILTINS[node.func.id]}",
+                )
+            elif (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr in _BLOCKING_METHODS
+            ):
+                yield self.violation(
+                    module,
+                    node,
+                    f"'.{node.func.attr}()' inside 'async def {func.name}' is "
+                    f"{_BLOCKING_METHODS[node.func.attr]}; wrap the work in "
+                    "'await asyncio.to_thread(...)'",
+                )
+
+
+def _walk_async_scope(func: ast.AsyncFunctionDef):
+    """Walk an async body without descending into nested sync defs
+    (those run elsewhere — usually in a worker thread) or nested async
+    defs (they are visited as their own scope)."""
+    stack = list(func.body)
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        stack.extend(ast.iter_child_nodes(node))

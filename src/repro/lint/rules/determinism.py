@@ -1,0 +1,290 @@
+"""Determinism rules: the invariants the cache/dedup layer relies on.
+
+Every sweep point's identity is a content hash of its coordinates, seed
+and factory code (:func:`repro.exec.canonical.point_key`); the on-disk
+:class:`~repro.exec.cache.ResultCache` and the service's cross-job
+dedup both assume that identical keys mean identical results.  That
+assumption dies quietly the moment the computation reads hidden state:
+an unseeded global RNG, the wall clock, OS entropy, interpreter
+addresses (``id()``), or hash-order iteration over a ``set`` feeding
+returned results.  These rules make those failure modes un-commitable.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.core import (
+    ModuleInfo,
+    Project,
+    Rule,
+    Violation,
+    import_aliases,
+    register,
+    resolve_call_target,
+)
+
+__all__ = ["UnseededRandomRule", "WallClockRule", "SetIterationRule"]
+
+#: numpy.random module-level functions that mutate/read the *global*
+#: legacy RandomState.  The Generator API (``default_rng`` and friends)
+#: is explicitly seeded per stream and stays allowed.
+_NUMPY_GLOBAL_RNG = {
+    "seed", "rand", "randn", "randint", "random", "random_sample", "ranf",
+    "sample", "choice", "shuffle", "permutation", "normal", "uniform",
+    "standard_normal", "exponential", "poisson", "binomial", "bytes",
+    "get_state", "set_state",
+}
+
+#: ``random`` module attributes that are *not* the unseeded global RNG.
+_STDLIB_RANDOM_ALLOWED = {"Random"}  # explicit instance, caller seeds it
+
+
+@register
+class UnseededRandomRule(Rule):
+    """Forbid the process-global RNGs anywhere under ``repro``.
+
+    All stochastic behaviour must flow through named
+    :class:`repro.rng.RngFactory` streams (or an explicitly seeded
+    ``numpy.random.default_rng``) so a root seed pins a run bit-exactly.
+    """
+
+    name = "det-unseeded-random"
+    family = "determinism"
+    description = (
+        "calls into the process-global random/numpy.random state "
+        "(use RngFactory streams / numpy.random.default_rng)"
+    )
+
+    def check(self, project: Project) -> Iterator[Violation]:
+        for module in project.modules:
+            aliases = import_aliases(module.tree)
+            for node in ast.walk(module.tree):
+                if not isinstance(node, ast.Call):
+                    continue
+                target = resolve_call_target(node, aliases)
+                if target is None:
+                    continue
+                message = self._diagnose(target)
+                if message is not None:
+                    yield self.violation(module, node, message)
+
+    @staticmethod
+    def _diagnose(target: str) -> str | None:
+        parts = target.split(".")
+        if parts[0] == "random" and len(parts) == 2:
+            if parts[1] in _STDLIB_RANDOM_ALLOWED:
+                return None
+            return (
+                f"'{target}()' uses the unseeded process-global stdlib RNG; "
+                "draw from a named RngFactory stream instead"
+            )
+        if len(parts) >= 3 and parts[0] == "numpy" and parts[1] == "random":
+            if parts[2] in _NUMPY_GLOBAL_RNG:
+                return (
+                    f"'{target}()' touches numpy's global RandomState; "
+                    "use numpy.random.default_rng(derive_seed(...))"
+                )
+        return None
+
+
+#: Callables whose result depends on when/where the process runs.
+_WALL_CLOCK_TARGETS = {
+    "time.time": "wall-clock read",
+    "time.time_ns": "wall-clock read",
+    "time.perf_counter": "wall-clock read",
+    "time.perf_counter_ns": "wall-clock read",
+    "time.monotonic": "wall-clock read",
+    "time.monotonic_ns": "wall-clock read",
+    "time.process_time": "wall-clock read",
+    "time.clock_gettime": "wall-clock read",
+    "os.urandom": "OS entropy read",
+    "secrets.token_bytes": "OS entropy read",
+    "secrets.token_hex": "OS entropy read",
+    "secrets.randbits": "OS entropy read",
+    "uuid.uuid1": "host/time-dependent value",
+    "uuid.uuid4": "OS entropy read",
+    "datetime.datetime.now": "wall-clock read",
+    "datetime.datetime.utcnow": "wall-clock read",
+    "datetime.datetime.today": "wall-clock read",
+    "datetime.date.today": "wall-clock read",
+}
+
+
+@register
+class WallClockRule(Rule):
+    """Forbid wall-clock / OS-entropy / ``id()`` reads in the simulator.
+
+    Scope: the packages named by ``LintConfig.deterministic_units``
+    (``frontend``, ``machine``, ``channels``, ``measure``).  Simulated
+    time is the model's *output*; reading host time or interpreter
+    object addresses inside the model makes two runs of the same seed
+    diverge, which poisons every cached point computed from them.
+    """
+
+    name = "det-wall-clock"
+    family = "determinism"
+    description = (
+        "host time / OS entropy / id() read inside the deterministic "
+        "simulator packages"
+    )
+
+    def check(self, project: Project) -> Iterator[Violation]:
+        units = set(project.config.deterministic_units)  # type: ignore[attr-defined]
+        for module in project.modules:
+            if module.unit not in units:
+                continue
+            aliases = import_aliases(module.tree)
+            for node in ast.walk(module.tree):
+                if not isinstance(node, ast.Call):
+                    continue
+                if (
+                    isinstance(node.func, ast.Name)
+                    and node.func.id == "id"
+                    and len(node.args) == 1
+                ):
+                    yield self.violation(
+                        module,
+                        node,
+                        "'id()' exposes interpreter addresses, which differ "
+                        "between runs; derive a stable key instead",
+                    )
+                    continue
+                target = resolve_call_target(node, aliases)
+                if target in _WALL_CLOCK_TARGETS:
+                    yield self.violation(
+                        module,
+                        node,
+                        f"'{target}()' is a {_WALL_CLOCK_TARGETS[target]}; "
+                        f"'{module.unit}' must stay deterministic "
+                        "(simulated time is computed, not measured)",
+                    )
+
+
+def _is_set_expr(node: ast.AST) -> bool:
+    """Is this expression literally a set (hash-ordered iteration)?"""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in ("set", "frozenset")
+    return False
+
+
+@register
+class SetIterationRule(Rule):
+    """Forbid hash-ordered set iteration feeding a function's results.
+
+    Iterating a ``set`` yields elements in hash order, which varies
+    with ``PYTHONHASHSEED`` for strings — so a returned list built from
+    a bare set walk differs between runs even at a fixed experiment
+    seed.  Flags (a) ``for``-loops over a set expression (or a local
+    name only ever assigned set expressions) that append/yield into the
+    function's returned value, and (b) ``return list(<set>)`` /
+    ``return tuple(<set>)``.  Wrap the iterable in ``sorted(...)`` to
+    fix the order, which also clears the violation.
+    """
+
+    name = "det-set-iteration"
+    family = "determinism"
+    description = (
+        "iteration over a bare set feeds returned results "
+        "(hash order; wrap in sorted(...))"
+    )
+
+    def check(self, project: Project) -> Iterator[Violation]:
+        for module in project.modules:
+            for func in ast.walk(module.tree):
+                if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    continue
+                yield from self._check_function(module, func)
+
+    def _check_function(
+        self, module: ModuleInfo, func: ast.AST
+    ) -> Iterator[Violation]:
+        set_names = self._set_typed_names(func)
+        returned = self._returned_names(func)
+        for node in ast.walk(func):
+            if isinstance(node, ast.Return) and node.value is not None:
+                value = node.value
+                if (
+                    isinstance(value, ast.Call)
+                    and isinstance(value.func, ast.Name)
+                    and value.func.id in ("list", "tuple")
+                    and len(value.args) == 1
+                    and self._is_set_like(value.args[0], set_names)
+                ):
+                    yield self.violation(
+                        module,
+                        node,
+                        f"'return {value.func.id}(<set>)' materialises hash "
+                        "order; use sorted(...) for a stable order",
+                    )
+            elif isinstance(node, (ast.For, ast.AsyncFor)):
+                if not self._is_set_like(node.iter, set_names):
+                    continue
+                if self._loop_feeds_results(node, returned):
+                    yield self.violation(
+                        module,
+                        node,
+                        "loop over a bare set feeds this function's returned "
+                        "results in hash order; iterate sorted(...) instead",
+                    )
+
+    @staticmethod
+    def _is_set_like(node: ast.AST, set_names: set[str]) -> bool:
+        if _is_set_expr(node):
+            return True
+        return isinstance(node, ast.Name) and node.id in set_names
+
+    @staticmethod
+    def _set_typed_names(func: ast.AST) -> set[str]:
+        """Local names whose every assignment is a set expression."""
+        assigned: dict[str, bool] = {}
+        for node in ast.walk(func):
+            targets: list[ast.expr] = []
+            value: ast.expr | None = None
+            if isinstance(node, ast.Assign):
+                targets, value = node.targets, node.value
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                targets, value = [node.target], node.value
+            for target in targets:
+                if isinstance(target, ast.Name):
+                    is_set = _is_set_expr(value)
+                    previous = assigned.get(target.id)
+                    assigned[target.id] = is_set if previous is None else (
+                        previous and is_set
+                    )
+        return {name for name, always_set in assigned.items() if always_set}
+
+    @staticmethod
+    def _returned_names(func: ast.AST) -> set[str]:
+        names: set[str] = set()
+        for node in ast.walk(func):
+            if isinstance(node, ast.Return) and node.value is not None:
+                for sub in ast.walk(node.value):
+                    if isinstance(sub, ast.Name):
+                        names.add(sub.id)
+        return names
+
+    @staticmethod
+    def _loop_feeds_results(node: ast.AST, returned: set[str]) -> bool:
+        for sub in ast.walk(node):
+            if isinstance(sub, (ast.Yield, ast.YieldFrom)):
+                return True
+            if (
+                isinstance(sub, ast.Call)
+                and isinstance(sub.func, ast.Attribute)
+                and sub.func.attr in ("append", "add", "extend", "update", "insert")
+                and isinstance(sub.func.value, ast.Name)
+                and sub.func.value.id in returned
+            ):
+                return True
+            if isinstance(sub, ast.Subscript) and isinstance(
+                sub.value, ast.Name
+            ):
+                # results[key] = ... inside the loop
+                parent_store = isinstance(sub.ctx, ast.Store)
+                if parent_store and sub.value.id in returned:
+                    return True
+        return False

@@ -1,0 +1,190 @@
+"""Paper-fidelity rules: the SDM / Table I constants must not drift.
+
+:mod:`repro.lint.manifest` pins every structural constant the paper's
+claims rest on.  :class:`ConstantDriftRule` resolves each manifest
+symbol in its source file's AST (dataclass field defaults, module-level
+constants, keyword arguments of module-level constructor calls) and
+fails on any mismatch — including a *missing* symbol, so renames and
+refactors cannot silently detach a constant from its check.
+:class:`DocDriftRule` does the same for the documented phrases
+(``docs/model.md`` quoting "32 sets x 8 ways", etc.).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.core import ModuleInfo, Project, Rule, Violation, register
+from repro.lint.manifest import CONSTANTS, DOCS, ConstantSpec
+
+__all__ = ["ConstantDriftRule", "DocDriftRule"]
+
+
+class _Missing:
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "<missing>"
+
+
+_MISSING = _Missing()
+
+
+@register
+class ConstantDriftRule(Rule):
+    """Every manifest constant matches its source literal exactly."""
+
+    name = "fidelity-constant-drift"
+    family = "fidelity"
+    description = (
+        "simulator constant drifted from the paper/SDM manifest "
+        "(repro.lint.manifest)"
+    )
+
+    #: Manifest entries to check; tests substitute a drifted manifest.
+    manifest: tuple[ConstantSpec, ...] = CONSTANTS
+
+    def check(self, project: Project) -> Iterator[Violation]:
+        by_path: dict[str, list[ConstantSpec]] = {}
+        for spec in self.manifest:
+            by_path.setdefault(spec.path, []).append(spec)
+        for path, specs in sorted(by_path.items()):
+            module = project.module_by_rel_path(path)
+            if module is None:
+                # A scoped run (explicit paths) may simply not include
+                # the manifest's file — skip.  A file that does not
+                # exist at all is a drift: a rename detached the
+                # constants from their check.
+                if (project.root / path).exists():
+                    continue
+                for spec in specs:
+                    yield self.violation(
+                        path,
+                        1,
+                        f"manifest constant '{spec.name}' points at {path}, "
+                        f"which does not exist ({spec.citation}); if the "
+                        "file moved, update repro.lint.manifest with it",
+                    )
+                continue
+            for spec in specs:
+                yield from self._check_spec(module, spec)
+
+    def _check_spec(
+        self, module: ModuleInfo, spec: ConstantSpec
+    ) -> Iterator[Violation]:
+        value, node = _resolve_symbol(module.tree, spec.symbol)
+        if value is _MISSING or node is None:
+            yield self.violation(
+                module,
+                1,
+                f"constant '{spec.name}' ({spec.symbol}) not found in "
+                f"{module.rel_path} — the manifest and the code must move "
+                f"together ({spec.citation})",
+            )
+            return
+        # Exact comparison including type: 3 is not 3.0 for a constant
+        # that documents itself as cycles vs a count.
+        if value != spec.expected or type(value) is not type(spec.expected):
+            yield self.violation(
+                module,
+                node,
+                f"constant '{spec.name}' ({spec.symbol}) is {value!r} but "
+                f"the paper manifest pins {spec.expected!r} ({spec.citation}); "
+                "if the model is changing, update repro.lint.manifest in the "
+                "same commit",
+            )
+
+
+@register
+class DocDriftRule(Rule):
+    """Documented constants stay in the docs verbatim."""
+
+    name = "fidelity-doc-drift"
+    family = "fidelity"
+    description = "documentation no longer quotes a manifest constant phrase"
+
+    manifest = DOCS
+
+    def check(self, project: Project) -> Iterator[Violation]:
+        for spec in self.manifest:
+            path = project.root / spec.path
+            try:
+                text = path.read_text()
+            except OSError:
+                yield self.violation(
+                    spec.path, 1, f"documentation file {spec.path} is missing "
+                    f"({spec.citation})",
+                )
+                continue
+            if spec.phrase not in text:
+                yield self.violation(
+                    spec.path,
+                    1,
+                    f"{spec.path} no longer contains {spec.phrase!r} "
+                    f"({spec.citation}); update the doc and the manifest "
+                    "together",
+                )
+
+
+def _resolve_symbol(tree: ast.Module, symbol: str):
+    """Resolve a manifest symbol to (literal value, AST node).
+
+    Returns ``(_MISSING, None)`` when the symbol cannot be found or its
+    value is not a literal (both are manifest violations: the check
+    must stay mechanically verifiable).
+    """
+    parts = symbol.split(".")
+    if len(parts) == 1:
+        return _module_constant(tree, parts[0])
+    owner, attr = parts
+    # Class attribute / dataclass field default?
+    for node in tree.body:
+        if isinstance(node, ast.ClassDef) and node.name == owner:
+            return _class_field_default(node, attr)
+    # Keyword argument of a module-level constructor call?
+    for node in tree.body:
+        targets = []
+        if isinstance(node, ast.Assign):
+            targets, value = node.targets, node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets, value = [node.target], node.value
+        else:
+            continue
+        for target in targets:
+            if isinstance(target, ast.Name) and target.id == owner:
+                if isinstance(value, ast.Call):
+                    for keyword in value.keywords:
+                        if keyword.arg == attr:
+                            return _literal(keyword.value)
+                return _MISSING, None
+    return _MISSING, None
+
+
+def _module_constant(tree: ast.Module, name: str):
+    for node in tree.body:
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name) and target.id == name:
+                    return _literal(node.value)
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            if isinstance(node.target, ast.Name) and node.target.id == name:
+                return _literal(node.value)
+    return _MISSING, None
+
+
+def _class_field_default(cls: ast.ClassDef, field: str):
+    for node in cls.body:
+        if isinstance(node, ast.AnnAssign) and node.value is not None:
+            if isinstance(node.target, ast.Name) and node.target.id == field:
+                return _literal(node.value)
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name) and target.id == field:
+                    return _literal(node.value)
+    return _MISSING, None
+
+
+def _literal(node: ast.expr):
+    try:
+        return ast.literal_eval(node), node
+    except (ValueError, SyntaxError):
+        return _MISSING, None

@@ -1,0 +1,113 @@
+"""Layering rules: the import DAG as config, enforced on every module.
+
+The allowed edges live in :data:`repro.lint.config.DEFAULT_LAYERS` —
+one frozen set of importable units per top-level unit under ``repro``.
+The properties the architecture depends on are corollaries of that
+table: ``isa``/``frontend`` stay leaves of the simulator, ``exec``
+never reaches up into ``service``, and nothing imports ``cli``.
+
+Imports under ``if TYPE_CHECKING:`` are typing-only and exempt (they
+are erased at runtime, so they cannot create cycles or layering
+back-edges in the running system).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.core import (
+    ModuleInfo,
+    Project,
+    Rule,
+    Violation,
+    register,
+    type_checking_lines,
+)
+
+__all__ = ["ImportDagRule"]
+
+
+@register
+class ImportDagRule(Rule):
+    """Every runtime ``repro.*`` import must be an allowed DAG edge."""
+
+    name = "layer-import-dag"
+    family = "layering"
+    description = (
+        "runtime import crosses a layering boundary not in the "
+        "configured import DAG"
+    )
+
+    def check(self, project: Project) -> Iterator[Violation]:
+        layers = project.config.layers  # type: ignore[attr-defined]
+        for module in project.modules:
+            unit = module.unit
+            allowed = layers.get(unit)
+            typing_only = type_checking_lines(module.tree)
+            for node, target_unit in _repro_imports(module):
+                if node.lineno in typing_only:
+                    continue
+                if target_unit == unit:
+                    continue
+                if allowed is None:
+                    yield self.violation(
+                        module,
+                        node,
+                        f"unit '{unit}' is not in the layering table "
+                        "(add it to repro.lint.config.DEFAULT_LAYERS "
+                        "with its allowed imports)",
+                    )
+                    break  # one report per unknown unit is enough
+                if target_unit not in allowed:
+                    yield self.violation(
+                        module,
+                        node,
+                        f"'{unit}' must not import '{target_unit}' "
+                        f"(allowed: {', '.join(sorted(allowed)) or 'nothing'}; "
+                        "see repro.lint.config.DEFAULT_LAYERS)",
+                    )
+
+
+def _repro_imports(
+    module: ModuleInfo,
+) -> Iterator[tuple[ast.stmt, str]]:
+    """(import node, imported top-level unit) for every ``repro`` import."""
+    package_parts = module.module.split(".")
+    if not module.rel_path.endswith("__init__.py"):
+        package_parts = package_parts[:-1]  # containing package
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                unit = _unit_of(alias.name.split("."))
+                if unit is not None:
+                    yield node, unit
+        elif isinstance(node, ast.ImportFrom):
+            if node.level:
+                base = package_parts[: len(package_parts) - node.level + 1]
+                target = base + (node.module.split(".") if node.module else [])
+            else:
+                target = node.module.split(".") if node.module else []
+            unit = _unit_of(target)
+            if unit is None:
+                continue
+            if unit == "repro" and len(target) == 1:
+                # "from repro import machine, errors": a name that is a
+                # subpackage is an edge to that unit; a re-exported root
+                # attribute (e.g. "from repro import Machine") is an
+                # edge to the root package itself.
+                for alias in node.names:
+                    yield node, (
+                        alias.name if alias.name.islower() else "repro"
+                    )
+            else:
+                yield node, unit
+
+
+def _unit_of(parts: list[str]) -> str | None:
+    """Top-level unit of a dotted module path, or None if not repro."""
+    if not parts or parts[0] != "repro":
+        return None
+    if len(parts) == 1:
+        return "repro"
+    return parts[1]

@@ -1,0 +1,145 @@
+"""The lint runner: discover files, run every rule, classify findings.
+
+One :func:`run_lint` call is one lint run:
+
+1. discover ``*.py`` files under the configured roots (or an explicit
+   path list);
+2. parse everything once into a :class:`~repro.lint.core.Project`;
+3. run every registered rule (minus disabled ones, with severity
+   overrides applied);
+4. classify each violation as ``active``, ``suppressed`` (an inline
+   ``# repro: lint-disable=`` comment) or ``baselined`` (fingerprint in
+   the baseline file).
+
+Exit-code policy (:meth:`LintReport.exit_code`): ``0`` when no active
+error-severity findings and no parse failures; ``1`` otherwise.
+Warnings never fail a run unless ``strict`` is set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.errors import ConfigurationError
+from repro.lint.baseline import Baseline
+from repro.lint.config import LintConfig, default_config
+from repro.lint.core import Project, Severity, Violation, all_rules
+
+__all__ = ["Finding", "LintReport", "discover_files", "run_lint"]
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One violation plus how the run classified it."""
+
+    violation: Violation
+    #: "active" | "suppressed" | "baselined"
+    status: str
+
+
+@dataclass
+class LintReport:
+    """Everything one lint run produced."""
+
+    findings: list[Finding] = field(default_factory=list)
+    parse_errors: list[tuple[str, str]] = field(default_factory=list)
+    files: int = 0
+    strict: bool = False
+
+    @property
+    def active(self) -> list[Violation]:
+        return [f.violation for f in self.findings if f.status == "active"]
+
+    def summary(self) -> dict:
+        active = self.active
+        return {
+            "files": self.files,
+            "errors": sum(1 for v in active if v.severity is Severity.ERROR),
+            "warnings": sum(1 for v in active if v.severity is Severity.WARNING),
+            "suppressed": sum(
+                1 for f in self.findings if f.status == "suppressed"
+            ),
+            "baselined": sum(
+                1 for f in self.findings if f.status == "baselined"
+            ),
+            "parse_errors": len(self.parse_errors),
+        }
+
+    def exit_code(self) -> int:
+        if self.parse_errors:
+            return 1
+        failing = (
+            (Severity.ERROR, Severity.WARNING) if self.strict else (Severity.ERROR,)
+        )
+        if any(v.severity in failing for v in self.active):
+            return 1
+        return 0
+
+
+def discover_files(
+    root: Path, config: LintConfig, paths: Sequence[str] | None = None
+) -> list[Path]:
+    """Python files to lint: explicit ``paths`` or the configured roots."""
+    if paths:
+        files: list[Path] = []
+        for raw in paths:
+            path = (root / raw) if not Path(raw).is_absolute() else Path(raw)
+            if path.is_dir():
+                files.extend(sorted(path.rglob("*.py")))
+            elif path.is_file():
+                files.append(path)
+            else:
+                raise ConfigurationError(f"lint path does not exist: {raw}")
+        return files
+    files = []
+    for include in config.include:
+        base = root / include
+        if not base.exists():
+            raise ConfigurationError(
+                f"configured lint root does not exist: {include}"
+            )
+        files.extend(sorted(base.rglob("*.py")))
+    return files
+
+
+def run_lint(
+    root: str | Path,
+    *,
+    config: LintConfig | None = None,
+    paths: Sequence[str] | None = None,
+    baseline: Baseline | None = None,
+    strict: bool = False,
+    rules: Iterable[type] | None = None,
+) -> LintReport:
+    """Run the linter once; see module docstring for the pipeline."""
+    root = Path(root).resolve()
+    config = config if config is not None else default_config()
+    baseline = baseline if baseline is not None else Baseline()
+    files = discover_files(root, config, paths)
+    project = Project.load(root, files, config=config)
+
+    report = LintReport(parse_errors=list(project.parse_errors),
+                        files=len(project.modules), strict=strict)
+    rule_classes = tuple(rules) if rules is not None else all_rules()
+    violations: list[Violation] = []
+    for rule_cls in rule_classes:
+        if rule_cls.name in config.disabled_rules:
+            continue
+        severity = config.severity_overrides.get(rule_cls.name)
+        rule = rule_cls(severity=severity)
+        violations.extend(rule.check(project))
+
+    violations.sort(key=lambda v: (v.path, v.line, v.col, v.rule))
+    modules_by_path = {module.rel_path: module for module in project.modules}
+    for violation in violations:
+        module = modules_by_path.get(violation.path)
+        if module is not None and module.suppressed(violation.rule, violation.line):
+            status = "suppressed"
+        elif baseline.contains(violation):
+            status = "baselined"
+        else:
+            status = "active"
+        report.findings.append(Finding(violation=violation, status=status))
+    return report

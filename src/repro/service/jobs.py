@@ -61,6 +61,9 @@ class Job:
     event_queue: "asyncio.Queue[Event | None]" = field(
         default_factory=asyncio.Queue
     )
+    #: Monotonic timestamp of the terminal transition (service clock);
+    #: ``None`` while the job is live.  Drives TTL-based job GC.
+    finished_at: float | None = None
     _cancel: asyncio.Event = field(default_factory=asyncio.Event)
     _finished: asyncio.Event = field(default_factory=asyncio.Event)
 
@@ -86,9 +89,10 @@ class Job:
             )
         return self.table
 
-    def finish(self, status: JobStatus) -> None:
+    def finish(self, status: JobStatus, at: float | None = None) -> None:
         """Mark terminal state and release every waiter."""
         self.status = status
+        self.finished_at = at
         self._finished.set()
 
 

@@ -39,10 +39,19 @@ class SweepServer:
         self._server: asyncio.AbstractServer | None = None
 
     # ------------------------------------------------------------------
-    async def start(self) -> None:
+    def _prepare_socket_path(self) -> None:
+        """Clear a stale socket and ensure its directory exists.
+
+        Synchronous filesystem work, so it runs in a worker thread: a
+        slow/network filesystem must not stall the event loop (and the
+        async-blocking lint rule holds the service to that).
+        """
         if self.socket_path.exists():
             self.socket_path.unlink()
         self.socket_path.parent.mkdir(parents=True, exist_ok=True)
+
+    async def start(self) -> None:
+        await asyncio.to_thread(self._prepare_socket_path)
         self.service.start()
         self._server = await asyncio.start_unix_server(
             self._handle, path=str(self.socket_path)
@@ -54,7 +63,7 @@ class SweepServer:
             await self._server.wait_closed()
             self._server = None
         await self.service.stop()
-        self.socket_path.unlink(missing_ok=True)
+        await asyncio.to_thread(self.socket_path.unlink, missing_ok=True)
 
     async def serve_forever(self) -> None:
         """Run until cancelled (the ``python -m repro serve`` loop)."""

@@ -24,8 +24,8 @@ from __future__ import annotations
 
 import asyncio
 import itertools
-from time import perf_counter
-from typing import TYPE_CHECKING
+from time import monotonic, perf_counter
+from typing import TYPE_CHECKING, Callable
 
 from repro.exec.base import ExecutionStats, Executor, PointTiming
 from repro.service.events import Event
@@ -50,6 +50,16 @@ class SweepService:
         Concurrent jobs.  More workers means more cross-job point
         overlap (and therefore more dedup wins); priorities order job
         *starts* whenever workers are scarcer than queued jobs.
+    job_ttl_s:
+        Retention of *terminal* jobs (done / cancelled / failed) in
+        :attr:`jobs`, seconds.  ``None`` (the default) keeps every job
+        forever — the pre-GC behaviour; a long-running service should
+        set a TTL so job tables and event logs stop accumulating.
+        Eviction is opportunistic (on submit and on job completion) plus
+        explicit via :meth:`gc`.
+    clock:
+        Monotonic time source for the TTL bookkeeping (tests inject a
+        fake; the default is :func:`time.monotonic`).
     """
 
     def __init__(
@@ -58,12 +68,22 @@ class SweepService:
         cache: "ResultCache | None" = None,
         batch_size: int = 8,
         workers: int = 2,
+        job_ttl_s: float | None = None,
+        clock: Callable[[], float] | None = None,
     ) -> None:
+        if job_ttl_s is not None and job_ttl_s < 0:
+            from repro.errors import ConfigurationError
+
+            raise ConfigurationError(
+                f"job_ttl_s must be >= 0 or None, got {job_ttl_s}"
+            )
         self.queue = JobQueue()
         self.scheduler = Scheduler(
             executor=executor, cache=cache, batch_size=batch_size
         )
         self.workers = max(1, int(workers))
+        self.job_ttl_s = job_ttl_s
+        self._clock = clock if clock is not None else monotonic
         self.jobs: dict[str, Job] = {}
         self._job_ids = itertools.count(1)
         self._seq = itertools.count()
@@ -116,6 +136,7 @@ class SweepService:
         label: str | None = None,
     ) -> Job:
         """Queue one sweep; returns immediately with the live job."""
+        self.gc()
         job = Job(
             id=f"job-{next(self._job_ids)}",
             sweep=sweep,
@@ -146,6 +167,31 @@ class SweepService:
         queue: asyncio.Queue = asyncio.Queue()
         self._subscribers.append(queue)
         return queue
+
+    def gc(self, now: float | None = None) -> int:
+        """Evict terminal jobs older than :attr:`job_ttl_s`.
+
+        Dropping a job from :attr:`jobs` releases its result table and
+        its whole event log; live jobs (queued or running) are never
+        touched, and with ``job_ttl_s=None`` this is a no-op.  Returns
+        the number of jobs evicted.  Runs opportunistically on every
+        submit and job completion, so a busy service stays bounded
+        without a background timer task.
+        """
+        if self.job_ttl_s is None:
+            return 0
+        if now is None:
+            now = self._clock()
+        expired = [
+            job_id
+            for job_id, job in self.jobs.items()
+            if job.status.terminal
+            and job.finished_at is not None
+            and now - job.finished_at >= self.job_ttl_s
+        ]
+        for job_id in expired:
+            del self.jobs[job_id]
+        return len(expired)
 
     # ------------------------------------------------------------------
     # internals
@@ -296,13 +342,14 @@ class SweepService:
         )
 
     def _finish(self, job: Job, status: JobStatus, **data) -> None:
-        job.finish(status)
+        job.finish(status, at=self._clock())
         self._emit(job, "job-done", status=status.value, **data)
+        self.gc()
 
     def _fail(self, job: Job, exc: BaseException, start: float) -> None:
         job.error = f"{type(exc).__name__}: {exc}"
         self._emit(job, "error", message=job.error)
-        job.finish(JobStatus.FAILED)
+        job.finish(JobStatus.FAILED, at=self._clock())
         self._emit(
             job,
             "job-done",
@@ -310,3 +357,4 @@ class SweepService:
             message=job.error,
             elapsed_s=round(perf_counter() - start, 6),
         )
+        self.gc()

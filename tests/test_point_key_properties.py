@@ -1,0 +1,120 @@
+"""Property tests for ``point_key`` stability.
+
+The on-disk :class:`~repro.exec.cache.ResultCache` and the sweep
+service's cross-job dedup both treat :func:`repro.exec.canonical.point_key`
+as the *identity* of a computation, so two invariances are load-bearing
+(and are exactly what the ``det-*`` lint rules guard in the factories):
+
+* **axis order** — a grid point is a mapping, so the key must not
+  depend on dict insertion order;
+* **hash seed** — the key must be byte-identical across interpreter
+  runs with different ``PYTHONHASHSEED`` values, or a service restart
+  would silently orphan every cache entry (sets and dicts iterate in
+  hash order, which is exactly what the canonical encoding must erase).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exec.canonical import canonical_point_key, point_key
+
+# Scalar values a grid axis can realistically carry, including the
+# types that historically broke repr-based encodings (bool vs int,
+# float formatting, mixed types on one axis).
+_scalars = st.one_of(
+    st.booleans(),
+    st.integers(min_value=-(2**40), max_value=2**40),
+    st.floats(allow_nan=False, allow_infinity=False),
+    st.text(max_size=12),
+    st.none(),
+)
+
+_values = st.one_of(
+    _scalars,
+    st.lists(_scalars, max_size=4),
+    st.frozensets(st.integers(min_value=-50, max_value=50), max_size=4),
+    st.dictionaries(st.text(max_size=6), _scalars, max_size=3),
+)
+
+_grids = st.dictionaries(
+    st.text(min_size=1, max_size=10), _values, min_size=1, max_size=5
+)
+
+
+class TestAxisOrderInvariance:
+    @given(values=_grids, trial=st.integers(0, 5), seed=st.integers(0, 2**31))
+    @settings(max_examples=200, deadline=None)
+    def test_key_invariant_under_axis_reordering(self, values, trial, seed):
+        reordered = dict(reversed(list(values.items())))
+        assert list(reordered) == list(reversed(list(values)))  # real reorder
+        assert point_key(values, trial, seed, "f") == point_key(
+            reordered, trial, seed, "f"
+        )
+
+    @given(values=_grids)
+    @settings(max_examples=100, deadline=None)
+    def test_canonical_key_is_json_and_order_free(self, values):
+        doc = canonical_point_key(values)
+        json.loads(doc)  # valid single-line JSON
+        shuffled = dict(sorted(values.items(), key=lambda kv: repr(kv)))
+        assert canonical_point_key(shuffled) == doc
+
+    @given(values=_grids, trial=st.integers(0, 3), seed=st.integers(0, 100))
+    @settings(max_examples=100, deadline=None)
+    def test_distinct_trials_and_seeds_get_distinct_keys(self, values, trial, seed):
+        base = point_key(values, trial, seed, "f")
+        assert base != point_key(values, trial + 1, seed, "f")
+        assert base != point_key(values, trial, seed + 1, "f")
+        assert base != point_key(values, trial, seed, "g")
+
+
+# A grid deliberately heavy on hash-ordered containers and strings: if
+# any part of the canonical encoding leaked iteration order, these are
+# the values that would expose it.
+_HASH_HOSTILE_GRID = """
+import json
+from repro.exec.canonical import point_key
+
+values = {
+    "message": "hello-world",
+    "mask": frozenset(["a", "b", "c", "dd", "eee"]),
+    "weights": {"w1": 0.25, "w2": 0.5, "w3": 1.0, "longer-key": -3.5},
+    "flags": [True, False, None, "x"],
+    "d": 6,
+    "ratio": 0.1,
+}
+print(json.dumps([point_key(values, t, 42, "factory-fp") for t in range(3)]))
+"""
+
+
+class TestHashSeedInvariance:
+    def test_point_key_identical_across_pythonhashseed(self):
+        repo_src = str(Path(__file__).resolve().parent.parent / "src")
+        outputs = []
+        for hash_seed in ("0", "1", "4242", "random"):
+            env = dict(os.environ)
+            env["PYTHONHASHSEED"] = hash_seed
+            env["PYTHONPATH"] = repo_src + (
+                os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+            )
+            result = subprocess.run(
+                [sys.executable, "-c", _HASH_HOSTILE_GRID],
+                capture_output=True,
+                text=True,
+                env=env,
+                check=True,
+            )
+            outputs.append(json.loads(result.stdout))
+        assert all(out == outputs[0] for out in outputs[1:]), (
+            "point_key drifted across PYTHONHASHSEED values: "
+            f"{outputs}"
+        )
+        assert len(set(outputs[0])) == 3  # trials still distinct

@@ -393,6 +393,108 @@ class TestFailures:
 
 
 # ----------------------------------------------------------------------
+# job GC (TTL retention of terminal jobs)
+# ----------------------------------------------------------------------
+class FakeClock:
+    """Injectable monotonic clock the GC tests advance by hand."""
+
+    def __init__(self) -> None:
+        self.now = 1000.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestJobGc:
+    def test_terminal_jobs_evicted_after_ttl(self):
+        clock = FakeClock()
+        factory = CountingFactory()
+
+        async def scenario():
+            async with SweepService(job_ttl_s=60.0, clock=clock) as service:
+                job_a = service.submit(make_sweep(factory, xs=(1, 2)))
+                await job_a.wait()
+                assert job_a.id in service.jobs  # fresh terminal job kept
+                clock.advance(61.0)
+                evicted = service.gc()
+                # The job object stays usable for its holder; only the
+                # service's registry (and thus its event log) lets go.
+                return job_a, evicted, dict(service.jobs)
+
+        job_a, evicted, jobs = run(scenario())
+        assert evicted == 1
+        assert job_a.id not in jobs
+        assert job_a.status is JobStatus.DONE
+        assert job_a.result().rows()  # holder's handle still works
+
+    def test_submit_triggers_gc_and_live_jobs_survive(self):
+        clock = FakeClock()
+        factory = CountingFactory()
+
+        async def scenario():
+            async with SweepService(job_ttl_s=60.0, clock=clock) as service:
+                old = service.submit(make_sweep(factory, xs=(1,)))
+                await old.wait()
+                clock.advance(120.0)
+                fresh = service.submit(make_sweep(factory, xs=(2,)))
+                jobs_after_submit = set(service.jobs)
+                await fresh.wait()
+                return old, fresh, jobs_after_submit
+
+        old, fresh, jobs_after_submit = run(scenario())
+        # submit() itself GCed the expired job; the new job is live.
+        assert old.id not in jobs_after_submit
+        assert fresh.id in jobs_after_submit
+        assert fresh.status is JobStatus.DONE
+
+    def test_cancelled_and_failed_jobs_are_evicted_too(self):
+        clock = FakeClock()
+
+        def bad(point):
+            raise ValueError("boom")
+
+        async def scenario():
+            async with SweepService(job_ttl_s=10.0, clock=clock) as service:
+                failed = service.submit(ParameterSweep(bad, {"x": [1]}))
+                await failed.wait()
+                queued = service.submit(make_sweep(CountingFactory()))
+                queued.cancel()
+                await queued.wait()
+                clock.advance(11.0)
+                evicted = service.gc()
+                return failed, queued, evicted, dict(service.jobs)
+
+        failed, queued, evicted, jobs = run(scenario())
+        assert failed.status is JobStatus.FAILED
+        assert queued.status is JobStatus.CANCELLED
+        assert evicted == 2
+        assert not jobs
+
+    def test_no_ttl_keeps_jobs_forever(self):
+        clock = FakeClock()
+        factory = CountingFactory()
+
+        async def scenario():
+            async with SweepService(clock=clock) as service:  # job_ttl_s=None
+                job = service.submit(make_sweep(factory, xs=(1,)))
+                await job.wait()
+                clock.advance(10**9)
+                evicted = service.gc()
+                return job, evicted, dict(service.jobs)
+
+        job, evicted, jobs = run(scenario())
+        assert evicted == 0
+        assert job.id in jobs
+
+    def test_negative_ttl_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SweepService(job_ttl_s=-1.0)
+
+
+# ----------------------------------------------------------------------
 # the socket protocol (serve / submit)
 # ----------------------------------------------------------------------
 class TestSocketProtocol:
