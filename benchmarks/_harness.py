@@ -11,6 +11,8 @@ execution options from the environment so the whole suite can be fanned
 out or memoised without touching any benchmark source:
 
 * ``REPRO_SWEEP_JOBS=N``      — run sweep points on N worker processes;
+* ``REPRO_SWEEP_WORKERS=N``   — shard sweeps across N cluster workers
+  (the distributed fabric; combines with ``JOBS`` for per-worker pools);
 * ``REPRO_SWEEP_CACHE_DIR=D`` — cache point metrics on disk under D;
 * ``REPRO_SWEEP_NO_CACHE=1``  — ignore the cache even if a dir is set.
 """
@@ -31,7 +33,15 @@ def sweep_executor():
     from repro.exec import ParallelExecutor, ResultCache, SerialExecutor
 
     jobs = int(os.environ.get("REPRO_SWEEP_JOBS", "1"))
-    executor = ParallelExecutor(jobs=jobs) if jobs > 1 else SerialExecutor()
+    workers = int(os.environ.get("REPRO_SWEEP_WORKERS", "0"))
+    if workers > 0:
+        from repro.cluster import DistributedExecutor
+
+        executor = DistributedExecutor(workers=workers, jobs=jobs)
+    elif jobs > 1:
+        executor = ParallelExecutor(jobs=jobs)
+    else:
+        executor = SerialExecutor()
     cache = None
     cache_dir = os.environ.get("REPRO_SWEEP_CACHE_DIR")
     if cache_dir and not os.environ.get("REPRO_SWEEP_NO_CACHE"):

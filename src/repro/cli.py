@@ -9,9 +9,13 @@ Gives each of the library's headline capabilities a one-line invocation:
 * ``spectre``     — recover a secret via Spectre v1 over a chosen channel;
 * ``sgx``         — run an SGX enclave attack;
 * ``defense``     — print the mitigation/attack matrix;
-* ``sweep``       — grid-sweep channel parameters (parallel + cached);
-* ``serve``       — run the sweep service on a Unix socket;
+* ``sweep``       — grid-sweep channel parameters (parallel + cached;
+  ``--workers N`` shards it across the distributed fabric);
+* ``serve``       — run the sweep service on a Unix socket (and,
+  optionally, a TCP listener via ``--tcp``);
 * ``submit``      — submit a grid to a running service, stream progress;
+* ``watch``       — mirror a running service's event feed as JSONL;
+* ``worker``      — join a cluster coordinator as a compute node;
 * ``validate``    — run the 10-point model-invariant checklist;
 * ``report``      — assemble benchmark results into REPORT.md.
 
@@ -20,7 +24,8 @@ additionally takes ``--jobs N`` (worker processes), ``--cache-dir``
 (on-disk result cache, default ``.repro-cache``) and ``--no-cache``.
 ``sweep --progress`` and ``submit`` stream JSONL events (the service's
 event format, see ``docs/service.md``) to **stderr**; stdout carries
-only results, so piping stays clean.
+only results, so piping stays clean (``watch`` is the exception: its
+event stream *is* the result, so it goes to stdout).
 """
 
 from __future__ import annotations
@@ -46,6 +51,7 @@ from repro.service.spec import (
 __all__ = ["main", "build_parser"]
 
 DEFAULT_SOCKET = ".repro-service.sock"
+_DEFAULT_BIND = "tcp://127.0.0.1:0"
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -144,6 +150,26 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="stream per-point JSONL events to stderr",
     )
+    sweep.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="shard across N cluster workers (0 = local execution); "
+        "combines with --jobs for per-worker process pools",
+    )
+    sweep.add_argument(
+        "--bind",
+        default=_DEFAULT_BIND,
+        help="coordinator endpoint for cluster runs; an explicit --bind "
+        "with --workers 0 waits for external workers started with "
+        "'repro worker --connect' (default: loopback, ephemeral port)",
+    )
+    sweep.add_argument(
+        "--shard-size",
+        type=int,
+        default=4,
+        help="max grid points per dispatched shard",
+    )
 
     serve = sub.add_parser(
         "serve",
@@ -152,6 +178,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument(
         "--socket", default=DEFAULT_SOCKET, help="Unix socket path to listen on"
+    )
+    serve.add_argument(
+        "--tcp",
+        default=None,
+        metavar="HOST:PORT",
+        help="additionally listen on TCP (no filesystem access control — "
+        "bind to loopback or a trusted network, see docs/distributed.md)",
     )
     serve.add_argument(
         "--jobs", type=int, default=1, help="worker processes per batch (1 = serial)"
@@ -190,6 +223,62 @@ def build_parser() -> argparse.ArgumentParser:
     _add_grid_arguments(submit)
     submit.add_argument("--priority", type=int, default=0)
     submit.add_argument("--label", default=None, help="job label for the event log")
+
+    watch = sub.add_parser(
+        "watch",
+        help="stream a running service's event feed as JSONL on stdout",
+        parents=[common],
+    )
+    watch.add_argument(
+        "--socket",
+        default=DEFAULT_SOCKET,
+        help="service endpoint (Unix socket path or tcp://host:port)",
+    )
+    watch.add_argument(
+        "--kinds",
+        default=None,
+        metavar="K1,K2,...",
+        help="only stream these event kinds (e.g. job-done,error)",
+    )
+    watch.add_argument(
+        "--limit",
+        type=int,
+        default=None,
+        metavar="N",
+        help="exit after N events (default: stream until service stops)",
+    )
+
+    worker = sub.add_parser(
+        "worker",
+        help="join a cluster coordinator as a compute node",
+        parents=[common],
+    )
+    worker.add_argument(
+        "--connect",
+        required=True,
+        metavar="ENDPOINT",
+        help="coordinator endpoint (tcp://host:port, host:port, or a "
+        "Unix socket path)",
+    )
+    worker.add_argument(
+        "--name", default=None, help="requested worker name (uniquified)"
+    )
+    worker.add_argument(
+        "--jobs", type=int, default=1, help="process-pool width per shard"
+    )
+    worker.add_argument(
+        "--cache-dir",
+        default=None,
+        help="per-worker result cache (locally cached points are answered "
+        "without recomputation)",
+    )
+    worker.add_argument(
+        "--heartbeat",
+        type=float,
+        default=2.0,
+        metavar="SECONDS",
+        help="liveness ping interval (keep under the coordinator timeout)",
+    )
 
     sub.add_parser(
         "validate",
@@ -427,9 +516,34 @@ def _cmd_sweep(args) -> int:
         from repro.errors import ConfigurationError
 
         raise ConfigurationError(f"--jobs must be >= 1, got {args.jobs}")
-    executor = (
-        ParallelExecutor(jobs=args.jobs) if args.jobs > 1 else SerialExecutor()
-    )
+    if args.workers < 0:
+        from repro.errors import ConfigurationError
+
+        raise ConfigurationError(f"--workers must be >= 0, got {args.workers}")
+    # --workers N launches in-process cluster workers; an explicit
+    # --bind with --workers 0 runs the coordinator for *external*
+    # workers only (python -m repro worker --connect <bind>).
+    distributed = args.workers > 0 or args.bind != _DEFAULT_BIND
+    if distributed:
+        from repro.cluster import DistributedExecutor
+
+        # Shard/worker events share the progress stream (stderr JSONL).
+        on_event = (
+            (lambda event: print(event.to_json(), file=sys.stderr, flush=True))
+            if args.progress
+            else None
+        )
+        executor = DistributedExecutor(
+            workers=args.workers,
+            bind=args.bind,
+            jobs=args.jobs,
+            shard_size=args.shard_size,
+            on_event=on_event,
+        )
+    else:
+        executor = (
+            ParallelExecutor(jobs=args.jobs) if args.jobs > 1 else SerialExecutor()
+        )
     cache = None if args.no_cache else ResultCache(args.cache_dir)
     # Progress events go to stderr in the service's JSONL format, so
     # stdout stays byte-identical with and without --progress.
@@ -441,6 +555,18 @@ def _cmd_sweep(args) -> int:
     )
     print(table.render(precision=3))
     print(format_execution_stats(sweep.last_stats))
+    if getattr(executor, "last_run", None) is not None:
+        run = executor.last_run
+        if run.get("fallback"):
+            print("cluster: no workers registered; fell back to local execution",
+                  file=sys.stderr)
+        else:
+            print(
+                f"cluster: {run['workers']} worker(s), {run['shards']} shard(s), "
+                f"{run['redispatches']} redispatch(es), {run['steals']} steal(s), "
+                f"{run['duplicates']} duplicate(s) dropped",
+                file=sys.stderr,
+            )
     return 0
 
 
@@ -464,8 +590,12 @@ def _cmd_serve(args) -> int:
         workers=args.workers,
         job_ttl_s=args.job_ttl if args.job_ttl > 0 else None,
     )
-    server = SweepServer(service, args.socket)
+    server = SweepServer(service, args.socket, tcp=args.tcp)
     print(f"sweep service listening on {args.socket}", file=sys.stderr)
+    if args.tcp:
+        print(f"sweep service also listening on tcp://{args.tcp} "
+              "(no filesystem access control; see docs/distributed.md)",
+              file=sys.stderr)
     try:
         asyncio.run(server.serve_forever())
     except KeyboardInterrupt:
@@ -517,6 +647,39 @@ def _cmd_submit(args) -> int:
     return 0
 
 
+def _cmd_watch(args) -> int:
+    from repro.service.client import watch_and_stream
+
+    kinds = args.kinds.split(",") if args.kinds else None
+    try:
+        seen = watch_and_stream(args.socket, kinds=kinds, limit=args.limit)
+    except KeyboardInterrupt:
+        return 0
+    print(f"service stream ended after {seen} event(s)", file=sys.stderr)
+    return 0
+
+
+def _cmd_worker(args) -> int:
+    from repro.cluster import run_worker
+    from repro.errors import ConfigurationError
+
+    if args.jobs < 1:
+        raise ConfigurationError(f"--jobs must be >= 1, got {args.jobs}")
+    print(f"worker connecting to {args.connect}", file=sys.stderr)
+    try:
+        run_worker(
+            args.connect,
+            name=args.name,
+            jobs=args.jobs,
+            cache_dir=args.cache_dir,
+            heartbeat_interval=args.heartbeat,
+        )
+    except KeyboardInterrupt:
+        pass
+    print("worker stopped", file=sys.stderr)
+    return 0
+
+
 def _cmd_defense(args) -> int:
     from repro.defense import ALL_MITIGATIONS, DefenseEvaluator
 
@@ -550,6 +713,8 @@ _COMMANDS = {
     "sweep": _cmd_sweep,
     "serve": _cmd_serve,
     "submit": _cmd_submit,
+    "watch": _cmd_watch,
+    "worker": _cmd_worker,
     "lint": _cmd_lint,
     "validate": _cmd_validate,
     "report": _cmd_report,

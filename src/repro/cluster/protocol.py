@@ -1,0 +1,136 @@
+"""Wire protocol of the cluster fabric: JSONL frames over a socket.
+
+Coordinator and workers exchange newline-delimited JSON objects, one
+message per line, over TCP or a Unix socket (the same framing as the
+sweep service's front door).  The vocabulary:
+
+worker -> coordinator:
+
+* ``{"type": "register", "worker": name, "slots": n, "version": 1}``
+  — join the cluster; the coordinator answers ``welcome`` (possibly
+  renaming the worker to keep names unique);
+* ``{"type": "heartbeat", "worker": name}`` — liveness, sent every
+  ``heartbeat_interval`` seconds while idle *and* while computing;
+* ``{"type": "point-result", "shard": id, "index": i, "metrics": {...},
+  "elapsed_s": x, "cached": bool}`` — one computed (or locally cached)
+  point, streamed the moment it finishes;
+* ``{"type": "shard-done", "shard": id}`` — every point of the shard
+  was reported;
+* ``{"type": "shard-error", "shard": id, "message": str}`` — the
+  factory raised; the coordinator retries the shard elsewhere.
+
+coordinator -> worker:
+
+* ``{"type": "welcome", "worker": name, "version": 1}``;
+* ``{"type": "shard", "shard": id, "factory": b64, "points":
+  [[index, b64], ...]}`` — one work unit;
+* ``{"type": "shutdown", "reason": str}`` — the run is over (or the
+  coordinator is stopping); the worker disconnects.
+
+Sweep points and the factory cross the wire as base64-encoded pickles —
+the exact serialisation contract :class:`~repro.exec.parallel.ParallelExecutor`
+already imposes on factories (module-level functions or
+``functools.partial``), extended from process boundaries to host
+boundaries.  Pickle is executable by construction, so the transport is
+only as trustworthy as the peers: bind coordinators to loopback or a
+trusted network, never the open internet (``docs/distributed.md``).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import base64
+import json
+import pickle
+from typing import Callable, Mapping, Sequence
+
+from repro.errors import ReproError
+from repro.sweep import SweepPoint
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "ClusterError",
+    "ClusterProtocolError",
+    "send_message",
+    "read_message",
+    "encode_obj",
+    "decode_obj",
+    "encode_points",
+    "decode_points",
+    "decode_factory",
+]
+
+#: Bump when the message vocabulary changes incompatibly; register /
+#: welcome carry it so mismatched peers fail fast instead of mid-run.
+PROTOCOL_VERSION = 1
+
+
+class ClusterError(ReproError):
+    """A distributed run could not complete (no workers, retries spent)."""
+
+
+class ClusterProtocolError(ClusterError):
+    """A peer sent a malformed or unexpected message."""
+
+
+async def send_message(writer: asyncio.StreamWriter, message: Mapping) -> None:
+    """Write one JSONL frame and flush it."""
+    writer.write(json.dumps(message, separators=(",", ":")).encode() + b"\n")
+    await writer.drain()
+
+
+async def read_message(reader: asyncio.StreamReader) -> dict | None:
+    """Read one JSONL frame; ``None`` means the peer closed the stream."""
+    line = await reader.readline()
+    if not line:
+        return None
+    try:
+        message = json.loads(line)
+    except ValueError as exc:
+        raise ClusterProtocolError(f"undecodable frame: {line[:80]!r}") from exc
+    if not isinstance(message, dict) or "type" not in message:
+        raise ClusterProtocolError(f"frame is not a typed object: {line[:80]!r}")
+    return message
+
+
+def encode_obj(obj: object) -> str:
+    """Pickle + base64: how factories and points ride inside JSON."""
+    return base64.b64encode(pickle.dumps(obj)).decode("ascii")
+
+
+def decode_obj(text: str) -> object:
+    try:
+        return pickle.loads(base64.b64decode(text.encode("ascii")))
+    except Exception as exc:  # corrupt payload: a protocol-level failure
+        raise ClusterProtocolError(f"undecodable payload: {exc}") from exc
+
+
+def encode_points(pending: Sequence[tuple[int, SweepPoint]]) -> list[list]:
+    """``[[index, b64(point)], ...]`` for one shard message."""
+    return [[int(index), encode_obj(point)] for index, point in pending]
+
+
+def decode_points(payload: object) -> list[tuple[int, SweepPoint]]:
+    if not isinstance(payload, list):
+        raise ClusterProtocolError(f"shard points must be a list: {payload!r}")
+    pending: list[tuple[int, SweepPoint]] = []
+    for item in payload:
+        if not isinstance(item, list) or len(item) != 2:
+            raise ClusterProtocolError(f"bad shard point entry: {item!r}")
+        index, encoded = item
+        point = decode_obj(encoded)
+        if not isinstance(point, SweepPoint):
+            raise ClusterProtocolError(
+                f"shard point {index} decoded to {type(point).__name__}"
+            )
+        pending.append((int(index), point))
+    return pending
+
+
+def decode_factory(payload: object) -> Callable:
+    factory = decode_obj(str(payload))
+    if not callable(factory):
+        raise ClusterProtocolError(
+            f"shard factory decoded to non-callable {type(factory).__name__}"
+        )
+    return factory

@@ -1,0 +1,102 @@
+"""Shard planning: cut a sweep grid into cache-aware work units.
+
+A shard is the unit of dispatch, retry and stealing in the cluster
+fabric.  Planning is pure and deterministic — the same pending list
+always yields the same shards in the same order — so a re-planned run
+(or a resumed coordinator) dispatches identical work units and the
+merged table stays byte-identical to a serial run.
+
+**Locality.**  ``ParameterSweep.points()`` enumerates the cartesian
+product with the *last* grid axis fastest, trials fastest of all; runs
+of consecutive points therefore share every coordinate except that last
+axis.  Each such run gets one ``locality`` key (the canonical encoding
+of the shared prefix), and shards never mix localities unless a single
+locality outgrows ``shard_size``.  Two payoffs:
+
+* a worker holding a warm per-host :class:`~repro.exec.cache.ResultCache`
+  (or a warm OS page cache over one) keeps receiving the neighbouring
+  points whose entries sit next to the ones it just wrote — the
+  locality-aware half of the ROADMAP's "cache-aware work stealing";
+* when a straggler's shard is re-dispatched, the whole prefix moves as
+  one unit, so the stealing worker replays one locality instead of a
+  random scatter of the grid.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import ConfigurationError
+from repro.exec.canonical import canonical_point_key
+from repro.sweep import SweepPoint
+
+__all__ = ["Shard", "locality_key", "plan_shards"]
+
+
+@dataclass(frozen=True)
+class Shard:
+    """One dispatchable slice of the grid: contiguous, one locality."""
+
+    id: int
+    pending: tuple[tuple[int, SweepPoint], ...]
+    locality: str
+
+    def __len__(self) -> int:
+        return len(self.pending)
+
+    @property
+    def indices(self) -> tuple[int, ...]:
+        return tuple(index for index, _ in self.pending)
+
+
+def locality_key(point: SweepPoint) -> str:
+    """Canonical key of every coordinate except the fastest-varying axis.
+
+    Points sharing a key are grid neighbours (same values on all slower
+    axes); single-axis grids collapse to one key per trial group, which
+    degenerates gracefully to plain contiguous chunking.
+    """
+    names = list(point.values)
+    prefix = {name: point.values[name] for name in names[:-1]}
+    return canonical_point_key(prefix)
+
+
+def plan_shards(
+    pending: Sequence[tuple[int, SweepPoint]], shard_size: int
+) -> list[Shard]:
+    """Group ``pending`` into locality-pure shards of at most ``shard_size``.
+
+    Order is preserved end to end: shard ids ascend with the first point
+    index they contain, and points keep their relative order inside each
+    shard — merging per-point results back by index reproduces the
+    serial order exactly.
+    """
+    if shard_size < 1:
+        raise ConfigurationError(f"shard_size must be >= 1, got {shard_size}")
+    shards: list[Shard] = []
+    current: list[tuple[int, SweepPoint]] = []
+    current_locality: str | None = None
+
+    def close() -> None:
+        if current:
+            shards.append(
+                Shard(
+                    id=len(shards),
+                    pending=tuple(current),
+                    locality=current_locality or "",
+                )
+            )
+            current.clear()
+
+    for index, point in pending:
+        locality = locality_key(point)
+        if current and (
+            locality != current_locality or len(current) >= shard_size
+        ):
+            close()
+        if not current:
+            current_locality = locality
+        current.append((index, point))
+    close()
+    return shards

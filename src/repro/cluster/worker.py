@@ -1,0 +1,303 @@
+"""Cluster worker: connect, register, compute shards, stream results.
+
+A :class:`ClusterWorker` is one compute node of the fabric.  It dials
+the coordinator (TCP or Unix socket), registers under a requested name
+(the coordinator may rename it to keep names unique), then loops:
+receive a shard, compute its points, stream each ``point-result`` back
+the moment it finishes, close with ``shard-done``.  A heartbeat task
+pings the coordinator every ``heartbeat_interval`` seconds — including
+*while computing*, because the actual point work runs in a worker
+thread (via the same :class:`~repro.exec.parallel.ParallelExecutor`
+machinery a local run uses when ``jobs > 1``), so a busy worker is
+never mistaken for a dead one.
+
+Workers may carry their own on-disk
+:class:`~repro.exec.cache.ResultCache`: points already present locally
+are reported back as ``cached`` without recomputation, which is what
+makes the coordinator's locality-aware shard assignment pay off across
+runs.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Callable, Mapping, Sequence
+
+from repro.cluster.protocol import (
+    PROTOCOL_VERSION,
+    ClusterError,
+    ClusterProtocolError,
+    decode_factory,
+    decode_points,
+    read_message,
+    send_message,
+)
+from repro.errors import ConfigurationError
+from repro.exec.base import Executor
+from repro.exec.cache import ResultCache
+from repro.exec.canonical import callable_fingerprint
+from repro.exec.parallel import ParallelExecutor
+from repro.exec.serial import SerialExecutor
+from repro.service.endpoints import Endpoint, open_endpoint, parse_endpoint
+from repro.sweep import SweepPoint
+
+__all__ = ["ClusterWorker", "run_worker"]
+
+
+class ClusterWorker:
+    """One compute node: dials a coordinator and works shards to death.
+
+    Parameters
+    ----------
+    connect:
+        Coordinator endpoint (``tcp://host:port``, ``host:port``, or a
+        Unix socket path).
+    name:
+        Requested worker name; the coordinator uniquifies clashes.
+    jobs:
+        Local process-pool width per shard (``1`` computes in-line in
+        the worker thread, ``> 1`` fans out like ``sweep --jobs``).
+    cache_dir:
+        Optional per-worker :class:`ResultCache` directory; locally
+        cached points are answered without recomputation.
+    heartbeat_interval:
+        Seconds between liveness pings.  Keep well under the
+        coordinator's ``heartbeat_timeout``.
+    connect_attempts / connect_delay_s:
+        Dial retries — workers often start before their coordinator.
+    """
+
+    def __init__(
+        self,
+        connect: Endpoint | str,
+        *,
+        name: str | None = None,
+        jobs: int = 1,
+        cache_dir: str | None = None,
+        heartbeat_interval: float = 2.0,
+        connect_attempts: int = 25,
+        connect_delay_s: float = 0.2,
+    ) -> None:
+        if jobs < 1:
+            raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
+        if heartbeat_interval <= 0:
+            raise ConfigurationError(
+                f"heartbeat_interval must be > 0, got {heartbeat_interval}"
+            )
+        self.endpoint = (
+            parse_endpoint(connect) if isinstance(connect, str) else connect
+        )
+        self.name = name
+        self.jobs = int(jobs)
+        self.heartbeat_interval = float(heartbeat_interval)
+        self.connect_attempts = int(connect_attempts)
+        self.connect_delay_s = float(connect_delay_s)
+        self._cache = ResultCache(cache_dir) if cache_dir else None
+        self._executor: Executor = (
+            ParallelExecutor(jobs=self.jobs) if self.jobs > 1 else SerialExecutor()
+        )
+        self._send_lock = asyncio.Lock()
+        self.shards_done = 0
+        self.points_done = 0
+        self.cache_hits = 0
+
+    # ------------------------------------------------------------------
+    async def run(self) -> None:
+        """Serve shards until the coordinator says ``shutdown`` (or hangs up)."""
+        reader, writer = await self._connect()
+        heartbeat: asyncio.Task | None = None
+        try:
+            await self._send(
+                writer,
+                {
+                    "type": "register",
+                    "worker": self.name,
+                    "slots": self.jobs,
+                    "version": PROTOCOL_VERSION,
+                },
+            )
+            welcome = await read_message(reader)
+            if welcome is None:
+                return  # coordinator refused us (e.g. version mismatch)
+            if welcome.get("type") == "shutdown":
+                return
+            if welcome.get("type") != "welcome":
+                raise ClusterProtocolError(
+                    f"expected welcome, got {welcome.get('type')!r}"
+                )
+            self.name = str(welcome.get("worker"))
+            heartbeat = asyncio.get_running_loop().create_task(
+                self._heartbeat(writer), name=f"heartbeat-{self.name}"
+            )
+            while True:
+                message = await read_message(reader)
+                if message is None:
+                    break
+                kind = message.get("type")
+                if kind == "shard":
+                    await self._run_shard(writer, message)
+                elif kind == "shutdown":
+                    break
+                else:
+                    raise ClusterProtocolError(
+                        f"unexpected coordinator message {kind!r}"
+                    )
+        except (ConnectionResetError, BrokenPipeError):
+            pass  # coordinator went away; nothing left to serve
+        finally:
+            if heartbeat is not None:
+                heartbeat.cancel()
+                try:
+                    await heartbeat
+                except asyncio.CancelledError:
+                    pass
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+                pass
+
+    # ------------------------------------------------------------------
+    async def _connect(self) -> tuple[asyncio.StreamReader, asyncio.StreamWriter]:
+        last: OSError | None = None
+        for _ in range(max(1, self.connect_attempts)):
+            try:
+                return await open_endpoint(self.endpoint)
+            except OSError as exc:
+                last = exc
+                await asyncio.sleep(self.connect_delay_s)
+        raise ClusterError(
+            f"could not reach coordinator at {self.endpoint}: {last}"
+        )
+
+    async def _send(self, writer: asyncio.StreamWriter, message: dict) -> None:
+        # One lock per connection: the heartbeat task and the shard loop
+        # both write, and frames must never interleave mid-line.
+        async with self._send_lock:
+            await send_message(writer, message)
+
+    async def _heartbeat(self, writer: asyncio.StreamWriter) -> None:
+        try:
+            while True:
+                await asyncio.sleep(self.heartbeat_interval)
+                await self._send(
+                    writer, {"type": "heartbeat", "worker": self.name}
+                )
+        except (ConnectionResetError, BrokenPipeError, RuntimeError):
+            return  # connection is gone; the main loop will notice too
+
+    # ------------------------------------------------------------------
+    async def _run_shard(self, writer: asyncio.StreamWriter, message: dict) -> None:
+        shard_id = int(message.get("shard", -1))
+        try:
+            factory = decode_factory(message.get("factory"))
+            pending = decode_points(message.get("points"))
+        except ClusterProtocolError as exc:
+            await self._send(
+                writer,
+                {"type": "shard-error", "shard": shard_id, "message": str(exc)},
+            )
+            return
+        try:
+            fingerprint = (
+                callable_fingerprint(factory) if self._cache is not None else ""
+            )
+            to_compute: list[tuple[int, SweepPoint]] = []
+            for index, point in pending:
+                metrics = (
+                    await asyncio.to_thread(self._cache.load, point, fingerprint)
+                    if self._cache is not None
+                    else None
+                )
+                if metrics is not None:
+                    self.cache_hits += 1
+                    await self._report(writer, shard_id, index, metrics, 0.0, True)
+                else:
+                    to_compute.append((index, point))
+            points_by_index = dict(to_compute)
+            async for index, metrics, elapsed in self._stream(to_compute, factory):
+                metrics = dict(metrics)
+                if self._cache is not None:
+                    await asyncio.to_thread(
+                        self._cache.store, points_by_index[index], fingerprint,
+                        metrics,
+                    )
+                await self._report(writer, shard_id, index, metrics, elapsed, False)
+            await self._send(writer, {"type": "shard-done", "shard": shard_id})
+            self.shards_done += 1
+        except (ConnectionResetError, BrokenPipeError, asyncio.CancelledError):
+            raise
+        except Exception as exc:  # the factory failed: report, stay alive
+            await self._send(
+                writer,
+                {
+                    "type": "shard-error",
+                    "shard": shard_id,
+                    "message": f"{type(exc).__name__}: {exc}",
+                },
+            )
+
+    async def _report(
+        self,
+        writer: asyncio.StreamWriter,
+        shard_id: int,
+        index: int,
+        metrics: Mapping[str, float],
+        elapsed_s: float,
+        cached: bool,
+    ) -> None:
+        self.points_done += 1
+        await self._send(
+            writer,
+            {
+                "type": "point-result",
+                "shard": shard_id,
+                "index": index,
+                "metrics": dict(metrics),
+                "elapsed_s": elapsed_s,
+                "cached": cached,
+            },
+        )
+
+    async def _stream(
+        self,
+        pending: Sequence[tuple[int, SweepPoint]],
+        factory: Callable[[SweepPoint], Mapping[str, float]],
+    ):
+        """Bridge the executor's synchronous completion stream onto the loop.
+
+        The executor runs in a worker thread (so heartbeats keep flowing
+        during long points) and hands each finished point across via an
+        asyncio queue the moment it completes.
+        """
+        if not pending:
+            return
+        loop = asyncio.get_running_loop()
+        queue: asyncio.Queue = asyncio.Queue()
+
+        def pump() -> None:
+            # Worker thread: the only place the synchronous stream runs.
+            try:
+                for item in self._executor.compute_stream(pending, factory):
+                    loop.call_soon_threadsafe(queue.put_nowait, ("item", item))
+            except BaseException as exc:
+                loop.call_soon_threadsafe(queue.put_nowait, ("error", exc))
+                return
+            loop.call_soon_threadsafe(queue.put_nowait, ("done", None))
+
+        pump_task = loop.run_in_executor(None, pump)
+        try:
+            while True:
+                kind, payload = await queue.get()
+                if kind == "done":
+                    break
+                if kind == "error":
+                    raise payload
+                yield payload
+        finally:
+            await pump_task
+
+
+def run_worker(connect: str, **kwargs) -> None:
+    """Blocking convenience wrapper: ``asyncio.run`` one worker (the CLI verb)."""
+    asyncio.run(ClusterWorker(connect, **kwargs).run())

@@ -65,6 +65,10 @@ DEFAULT_LAYERS: Mapping[str, frozenset[str]] = {
     "service": frozenset(
         {"analysis", "channels", "errors", "exec", "machine", "sweep"}
     ),
+    # -- cluster fabric ---------------------------------------------------
+    # Sits above the service layer: it reuses the service's endpoint
+    # grammar and event vocabulary, and drives executors over the wire.
+    "cluster": frozenset({"errors", "exec", "service", "sweep"}),
     # -- tooling ---------------------------------------------------------
     # The linter inspects everything but imports only foundations.
     "lint": frozenset({"errors"}),
@@ -73,6 +77,7 @@ DEFAULT_LAYERS: Mapping[str, frozenset[str]] = {
         {
             "analysis",
             "channels",
+            "cluster",
             "defense",
             "errors",
             "exec",
@@ -85,6 +90,36 @@ DEFAULT_LAYERS: Mapping[str, frozenset[str]] = {
             "reporting",
             "service",
             "sgx",
+            "spectre",
+            "sweep",
+            "validate",
+            "workloads",
+        }
+    ),
+    # The benchmark suite drives experiments end to end, so it may reach
+    # every library layer — but never the entry points (cli, __main__)
+    # or the linter: benchmarks are *subjects* of tooling, not drivers.
+    "benchmarks": frozenset(
+        {
+            "analysis",
+            "caches",
+            "channels",
+            "cluster",
+            "configio",
+            "defense",
+            "errors",
+            "exec",
+            "fingerprint",
+            "frontend",
+            "isa",
+            "machine",
+            "measure",
+            "repro",
+            "reporting",
+            "rng",
+            "service",
+            "sgx",
+            "sidechannel",
             "spectre",
             "sweep",
             "validate",
@@ -104,7 +139,7 @@ class LintConfig:
     """Everything the runner and the rules need to know about the repo."""
 
     #: Directories (repo-relative) whose ``*.py`` files get linted.
-    include: tuple[str, ...] = ("src/repro",)
+    include: tuple[str, ...] = ("src/repro", "benchmarks")
     #: Packages where wall-clock/OS-entropy reads break simulator
     #: determinism (the cache/dedup correctness argument).
     deterministic_units: tuple[str, ...] = (
@@ -114,7 +149,7 @@ class LintConfig:
         "measure",
     )
     #: Packages whose ``async def`` bodies must never block the loop.
-    async_units: tuple[str, ...] = ("service",)
+    async_units: tuple[str, ...] = ("service", "cluster")
     #: The import DAG (see module docstring).
     layers: Mapping[str, frozenset[str]] = field(
         default_factory=lambda: dict(DEFAULT_LAYERS)

@@ -118,6 +118,8 @@ class ModuleInfo:
         ``__main__`` keeps its own name, so both can carry layer rules.
         """
         parts = self.module.split(".")
+        if parts[0] == "benchmarks":
+            return "benchmarks"
         if len(parts) == 1:  # "repro"
             return "repro"
         return parts[1]
@@ -165,12 +167,17 @@ def _module_name(path: Path) -> str:
 
     Works for files anywhere on disk (test fixtures build throwaway
     trees under ``/tmp``): the module path starts at the *last* ``src``
-    component if present, else at the first ``repro`` component, else
-    it is just the file's stem.
+    component if present, else at the last ``benchmarks`` component
+    (the repo's top-level benchmark suite — checked before ``repro``
+    because a checkout directory itself named ``repro`` would otherwise
+    swallow every benchmark into the root package), else at the first
+    ``repro`` component, else it is just the file's stem.
     """
     parts = list(path.with_suffix("").parts)
     if "src" in parts:
         parts = parts[len(parts) - 1 - parts[::-1].index("src"):][1:]
+    elif "benchmarks" in parts:
+        parts = parts[len(parts) - 1 - parts[::-1].index("benchmarks"):]
     elif "repro" in parts:
         parts = parts[parts.index("repro"):]
     else:

@@ -82,6 +82,68 @@ CONSTANTS: tuple[ConstantSpec, ...] = (
     # ---- issue/rename width -------------------------------------------
     ConstantSpec("core.issue_width", _PARAMS, "FrontendParams.issue_width", 4,
                  "paper Sec. III-A4: 4-wide rename/retire"),
+    # ---- calibrated latency coefficients -------------------------------
+    # These are not SDM figures, but recalibrating any of them silently
+    # re-tunes every timing channel and every cached sweep result keyed
+    # on the old behaviour.  The manifest pins the calibration that
+    # reproduces the paper's orderings (DSB < LSD < MITE+DSB per window,
+    # Figure 4); changing one requires changing it here, with the
+    # downstream blast radius in view.
+    ConstantSpec("latency.dsb_window", _PARAMS,
+                 "FrontendParams.dsb_window_overhead", 0.15,
+                 "calibrated: DSB per-window bubble (fastest path, Fig. 4)"),
+    ConstantSpec("latency.lsd_window", _PARAMS,
+                 "FrontendParams.lsd_window_overhead", 0.45,
+                 "calibrated: LSD per-window bubble (slower than DSB for "
+                 "tiny loops, Sec. IV-B)"),
+    ConstantSpec("latency.mite_window", _PARAMS,
+                 "FrontendParams.mite_window_overhead", 2.5,
+                 "calibrated: MITE per-window bubble (dominant eviction "
+                 "signal, Sec. IV-A)"),
+    ConstantSpec("latency.dsb_to_mite", _PARAMS,
+                 "FrontendParams.dsb_to_mite_penalty", 4.0,
+                 "calibrated: DSB->MITE switch penalty (Sec. III-D)"),
+    ConstantSpec("latency.mite_to_dsb", _PARAMS,
+                 "FrontendParams.mite_to_dsb_penalty", 2.0,
+                 "calibrated: MITE->DSB switch penalty (Sec. III-D)"),
+    ConstantSpec("latency.lsd_flush", _PARAMS,
+                 "FrontendParams.lsd_flush_penalty", 20.0,
+                 "calibrated: one-off LSD flush cost (eviction channels)"),
+    ConstantSpec("latency.lsd_capture", _PARAMS,
+                 "FrontendParams.lsd_capture_cost", 8.0,
+                 "calibrated: LSD lock-on cost for a new loop"),
+    ConstantSpec("latency.misalign_dsb", _PARAMS,
+                 "FrontendParams.misalign_dsb_penalty", 0.35,
+                 "calibrated: extra DSB cost per misaligned window "
+                 "(Sec. IV-B)"),
+    ConstantSpec("latency.loop_iteration", _PARAMS,
+                 "FrontendParams.loop_iteration_overhead", 1.0,
+                 "calibrated: loop-control overhead per iteration"),
+    ConstantSpec("latency.loop_exit", _PARAMS,
+                 "FrontendParams.loop_exit_mispredict", 14.0,
+                 "calibrated: loop-exit mispredict penalty"),
+    ConstantSpec("latency.smt_factor", _PARAMS,
+                 "FrontendParams.smt_frontend_factor", 1.6,
+                 "calibrated: frontend derating with both SMT threads "
+                 "active (Sec. IV-A)"),
+    # ---- calibrated energy coefficients --------------------------------
+    # The power channels (Figures 12/13) depend only on the ordering
+    # LSD < DSB << MITE, but the absolute values key the cached energy
+    # metrics — pin them all.
+    ConstantSpec("energy.lsd_uop", _PARAMS, "EnergyParams.lsd_uop_energy", 0.8,
+                 "calibrated: LSD replay is the cheapest delivery "
+                 "(Fig. 12/13: LSD < DSB << MITE)"),
+    ConstantSpec("energy.dsb_uop", _PARAMS, "EnergyParams.dsb_uop_energy", 1.4,
+                 "calibrated: DSB delivery energy per uop"),
+    ConstantSpec("energy.mite_uop", _PARAMS, "EnergyParams.mite_uop_energy", 4.5,
+                 "calibrated: legacy decode costs several times DSB "
+                 "(Fig. 12/13)"),
+    ConstantSpec("energy.cycle", _PARAMS, "EnergyParams.cycle_energy", 2.0,
+                 "calibrated: static + clock-tree energy per core cycle"),
+    ConstantSpec("energy.lcp_stall", _PARAMS, "EnergyParams.lcp_stall_energy", 1.0,
+                 "calibrated: energy per LCP predecode stall cycle"),
+    ConstantSpec("energy.switch", _PARAMS, "EnergyParams.switch_energy", 3.0,
+                 "calibrated: energy per DSB<->MITE transition"),
     # ---- shared frontend geometry defaults on MachineSpec -------------
     ConstantSpec("spec.dsb_sets", _SPECS, "MachineSpec.dsb_sets", 32,
                  "Table I machines share DSB geometry"),

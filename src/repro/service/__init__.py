@@ -17,34 +17,45 @@ Layers (bottom up):
   :class:`JobQueue`;
 * :mod:`repro.service.service` — the :class:`SweepService` facade;
 * :mod:`repro.service.events` — the JSONL event vocabulary (shared
-  with ``repro sweep --progress``);
+  with ``repro sweep --progress`` and the cluster coordinator);
+* :mod:`repro.service.endpoints` — the endpoint grammar (Unix socket
+  paths and ``tcp://host:port``), shared with the cluster fabric;
 * :mod:`repro.service.spec` — :class:`SweepSpec`, the JSON-safe
   submission format, plus the channel-sweep factory;
 * :mod:`repro.service.server` / :mod:`repro.service.client` — the
-  Unix-socket protocol behind ``python -m repro serve`` / ``submit``.
+  socket protocol behind ``python -m repro serve`` / ``submit`` /
+  ``watch``.
 
 See ``docs/service.md`` for the architecture and event schema.
 """
 
+from repro.service.endpoints import Endpoint, parse_endpoint
 from repro.service.events import EVENT_KINDS, Event, jsonl_progress
 from repro.service.jobs import Job, JobQueue, JobStatus
 from repro.service.scheduler import Scheduler
 from repro.service.server import SweepServer
 from repro.service.service import SweepService
 from repro.service.spec import SweepSpec
-from repro.service.client import ServiceClient, submit_and_stream
+from repro.service.client import (
+    ServiceClient,
+    submit_and_stream,
+    watch_and_stream,
+)
 
 __all__ = [
     "EVENT_KINDS",
+    "Endpoint",
     "Event",
     "jsonl_progress",
     "Job",
     "JobQueue",
     "JobStatus",
+    "parse_endpoint",
     "Scheduler",
     "ServiceClient",
     "SweepServer",
     "SweepService",
     "SweepSpec",
     "submit_and_stream",
+    "watch_and_stream",
 ]

@@ -17,17 +17,24 @@ import sys
 from typing import IO, AsyncIterator
 
 from repro.errors import ConfigurationError
+from repro.service.endpoints import open_endpoint, parse_endpoint
 from repro.service.events import Event
 from repro.service.spec import SweepSpec
 
-__all__ = ["ServiceClient", "submit_and_stream", "render_rows"]
+__all__ = ["ServiceClient", "submit_and_stream", "watch_and_stream", "render_rows"]
 
 
 class ServiceClient:
-    """Talks JSONL to a :class:`~repro.service.server.SweepServer`."""
+    """Talks JSONL to a :class:`~repro.service.server.SweepServer`.
+
+    ``socket_path`` accepts any endpoint string the service can listen
+    on: a Unix socket path (the default transport) or ``tcp://host:port``
+    / bare ``host:port`` when the server was started with a TCP listener.
+    """
 
     def __init__(self, socket_path: str | os.PathLike) -> None:
         self.socket_path = str(socket_path)
+        self.endpoint = parse_endpoint(self.socket_path)
 
     # ------------------------------------------------------------------
     async def submit(self, spec: SweepSpec) -> AsyncIterator[Event]:
@@ -55,13 +62,36 @@ class ServiceClient:
         """Liveness check; returns the server's ``pong`` counters."""
         return await self._round_trip({"op": "ping"})
 
+    async def watch(self, kinds: list[str] | None = None) -> AsyncIterator[Event]:
+        """Stream the service-wide event feed (the ``watch`` op).
+
+        Yields the initial ``watching`` acknowledgement, then every
+        service event (optionally filtered to ``kinds``) until the
+        server shuts down — a shutdown ends the iterator rather than
+        raising.  Break out of the loop to hang up.
+        """
+        reader, writer = await self._connect()
+        try:
+            request: dict = {"op": "watch"}
+            if kinds is not None:
+                request["kinds"] = list(kinds)
+            await self._send(writer, request)
+            async for event in self._events(reader):
+                yield event
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+                pass
+
     # ------------------------------------------------------------------
     async def _connect(self):
         try:
-            return await asyncio.open_unix_connection(self.socket_path)
-        except (ConnectionRefusedError, FileNotFoundError) as exc:
+            return await open_endpoint(self.endpoint)
+        except (ConnectionRefusedError, FileNotFoundError, OSError) as exc:
             raise ConfigurationError(
-                f"no sweep service listening on {self.socket_path} "
+                f"no sweep service listening on {self.endpoint} "
                 f"(start one with: python -m repro serve --socket "
                 f"{self.socket_path})"
             ) from exc
@@ -143,5 +173,34 @@ def submit_and_stream(
                 "sweep service closed the stream before job-done"
             )
         return last
+
+    return asyncio.run(run())
+
+
+def watch_and_stream(
+    socket_path: str | os.PathLike,
+    events_out: IO[str] | None = None,
+    kinds: list[str] | None = None,
+    limit: int | None = None,
+) -> int:
+    """Mirror the service's event feed as JSONL (the CLI ``watch`` body).
+
+    Prints one line per event to ``events_out`` (default stdout — watch
+    output *is* the result) until the server shuts down, the connection
+    drops, or ``limit`` events have been seen.  Returns the number of
+    events printed (excluding the ``watching`` acknowledgement).
+    """
+    out = events_out if events_out is not None else sys.stdout
+
+    async def run() -> int:
+        client = ServiceClient(socket_path)
+        seen = 0
+        async for event in client.watch(kinds=kinds):
+            print(event.to_json(), file=out, flush=True)
+            if event.kind != "watching":
+                seen += 1
+            if limit is not None and seen >= limit:
+                break
+        return seen
 
     return asyncio.run(run())

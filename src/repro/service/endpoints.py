@@ -1,0 +1,128 @@
+"""Socket endpoints: one grammar for Unix paths and TCP host:port pairs.
+
+The JSONL protocols in this repository (the sweep service's
+``serve``/``submit``/``watch`` front door and the cluster fabric's
+coordinator/worker link) are transport-agnostic: the same
+newline-delimited JSON flows over a Unix domain socket or a TCP
+connection.  This module owns the *naming* of those transports so every
+CLI flag and constructor accepts the same strings:
+
+* ``unix:///path/to.sock`` or any string with a ``/`` (or no port
+  suffix) — a Unix domain socket path;
+* ``tcp://host:port`` or a bare ``host:port`` — a TCP endpoint.
+
+A Unix socket keeps traffic machine-local and permission-guarded by the
+filesystem; TCP opens the protocol to other hosts, which is what the
+cluster fabric needs — see ``docs/distributed.md`` for the security
+caveats that come with that (bind to loopback or a trusted network).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import re
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+__all__ = ["Endpoint", "parse_endpoint", "start_endpoint_server", "open_endpoint"]
+
+#: StreamReader line limit for the JSONL protocols.  Shard messages
+#: carry whole point batches, so the default 64 KiB is too tight.
+LINE_LIMIT = 8 * 1024 * 1024
+
+_TCP_RE = re.compile(r"^(?P<host>\[[0-9A-Fa-f:]+\]|[^/:]+):(?P<port>\d{1,5})$")
+
+
+@dataclass(frozen=True)
+class Endpoint:
+    """One parsed socket address: TCP ``host:port`` or a Unix path."""
+
+    scheme: str  # "tcp" | "unix"
+    host: str | None = None
+    port: int | None = None
+    path: str | None = None
+
+    @property
+    def is_tcp(self) -> bool:
+        return self.scheme == "tcp"
+
+    def __str__(self) -> str:
+        if self.is_tcp:
+            return f"tcp://{self.host}:{self.port}"
+        return str(self.path)
+
+
+def parse_endpoint(text: str) -> Endpoint:
+    """Parse one endpoint string (see module docstring for the grammar)."""
+    text = str(text).strip()
+    if not text:
+        raise ConfigurationError("endpoint must not be empty")
+    if text.startswith("unix://"):
+        return Endpoint(scheme="unix", path=text[len("unix://"):])
+    if text.startswith("tcp://"):
+        rest = text[len("tcp://"):]
+        match = _TCP_RE.match(rest)
+        if match is None:
+            raise ConfigurationError(
+                f"tcp endpoint must look like tcp://HOST:PORT, got {text!r}"
+            )
+    else:
+        match = _TCP_RE.match(text)
+        if match is None:  # no host:port shape: a Unix socket path
+            return Endpoint(scheme="unix", path=text)
+    host = match.group("host").strip("[]")
+    port = int(match.group("port"))
+    if not 0 <= port <= 65535:
+        raise ConfigurationError(f"port must be 0..65535, got {port}")
+    return Endpoint(scheme="tcp", host=host, port=port)
+
+
+async def start_endpoint_server(handler, endpoint: Endpoint) -> tuple[asyncio.AbstractServer, Endpoint]:
+    """Start an asyncio stream server on ``endpoint``.
+
+    Returns ``(server, bound)`` where ``bound`` carries the actual
+    address — for ``port=0`` TCP binds, the kernel-assigned port.
+    """
+    if endpoint.is_tcp:
+        server = await asyncio.start_server(
+            handler, host=endpoint.host, port=endpoint.port, limit=LINE_LIMIT
+        )
+        port = server.sockets[0].getsockname()[1]
+        return server, Endpoint(scheme="tcp", host=endpoint.host, port=port)
+    await asyncio.to_thread(_remove_stale_socket, str(endpoint.path))
+    server = await asyncio.start_unix_server(
+        handler, path=endpoint.path, limit=LINE_LIMIT
+    )
+    return server, endpoint
+
+
+def _remove_stale_socket(path: str) -> None:
+    """Unlink a leftover socket file so a restarted server can rebind.
+
+    Only socket files are removed — anything else at the path is a
+    configuration error better surfaced by the bind failing.
+    """
+    import stat
+
+    try:
+        mode = os.stat(path).st_mode
+    except OSError:
+        return
+    if stat.S_ISSOCK(mode):
+        try:
+            os.unlink(path)
+        except OSError:  # pragma: no cover - raced with another server
+            pass
+
+
+async def open_endpoint(
+    endpoint: Endpoint,
+) -> tuple[asyncio.StreamReader, asyncio.StreamWriter]:
+    """Open one stream connection to ``endpoint``."""
+    if endpoint.is_tcp:
+        return await asyncio.open_connection(
+            endpoint.host, endpoint.port, limit=LINE_LIMIT
+        )
+    return await asyncio.open_unix_connection(endpoint.path, limit=LINE_LIMIT)

@@ -1,4 +1,4 @@
-"""Unix-socket front door for the sweep service (JSONL protocol).
+"""Socket front door for the sweep service (JSONL protocol).
 
 One request per connection, newline-delimited JSON both ways:
 
@@ -9,10 +9,19 @@ One request per connection, newline-delimited JSON both ways:
 * ``{"op": "cancel", "job": "job-3"}`` — request cancellation; answers
   ``{"event": "cancel", "job": ..., "ok": true/false}``;
 * ``{"op": "ping"}`` — liveness check, answers ``{"event": "pong"}``
-  with queue/scheduler counters.
+  with queue/scheduler counters;
+* ``{"op": "watch"}`` — subscribe to the service-wide event feed: after
+  an initial ``watching`` acknowledgement, every event from every job
+  streams to the client until it hangs up or the service stops (the
+  stream then ends cleanly).  Any number of watchers may be connected
+  at once; an optional ``"kinds": [...]`` list filters the stream.
 
-A Unix socket (not TCP) keeps the service machine-local and permission
--guarded by the filesystem; the protocol itself is transport-agnostic.
+The primary listener is a Unix domain socket — machine-local and
+permission-guarded by the filesystem.  An *additional* TCP listener can
+be enabled (``tcp="host:port"``) for remote monitoring and submission;
+the protocol is identical, but TCP carries none of the filesystem's
+access control — see ``docs/distributed.md`` before binding beyond
+loopback.
 """
 
 from __future__ import annotations
@@ -23,6 +32,12 @@ import os
 from pathlib import Path
 
 from repro.errors import ConfigurationError, ReproError
+from repro.service.endpoints import (
+    LINE_LIMIT,
+    Endpoint,
+    parse_endpoint,
+    start_endpoint_server,
+)
 from repro.service.events import Event
 from repro.service.service import SweepService
 from repro.service.spec import SweepSpec
@@ -31,12 +46,25 @@ __all__ = ["SweepServer"]
 
 
 class SweepServer:
-    """Serves one :class:`SweepService` over a Unix domain socket."""
+    """Serves one :class:`SweepService` over a Unix socket (and optional TCP)."""
 
-    def __init__(self, service: SweepService, socket_path: str | os.PathLike) -> None:
+    def __init__(
+        self,
+        service: SweepService,
+        socket_path: str | os.PathLike,
+        tcp: str | None = None,
+    ) -> None:
         self.service = service
         self.socket_path = Path(socket_path)
         self._server: asyncio.AbstractServer | None = None
+        self._tcp_server: asyncio.AbstractServer | None = None
+        self.tcp_endpoint = parse_endpoint(tcp) if tcp else None
+        if self.tcp_endpoint is not None and not self.tcp_endpoint.is_tcp:
+            raise ConfigurationError(
+                f"tcp listener needs a host:port endpoint, got {tcp!r}"
+            )
+        #: Bound TCP address after :meth:`start` (resolves port 0).
+        self.tcp_address: Endpoint | None = None
 
     # ------------------------------------------------------------------
     def _prepare_socket_path(self) -> None:
@@ -54,14 +82,20 @@ class SweepServer:
         await asyncio.to_thread(self._prepare_socket_path)
         self.service.start()
         self._server = await asyncio.start_unix_server(
-            self._handle, path=str(self.socket_path)
+            self._handle, path=str(self.socket_path), limit=LINE_LIMIT
         )
+        if self.tcp_endpoint is not None:
+            self._tcp_server, self.tcp_address = await start_endpoint_server(
+                self._handle, self.tcp_endpoint
+            )
 
     async def stop(self) -> None:
-        if self._server is not None:
-            self._server.close()
-            await self._server.wait_closed()
-            self._server = None
+        for server in (self._server, self._tcp_server):
+            if server is not None:
+                server.close()
+                await server.wait_closed()
+        self._server = None
+        self._tcp_server = None
         await self.service.stop()
         await asyncio.to_thread(self.socket_path.unlink, missing_ok=True)
 
@@ -111,9 +145,12 @@ class SweepServer:
                                 "jobs": len(self.service.jobs),
                                 "queued": len(self.service.queue),
                                 "executions": self.service.scheduler.executions,
+                                "watchers": self.service.subscriber_count,
                             },
                         ),
                     )
+                elif op == "watch":
+                    await self._handle_watch(request, writer)
                 else:
                     raise ValueError(f"unknown op {op!r}")
             except (ValueError, ReproError) as exc:
@@ -155,6 +192,44 @@ class SweepServer:
                     },
                 )
             await self._send(writer, event)
+
+    async def _handle_watch(
+        self, request: dict, writer: asyncio.StreamWriter
+    ) -> None:
+        """Stream the service-wide event feed until hangup or shutdown.
+
+        Each watcher gets its own subscriber queue, so any number can be
+        connected concurrently without slowing each other (or the
+        service: emission is a non-blocking ``put_nowait`` per queue).
+        """
+        kinds_payload = request.get("kinds")
+        kinds: frozenset[str] | None = None
+        if kinds_payload is not None:
+            if not isinstance(kinds_payload, list):
+                raise ConfigurationError("watch 'kinds' must be a list of strings")
+            kinds = frozenset(str(kind) for kind in kinds_payload)
+        queue = self.service.subscribe()
+        try:
+            await self._send(
+                writer,
+                Event(
+                    "watching",
+                    {
+                        "jobs": len(self.service.jobs),
+                        "queued": len(self.service.queue),
+                        "watchers": self.service.subscriber_count,
+                    },
+                ),
+            )
+            while True:
+                event = await queue.get()
+                if event is None:
+                    break  # service shutdown: end the stream cleanly
+                if kinds is not None and event.kind not in kinds:
+                    continue
+                await self._send(writer, event)
+        finally:
+            self.service.unsubscribe(queue)
 
     @staticmethod
     async def _send(writer: asyncio.StreamWriter, event: Event) -> None:

@@ -168,6 +168,22 @@ class SweepService:
         self._subscribers.append(queue)
         return queue
 
+    def unsubscribe(self, queue: "asyncio.Queue[Event | None]") -> None:
+        """Detach one subscriber queue (watcher hung up).
+
+        Without this, every disconnected ``watch`` client would leave a
+        queue behind that :meth:`_emit` keeps filling forever.  Unknown
+        queues are ignored — shutdown already cleared the list.
+        """
+        try:
+            self._subscribers.remove(queue)
+        except ValueError:
+            pass
+
+    @property
+    def subscriber_count(self) -> int:
+        return len(self._subscribers)
+
     def gc(self, now: float | None = None) -> int:
         """Evict terminal jobs older than :attr:`job_ttl_s`.
 

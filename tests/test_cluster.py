@@ -1,0 +1,499 @@
+"""Tests for the distributed sweep fabric (``repro.cluster``).
+
+The fabric's contract, in order of importance:
+
+* **byte-identical merge** — a distributed run produces exactly the
+  table a serial run produces, for any worker count, because results
+  merge idempotently by point index and metrics ride JSON (which
+  round-trips floats bit-exactly);
+* **fault tolerance** — a worker killed mid-shard, a worker that stops
+  heartbeating, and duplicate deliveries must all leave the run correct:
+  shards re-dispatch with bounded retries, evictions free the work, and
+  the merge drops duplicates;
+* **graceful degradation** — with no workers, ``DistributedExecutor``
+  silently falls back to local execution (or fails hard on request);
+* **clean shutdown** — stopping a coordinator with shards in flight
+  fails the run crisply and releases every task and socket.
+
+Workers here are real: in-process ``ClusterWorker`` tasks speaking the
+actual JSONL protocol over real loopback TCP sockets.  The "hostile"
+peers (silent, duplicating) are hand-rolled protocol stubs.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+
+import pytest
+
+from repro.cluster import (
+    ClusterError,
+    ClusterWorker,
+    Coordinator,
+    DistributedExecutor,
+    Shard,
+    locality_key,
+    plan_shards,
+)
+from repro.cluster.protocol import (
+    PROTOCOL_VERSION,
+    decode_factory,
+    decode_points,
+    read_message,
+    send_message,
+)
+from repro.errors import ConfigurationError
+from repro.exec import SerialExecutor
+from repro.service.endpoints import open_endpoint, parse_endpoint
+from repro.sweep import ParameterSweep, SweepResult
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+# Factories live at module level: the wire protocol pickles them by
+# reference, exactly like ParallelExecutor.
+def square_factory(point):
+    x = point["x"]
+    return {"y": float(x * x), "seed_mod": float(point.seed % 7)}
+
+
+def slow_factory(point):
+    time.sleep(0.03)
+    return {"y": float(point["x"] * 3 + point.seed % 5)}
+
+
+def failing_factory(point):
+    raise RuntimeError(f"factory exploded on x={point['x']}")
+
+
+def make_sweep(xs=(1, 2, 3, 4), trials=1, base_seed=7, factory=square_factory):
+    return ParameterSweep(factory, {"x": list(xs)}, trials=trials, base_seed=base_seed)
+
+
+def rows_of(table):
+    return [
+        (dict(r.point.values), r.point.trial, r.point.seed, dict(r.metrics))
+        for r in table.results
+    ]
+
+
+# ----------------------------------------------------------------------
+# shard planning
+# ----------------------------------------------------------------------
+class TestShardPlanning:
+    def test_shards_are_locality_pure_and_bounded(self):
+        sweep = ParameterSweep(
+            square_factory, {"a": [1, 2], "x": [1, 2, 3, 4, 5]}, trials=1, base_seed=1
+        )
+        pending = list(enumerate(sweep.points()))
+        shards = plan_shards(pending, shard_size=3)
+        for shard in shards:
+            assert len(shard) <= 3
+            keys = {locality_key(point) for _, point in shard.pending}
+            assert len(keys) == 1  # never mixes localities
+        # Every point appears exactly once, in order.
+        flat = [index for shard in shards for index in shard.indices]
+        assert flat == list(range(len(pending)))
+
+    def test_planning_is_deterministic(self):
+        sweep = make_sweep(xs=range(10), trials=2)
+        pending = list(enumerate(sweep.points()))
+        first = plan_shards(pending, shard_size=4)
+        second = plan_shards(pending, shard_size=4)
+        assert [s.pending for s in first] == [s.pending for s in second]
+        assert [s.id for s in first] == list(range(len(first)))
+
+    def test_locality_groups_by_all_but_last_axis(self):
+        sweep = ParameterSweep(
+            square_factory, {"a": [1, 2], "x": [10, 20]}, trials=1, base_seed=3
+        )
+        points = sweep.points()
+        # Same "a" -> same locality; different "a" -> different locality.
+        assert locality_key(points[0]) == locality_key(points[1])
+        assert locality_key(points[0]) != locality_key(points[2])
+
+    def test_shard_size_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            plan_shards([], shard_size=0)
+
+    def test_single_axis_grid_chunks_contiguously(self):
+        sweep = make_sweep(xs=range(7))
+        shards = plan_shards(list(enumerate(sweep.points())), shard_size=3)
+        assert [len(s) for s in shards] == [3, 3, 1]
+
+
+# ----------------------------------------------------------------------
+# endpoints
+# ----------------------------------------------------------------------
+class TestEndpoints:
+    def test_tcp_forms(self):
+        for text in ("tcp://127.0.0.1:9000", "127.0.0.1:9000"):
+            endpoint = parse_endpoint(text)
+            assert endpoint.is_tcp
+            assert endpoint.host == "127.0.0.1"
+            assert endpoint.port == 9000
+            assert str(endpoint) == "tcp://127.0.0.1:9000"
+
+    def test_unix_forms(self):
+        for text in ("unix:///tmp/x.sock", "/tmp/x.sock", "relative.sock"):
+            endpoint = parse_endpoint(text)
+            assert not endpoint.is_tcp
+            assert endpoint.path.endswith(".sock")
+
+    def test_bad_endpoints_raise(self):
+        with pytest.raises(ConfigurationError):
+            parse_endpoint("")
+        with pytest.raises(ConfigurationError):
+            parse_endpoint("tcp://nohost")
+        with pytest.raises(ConfigurationError):
+            parse_endpoint("host:99999")
+
+
+# ----------------------------------------------------------------------
+# byte-identical distributed execution
+# ----------------------------------------------------------------------
+class TestDistributedIdentity:
+    def test_two_workers_match_serial_exactly(self):
+        sweep = make_sweep(xs=(1, 2, 3, 4, 5), trials=2)
+        serial = make_sweep(xs=(1, 2, 3, 4, 5), trials=2).run(
+            executor=SerialExecutor()
+        )
+        executor = DistributedExecutor(workers=2, shard_size=2)
+        table = sweep.run(executor=executor)
+        assert rows_of(table) == rows_of(serial)
+        # Bit-exact, not approximately equal: compare the JSON bytes.
+        assert json.dumps(rows_of(table)) == json.dumps(rows_of(serial))
+        assert executor.last_run is not None
+        assert executor.last_run["fallback"] is False
+        assert executor.last_run["workers"] == 2
+
+    def test_worker_killed_mid_run_still_matches_serial(self):
+        sweep = make_sweep(xs=range(8), factory=slow_factory)
+        serial = make_sweep(xs=range(8), factory=slow_factory).run(
+            executor=SerialExecutor()
+        )
+
+        async def scenario():
+            pending = list(enumerate(sweep.points()))
+            coordinator = Coordinator(
+                pending,
+                slow_factory,
+                shard_size=2,
+                heartbeat_timeout=5.0,
+                retry_backoff_s=0.02,
+                steal_after_s=None,
+            )
+            address = await coordinator.start("tcp://127.0.0.1:0")
+            victim = asyncio.ensure_future(
+                ClusterWorker(address, name="victim", heartbeat_interval=0.2).run()
+            )
+            survivor = asyncio.ensure_future(
+                ClusterWorker(address, name="survivor", heartbeat_interval=0.2).run()
+            )
+            try:
+                while coordinator.merged_points < 1:
+                    await asyncio.sleep(0.005)
+                victim.cancel()  # hard kill: connection drops mid-shard
+                results = await asyncio.wait_for(coordinator.results(), 30)
+            finally:
+                await coordinator.stop()
+                for task in (victim, survivor):
+                    task.cancel()
+                await asyncio.gather(victim, survivor, return_exceptions=True)
+            return results, coordinator.redispatches
+
+        results, redispatches = run(scenario())
+        points = sweep.points()
+        table = sweep.build_table(
+            [SweepResult(point=points[i], metrics=m) for i, m, _ in results]
+        )
+        assert rows_of(table) == rows_of(serial)
+        # The victim held a shard when it died, so at least one shard
+        # must have travelled the re-dispatch path.
+        assert redispatches >= 1
+
+    def test_distributed_under_the_sweep_service(self):
+        from repro.service import SweepService
+
+        async def scenario():
+            async with SweepService(
+                executor=DistributedExecutor(workers=2, shard_size=2)
+            ) as service:
+                job = service.submit(make_sweep(xs=(1, 2, 3)))
+                await job.wait()
+                return job.result()
+
+        table = run(scenario())
+        serial = make_sweep(xs=(1, 2, 3)).run(executor=SerialExecutor())
+        assert rows_of(table) == rows_of(serial)
+
+
+# ----------------------------------------------------------------------
+# fault tolerance
+# ----------------------------------------------------------------------
+class TestFaultTolerance:
+    def test_heartbeat_timeout_evicts_silent_worker(self):
+        sweep = make_sweep(xs=range(4))
+        events = []
+
+        async def scenario():
+            pending = list(enumerate(sweep.points()))
+            coordinator = Coordinator(
+                pending,
+                square_factory,
+                shard_size=2,
+                heartbeat_timeout=0.3,
+                retry_backoff_s=0.02,
+                steal_after_s=None,
+                on_event=events.append,
+            )
+            address = await coordinator.start("tcp://127.0.0.1:0")
+
+            # A hostile stub: registers, accepts a shard, then goes silent.
+            reader, writer = await open_endpoint(address)
+            await send_message(
+                writer,
+                {"type": "register", "worker": "zombie", "slots": 1,
+                 "version": PROTOCOL_VERSION},
+            )
+            welcome = await read_message(reader)
+            assert welcome["type"] == "welcome"
+            shard_msg = await read_message(reader)
+            assert shard_msg["type"] == "shard"
+
+            # Now a real worker joins and must end up doing everything.
+            worker = asyncio.ensure_future(
+                ClusterWorker(address, name="real", heartbeat_interval=0.1).run()
+            )
+            try:
+                results = await asyncio.wait_for(coordinator.results(), 30)
+            finally:
+                await coordinator.stop()
+                worker.cancel()
+                await asyncio.gather(worker, return_exceptions=True)
+                writer.close()
+            return results, coordinator.redispatches
+
+        results, redispatches = run(scenario())
+        assert len(results) == 4
+        assert redispatches >= 1
+        lost = [e for e in events if e.kind == "worker-lost"]
+        assert any(e["worker"] == "zombie" for e in lost)
+        assert any("heartbeat" in str(e.get("reason")) for e in lost)
+
+    def test_duplicate_deliveries_merge_idempotently(self):
+        sweep = make_sweep(xs=(1, 2, 3))
+        serial = make_sweep(xs=(1, 2, 3)).run(executor=SerialExecutor())
+
+        async def scenario():
+            pending = list(enumerate(sweep.points()))
+            coordinator = Coordinator(
+                pending, square_factory, shard_size=8, heartbeat_timeout=5.0
+            )
+            address = await coordinator.start("tcp://127.0.0.1:0")
+
+            # A stub worker that reports every point TWICE.
+            reader, writer = await open_endpoint(address)
+            await send_message(
+                writer,
+                {"type": "register", "worker": "stutter", "slots": 1,
+                 "version": PROTOCOL_VERSION},
+            )
+            await read_message(reader)  # welcome
+            shard_msg = await read_message(reader)
+            factory = decode_factory(shard_msg["factory"])
+            for index, point in decode_points(shard_msg["points"]):
+                result = {
+                    "type": "point-result",
+                    "shard": shard_msg["shard"],
+                    "index": index,
+                    "metrics": dict(factory(point)),
+                    "elapsed_s": 0.001,
+                    "cached": False,
+                }
+                await send_message(writer, result)
+                await send_message(writer, result)  # the duplicate
+            await send_message(writer, {"type": "shard-done",
+                                        "shard": shard_msg["shard"]})
+            try:
+                results = await asyncio.wait_for(coordinator.results(), 30)
+            finally:
+                await coordinator.stop()
+                writer.close()
+            return results, coordinator.duplicate_results
+
+        results, duplicates = run(scenario())
+        assert duplicates == 3  # one duplicate per point, all dropped
+        assert [(i, m) for i, m, _ in results] == [
+            (i, dict(r.metrics)) for i, r in enumerate(serial.results)
+        ]
+
+    def test_failing_factory_exhausts_retries_and_fails_the_run(self):
+        sweep = make_sweep(xs=(1,), factory=failing_factory)
+
+        async def scenario():
+            pending = list(enumerate(sweep.points()))
+            coordinator = Coordinator(
+                pending,
+                failing_factory,
+                shard_size=1,
+                heartbeat_timeout=5.0,
+                max_retries=1,
+                retry_backoff_s=0.01,
+            )
+            address = await coordinator.start("tcp://127.0.0.1:0")
+            worker = asyncio.ensure_future(
+                ClusterWorker(address, name="w", heartbeat_interval=0.1).run()
+            )
+            try:
+                with pytest.raises(ClusterError) as excinfo:
+                    await asyncio.wait_for(coordinator.results(), 30)
+            finally:
+                await coordinator.stop()
+                worker.cancel()
+                await asyncio.gather(worker, return_exceptions=True)
+            return str(excinfo.value)
+
+        message = run(scenario())
+        assert "factory exploded" in message
+        assert "attempt" in message
+
+    def test_coordinator_shutdown_with_inflight_shards(self):
+        sweep = make_sweep(xs=range(6), factory=slow_factory)
+
+        async def scenario():
+            pending = list(enumerate(sweep.points()))
+            coordinator = Coordinator(
+                pending, slow_factory, shard_size=2, heartbeat_timeout=5.0
+            )
+            address = await coordinator.start("tcp://127.0.0.1:0")
+            worker_task = asyncio.ensure_future(
+                ClusterWorker(address, name="w", heartbeat_interval=0.1).run()
+            )
+            while coordinator.merged_points < 1:  # shards are in flight
+                await asyncio.sleep(0.005)
+            await coordinator.stop()
+            with pytest.raises(ClusterError) as excinfo:
+                await coordinator.results()
+            # The worker must notice the shutdown and exit on its own.
+            await asyncio.wait_for(worker_task, 10)
+            return str(excinfo.value)
+
+        message = run(scenario())
+        assert "unresolved" in message
+
+    def test_straggler_shard_is_stolen_by_idle_worker(self):
+        sweep = make_sweep(xs=range(2))
+        events = []
+
+        async def scenario():
+            pending = list(enumerate(sweep.points()))
+            coordinator = Coordinator(
+                pending,
+                square_factory,
+                shard_size=1,
+                heartbeat_timeout=30.0,  # the straggler must NOT be evicted
+                steal_after_s=0.2,
+                on_event=events.append,
+            )
+            address = await coordinator.start("tcp://127.0.0.1:0")
+
+            # The straggler: takes its shard, heartbeats forever, never
+            # delivers a result.
+            reader, writer = await open_endpoint(address)
+            await send_message(
+                writer,
+                {"type": "register", "worker": "straggler", "slots": 1,
+                 "version": PROTOCOL_VERSION},
+            )
+            await read_message(reader)  # welcome
+            straggler_shard = await read_message(reader)
+
+            async def keep_beating():
+                while True:
+                    await asyncio.sleep(0.05)
+                    await send_message(
+                        writer, {"type": "heartbeat", "worker": "straggler"}
+                    )
+
+            beat = asyncio.ensure_future(keep_beating())
+            worker = asyncio.ensure_future(
+                ClusterWorker(address, name="fast", heartbeat_interval=0.1).run()
+            )
+            try:
+                results = await asyncio.wait_for(coordinator.results(), 30)
+            finally:
+                beat.cancel()
+                await coordinator.stop()
+                worker.cancel()
+                await asyncio.gather(beat, worker, return_exceptions=True)
+                writer.close()
+            return results, coordinator.steals, straggler_shard["shard"]
+
+        results, steals, straggler_shard_id = run(scenario())
+        assert len(results) == 2
+        assert steals >= 1
+        stolen = [e for e in events if e.kind == "shard-stolen"]
+        assert any(e["shard"] == straggler_shard_id for e in stolen)
+
+
+# ----------------------------------------------------------------------
+# graceful degradation
+# ----------------------------------------------------------------------
+class TestDegradation:
+    def test_no_workers_falls_back_to_local_execution(self):
+        sweep = make_sweep(xs=(1, 2, 3))
+        serial = make_sweep(xs=(1, 2, 3)).run(executor=SerialExecutor())
+        executor = DistributedExecutor(workers=0, wait_workers_s=0.1)
+        table = sweep.run(executor=executor)
+        assert rows_of(table) == rows_of(serial)
+        assert executor.last_run == {"fallback": True, "workers": 0}
+
+    def test_no_workers_with_fallback_disabled_raises(self):
+        sweep = make_sweep(xs=(1, 2))
+        executor = DistributedExecutor(
+            workers=0, wait_workers_s=0.1, fallback=False
+        )
+        with pytest.raises(ClusterError):
+            sweep.run(executor=executor)
+
+    def test_constructor_validation(self):
+        with pytest.raises(ConfigurationError):
+            DistributedExecutor(workers=-1)
+        with pytest.raises(ConfigurationError):
+            DistributedExecutor(jobs=0)
+        with pytest.raises(ConfigurationError):
+            Coordinator([], square_factory, heartbeat_timeout=0.0)
+        with pytest.raises(ConfigurationError):
+            Coordinator([], square_factory, max_retries=-1)
+
+    def test_empty_grid_completes_without_workers(self):
+        async def scenario():
+            coordinator = Coordinator([], square_factory)
+            assert coordinator.finished
+            return await coordinator.results()
+
+        assert run(scenario()) == []
+
+
+# ----------------------------------------------------------------------
+# caching across the wire
+# ----------------------------------------------------------------------
+class TestWorkerCache:
+    def test_worker_side_cache_answers_repeat_points(self, tmp_path):
+        xs = (1, 2, 3, 4)
+        first = DistributedExecutor(
+            workers=2, shard_size=2, cache_dir=str(tmp_path / "wcache")
+        )
+        table_a = make_sweep(xs=xs).run(executor=first)
+
+        second = DistributedExecutor(
+            workers=2, shard_size=2, cache_dir=str(tmp_path / "wcache")
+        )
+        table_b = make_sweep(xs=xs).run(executor=second)
+        assert rows_of(table_a) == rows_of(table_b)
+        assert second.last_run["remote_cache_hits"] == len(xs)

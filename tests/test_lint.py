@@ -29,6 +29,7 @@ from repro.lint import (
     LintConfig,
     Severity,
     all_rules,
+    default_config,
     run_lint,
 )
 from repro.lint.manifest import CONSTANTS, DOCS, ConstantSpec, DocSpec
@@ -52,6 +53,10 @@ def write_module(root: Path, rel: str, source: str) -> Path:
 
 
 def lint_tree(root: Path, rules, **kwargs):
+    # Every configured include root must exist; fixture trees usually
+    # only populate src/repro, so materialise the rest empty.
+    for include in default_config().include:
+        (root / include).mkdir(parents=True, exist_ok=True)
     return run_lint(root, rules=rules, **kwargs)
 
 

@@ -665,3 +665,175 @@ class TestSweepSpec:
             SweepSpec.from_dict({"grid": {"d": [1]}, "warp": 9})
         with pytest.raises(ConfigurationError):
             SweepSpec.from_dict({"channel": "eviction"})
+
+
+class TestWatchOp:
+    """The ``watch`` op: service-wide event streaming over the socket."""
+
+    def test_two_concurrent_watchers_see_the_same_stream(self, tmp_path):
+        sock = tmp_path / "svc.sock"
+
+        async def watcher(client):
+            seen = []
+            async for event in client.watch():
+                seen.append(event)
+                if event.kind == "job-done":
+                    break
+            return seen
+
+        async def scenario():
+            service = SweepService()
+            server = SweepServer(service, sock)
+            await server.start()
+            try:
+                client = ServiceClient(sock)
+                first = asyncio.ensure_future(watcher(client))
+                second = asyncio.ensure_future(watcher(client))
+                # Let both watchers finish subscribing before submitting,
+                # otherwise one may miss the leading "submitted" event.
+                while service.subscriber_count < 2:
+                    await asyncio.sleep(0.01)
+                job = service.submit(make_sweep(CountingFactory(), xs=(1, 2)))
+                await job.wait()
+                streams = await asyncio.gather(first, second)
+            finally:
+                await server.stop()
+            return streams
+
+        first, second = run(scenario())
+        for stream in (first, second):
+            assert stream[0].kind == "watching"
+            kinds = [e.kind for e in stream[1:]]
+            assert kinds[0] == "submitted"
+            assert kinds[-1] == "job-done"
+            assert "point-done" in kinds
+        # Both watchers observed the identical sequence (the "watching"
+        # ack differs: it snapshots the watcher count at subscribe time).
+        assert [e.to_json() for e in first[1:]] == [e.to_json() for e in second[1:]]
+
+    def test_kinds_filter_limits_the_stream(self, tmp_path):
+        sock = tmp_path / "svc.sock"
+
+        async def scenario():
+            service = SweepService()
+            server = SweepServer(service, sock)
+            await server.start()
+            try:
+                client = ServiceClient(sock)
+                seen = []
+
+                async def watcher():
+                    async for event in client.watch(kinds=["job-done"]):
+                        seen.append(event)
+                        if event.kind == "job-done":
+                            break
+
+                task = asyncio.ensure_future(watcher())
+                while service.subscriber_count < 1:
+                    await asyncio.sleep(0.01)
+                job = service.submit(make_sweep(CountingFactory(), xs=(1,)))
+                await job.wait()
+                await asyncio.wait_for(task, 10)
+            finally:
+                await server.stop()
+            return seen
+
+        seen = run(scenario())
+        assert [e.kind for e in seen] == ["watching", "job-done"]
+
+    def test_disconnected_watcher_is_unsubscribed(self, tmp_path):
+        sock = tmp_path / "svc.sock"
+
+        async def scenario():
+            service = SweepService()
+            server = SweepServer(service, sock)
+            await server.start()
+            try:
+                client = ServiceClient(sock)
+
+                async def hang_up_after_first_event():
+                    async for event in client.watch():
+                        if event.kind != "watching":
+                            break  # closes the connection
+
+                task = asyncio.ensure_future(hang_up_after_first_event())
+                while service.subscriber_count < 1:
+                    await asyncio.sleep(0.01)
+                job = service.submit(make_sweep(CountingFactory(), xs=(1,)))
+                await job.wait()
+                await asyncio.wait_for(task, 10)
+                # The server only notices the hang-up on its next send
+                # attempt; drive one more event through and the dead
+                # queue must be reaped.
+                job2 = service.submit(make_sweep(CountingFactory(), xs=(2,)))
+                await job2.wait()
+                for _ in range(200):
+                    if service.subscriber_count == 0:
+                        break
+                    await asyncio.sleep(0.01)
+                return service.subscriber_count
+            finally:
+                await server.stop()
+
+        assert run(scenario()) == 0
+
+    def test_watch_ends_cleanly_on_server_shutdown(self, tmp_path):
+        sock = tmp_path / "svc.sock"
+
+        async def scenario():
+            service = SweepService()
+            server = SweepServer(service, sock)
+            await server.start()
+            client = ServiceClient(sock)
+            seen = []
+
+            async def watcher():
+                async for event in client.watch():
+                    seen.append(event)
+                # Iterator ends instead of raising when the server goes.
+
+            task = asyncio.ensure_future(watcher())
+            while service.subscriber_count < 1:
+                await asyncio.sleep(0.01)
+            await server.stop()
+            await asyncio.wait_for(task, 10)
+            return seen
+
+        seen = run(scenario())
+        assert [e.kind for e in seen] == ["watching"]
+
+    def test_watch_over_tcp_listener(self, tmp_path):
+        sock = tmp_path / "svc.sock"
+
+        async def scenario():
+            service = SweepService()
+            server = SweepServer(service, sock, tcp="tcp://127.0.0.1:0")
+            await server.start()
+            try:
+                assert server.tcp_address is not None
+                client = ServiceClient(str(server.tcp_address))
+                pong = await client.ping()
+                assert pong.kind == "pong"
+                assert pong["watchers"] == 0
+                seen = []
+
+                async def watcher():
+                    async for event in client.watch():
+                        seen.append(event)
+                        if event.kind == "job-done":
+                            break
+
+                task = asyncio.ensure_future(watcher())
+                while service.subscriber_count < 1:
+                    await asyncio.sleep(0.01)
+                job = service.submit(make_sweep(CountingFactory(), xs=(1, 2)))
+                await job.wait()
+                await asyncio.wait_for(task, 10)
+            finally:
+                await server.stop()
+            return seen
+
+        seen = run(scenario())
+        kinds = [e.kind for e in seen]
+        assert kinds[0] == "watching"
+        assert kinds[-1] == "job-done"
