@@ -58,7 +58,24 @@ def run_sweep(sweep):
     executor, cache = sweep_executor()
     table = sweep.run(executor=executor, cache=cache)
     print(format_execution_stats(sweep.last_stats), file=sys.stderr)
+    save_metrics_snapshot("last_sweep_metrics")
     return table
+
+
+def save_metrics_snapshot(name: str) -> str:
+    """Dump the process metrics registry to ``results/<name>.json``.
+
+    Snapshots accumulate over the whole pytest process, so the file
+    written by the *last* sweep covers every instrument the suite
+    touched — CI uploads these alongside the table outputs.
+    """
+    from repro.obs import get_registry, snapshot_json
+
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{name}.json")
+    with open(path, "w") as handle:
+        handle.write(snapshot_json(get_registry()) + "\n")
+    return path
 
 
 def run_and_report(benchmark, name: str, experiment: Callable[[], object]) -> object:

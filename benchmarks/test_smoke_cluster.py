@@ -11,9 +11,17 @@ idempotent merge.  The resulting table must agree bit-for-bit with the
 Deliberately a plain test (no ``benchmark`` fixture) so it runs in
 every configuration; the fault-injection paths (worker kill, heartbeat
 eviction, duplicate delivery) live in ``tests/test_cluster.py``.
+
+The run is also pinned against the deterministic-replay fixture in
+``tests/fixtures/replay/`` (results only — cluster wall-clock timing is
+nondeterministic, so the metrics snapshot is not captured here): a
+mismatch means a cross-machine or cross-version determinism regression.
 """
 
 from __future__ import annotations
+
+import importlib.util
+from pathlib import Path
 
 import pytest
 
@@ -30,6 +38,16 @@ pytestmark = pytest.mark.smoke
 
 GRID = {"d": [1, 2, 4, 6]}
 BASE_SEED = 1100
+
+
+def _load_replay():
+    """Load ``tests/_replay.py`` by path (benchmarks/ is not a package
+    sibling of tests/, so a plain import cannot reach it)."""
+    path = Path(__file__).resolve().parent.parent / "tests" / "_replay.py"
+    spec = importlib.util.spec_from_file_location("_replay", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
 
 
 def run_point(point: SweepPoint) -> dict:
@@ -63,3 +81,7 @@ def test_smoke_cluster_matches_serial():
     assert executor.last_run["shards"] == 2
     assert executor.last_run["duplicates"] == 0
     assert executor.address is not None and executor.address.is_tcp
+
+    # Pin the merged table against the committed replay fixture.
+    replay = _load_replay()
+    replay.assert_replay("smoke_cluster_d_sweep", distributed)

@@ -15,6 +15,7 @@ Gives each of the library's headline capabilities a one-line invocation:
   optionally, a TCP listener via ``--tcp``);
 * ``submit``      — submit a grid to a running service, stream progress;
 * ``watch``       — mirror a running service's event feed as JSONL;
+* ``metrics``     — fetch a running service's metrics snapshot;
 * ``worker``      — join a cluster coordinator as a compute node;
 * ``validate``    — run the 10-point model-invariant checklist;
 * ``report``      — assemble benchmark results into REPORT.md.
@@ -246,6 +247,24 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="N",
         help="exit after N events (default: stream until service stops)",
+    )
+
+    metrics = sub.add_parser(
+        "metrics",
+        help="fetch a running service's metrics snapshot",
+        parents=[common],
+    )
+    metrics.add_argument(
+        "--socket",
+        default=DEFAULT_SOCKET,
+        help="service endpoint (Unix socket path or tcp://host:port)",
+    )
+    metrics.add_argument(
+        "--format",
+        dest="fmt",
+        default="text",
+        choices=["text", "json"],
+        help="human table (default) or canonical JSON",
     )
 
     worker = sub.add_parser(
@@ -659,6 +678,20 @@ def _cmd_watch(args) -> int:
     return 0
 
 
+def _cmd_metrics(args) -> int:
+    import json as _json
+
+    from repro.obs import render_text
+    from repro.service.client import fetch_metrics
+
+    snapshot = fetch_metrics(args.socket)
+    if args.fmt == "json":
+        print(_json.dumps(snapshot, sort_keys=True, separators=(",", ":")))
+    else:
+        print(render_text(snapshot))
+    return 0
+
+
 def _cmd_worker(args) -> int:
     from repro.cluster import run_worker
     from repro.errors import ConfigurationError
@@ -714,6 +747,7 @@ _COMMANDS = {
     "serve": _cmd_serve,
     "submit": _cmd_submit,
     "watch": _cmd_watch,
+    "metrics": _cmd_metrics,
     "worker": _cmd_worker,
     "lint": _cmd_lint,
     "validate": _cmd_validate,

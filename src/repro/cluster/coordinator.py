@@ -32,7 +32,6 @@ from __future__ import annotations
 import asyncio
 import itertools
 from dataclasses import dataclass, field
-from time import monotonic
 from typing import Callable, Mapping, Sequence
 
 from repro.cluster.protocol import (
@@ -46,6 +45,7 @@ from repro.cluster.protocol import (
 )
 from repro.cluster.shards import Shard, plan_shards
 from repro.errors import ConfigurationError
+from repro.obs import MetricsRegistry, Span, get_registry
 from repro.service.endpoints import Endpoint, parse_endpoint, start_endpoint_server
 from repro.service.events import Event
 from repro.sweep import SweepPoint
@@ -124,7 +124,15 @@ class Coordinator:
         objects narrating the run (worker joins/losses, dispatches,
         re-dispatches, steals) in the service's JSONL vocabulary.
     clock:
-        Monotonic time source (tests inject a fake).
+        Monotonic time source; defaults to the registry's clock (tests
+        inject a fake, usually via :class:`~repro.obs.ManualClock`).
+    registry:
+        Metrics registry the run's counters and spans land on; defaults
+        to the process registry.  The public tallies
+        (:attr:`duplicate_results`, :attr:`redispatches`,
+        :attr:`steals`, :attr:`remote_cache_hits`) are *views* over
+        these instruments — deltas since construction — so sequential
+        runs in one process never double-count.
     """
 
     def __init__(
@@ -140,6 +148,7 @@ class Coordinator:
         no_worker_grace_s: float = 30.0,
         on_event: Callable[[Event], None] | None = None,
         clock: Callable[[], float] | None = None,
+        registry: MetricsRegistry | None = None,
     ) -> None:
         if heartbeat_timeout <= 0:
             raise ConfigurationError(
@@ -155,7 +164,8 @@ class Coordinator:
         self.steal_after_s = steal_after_s
         self.no_worker_grace_s = float(no_worker_grace_s)
         self._on_event = on_event
-        self._clock = clock if clock is not None else monotonic
+        self.registry = registry if registry is not None else get_registry()
+        self._clock = clock if clock is not None else self.registry.clock
         self._seq = itertools.count()
 
         self._shards = [ShardState(shard=s) for s in plan_shards(pending, self.shard_size)]
@@ -177,14 +187,45 @@ class Coordinator:
         self._workerless_since: float | None = None
         self.address: Endpoint | None = None
 
-        # Run counters (surfaced in events and by the executor's log).
-        self.duplicate_results = 0
-        self.redispatches = 0
-        self.steals = 0
-        self.remote_cache_hits = 0
+        # Run counters (surfaced in events and by the executor's log)
+        # live on the registry; the public tallies are deltas since
+        # construction (see the ``registry`` parameter above).
+        self._c_duplicates = self.registry.counter("cluster.duplicate_results")
+        self._c_redispatches = self.registry.counter("cluster.redispatches")
+        self._c_steals = self.registry.counter("cluster.steals")
+        self._c_remote_hits = self.registry.counter("cluster.remote_cache_hits")
+        self._base_duplicates = self._c_duplicates.value
+        self._base_redispatches = self._c_redispatches.value
+        self._base_steals = self._c_steals.value
+        self._base_remote_hits = self._c_remote_hits.value
+        #: Open dispatch→completion spans, keyed (shard id, worker name).
+        self._dispatch_spans: dict[tuple[int, str], Span] = {}
 
         if self.total_points == 0:
             self._finished.set()
+
+    # ------------------------------------------------------------------
+    # run counters (views over the registry)
+    # ------------------------------------------------------------------
+    @property
+    def duplicate_results(self) -> int:
+        """Late duplicate point results dropped by the merge."""
+        return self._c_duplicates.value - self._base_duplicates
+
+    @property
+    def redispatches(self) -> int:
+        """Shards re-queued after a failure, loss, or anomaly."""
+        return self._c_redispatches.value - self._base_redispatches
+
+    @property
+    def steals(self) -> int:
+        """Straggler shards duplicated onto an idle worker."""
+        return self._c_steals.value - self._base_steals
+
+    @property
+    def remote_cache_hits(self) -> int:
+        """Points a worker answered from its local result cache."""
+        return self._c_remote_hits.value - self._base_remote_hits
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -345,6 +386,7 @@ class Coordinator:
         self._ever_had_workers = True
         self._workerless_since = None
         self._first_worker.set()
+        self.registry.counter("cluster.workers_joined").inc()
         self._emit("worker-joined", worker=name, workers=len(self._workers))
         return worker
 
@@ -373,13 +415,14 @@ class Coordinator:
         if index in self._results or index not in set(state.shard.indices):
             # Late duplicate from an evicted worker, a retried shard or
             # a stolen copy: merged already, drop it.
-            self.duplicate_results += 1
+            self._c_duplicates.inc()
             return
         self._results[index] = (metrics, float(message.get("elapsed_s", 0.0)))
         state.remaining.discard(index)
         worker.points_done += 1
+        self.registry.counter("cluster.points_done", worker=worker.name).inc()
         if message.get("cached"):
-            self.remote_cache_hits += 1
+            self._c_remote_hits.inc()
         if len(self._results) >= self.total_points:
             self._emit(
                 "cluster-done",
@@ -394,6 +437,7 @@ class Coordinator:
         state = self._states_by_id.get(int(message.get("shard", -1)))
         if state is None:
             raise ClusterProtocolError(f"shard-done for unknown shard: {message}")
+        self._end_span(state.shard.id, worker.name)
         worker.shards.discard(state.shard.id)
         state.active.discard(worker.name)
         if not state.done and not state.active:
@@ -406,6 +450,7 @@ class Coordinator:
         state = self._states_by_id.get(int(message.get("shard", -1)))
         if state is None:
             raise ClusterProtocolError(f"shard-error for unknown shard: {message}")
+        self._end_span(state.shard.id, worker.name)
         worker.shards.discard(state.shard.id)
         state.active.discard(worker.name)
         if not state.done and not state.active:
@@ -442,7 +487,7 @@ class Coordinator:
         ]
         if stealable:
             state = min(stealable, key=lambda s: s.dispatched_at)
-            self.steals += 1
+            self._c_steals.inc()
             self._emit(
                 "shard-stolen",
                 shard=state.shard.id,
@@ -459,6 +504,11 @@ class Coordinator:
         state.dispatched_at = self._clock()
         worker.shards.add(state.shard.id)
         worker.locality = state.shard.locality
+        self._dispatch_spans[(state.shard.id, worker.name)] = (
+            self.registry.begin_span(
+                "shard.dispatch", shard=state.shard.id, worker=worker.name
+            )
+        )
         message = {
             "type": "shard",
             "shard": state.shard.id,
@@ -506,7 +556,7 @@ class Coordinator:
             return
         delay = self.retry_backoff_s * (2 ** (state.attempts - 1))
         state.next_eligible_at = self._clock() + delay
-        self.redispatches += 1
+        self._c_redispatches.inc()
         self._emit(
             "shard-requeued",
             shard=state.shard.id,
@@ -516,8 +566,17 @@ class Coordinator:
         )
         self._queue.append(state)
 
+    def _end_span(self, shard_id: int, worker_name: str) -> None:
+        """Close the dispatch span for one (shard, worker) copy, if open."""
+        span = self._dispatch_spans.pop((shard_id, worker_name), None)
+        if span is not None:
+            span.end()
+
     def _drop_worker(self, worker: WorkerHandle, reason: str) -> None:
         self._workers.pop(worker.name, None)
+        self.registry.counter("cluster.workers_lost").inc()
+        if reason == "heartbeat timeout":
+            self.registry.counter("cluster.worker_evictions").inc()
         self._emit(
             "worker-lost",
             worker=worker.name,
@@ -526,6 +585,7 @@ class Coordinator:
         )
         for shard_id in list(worker.shards):
             state = self._states_by_id[shard_id]
+            self._end_span(shard_id, worker.name)
             state.active.discard(worker.name)
             if not state.done and not state.active:
                 self._requeue(state, reason=f"worker {worker.name} {reason}")

@@ -38,6 +38,7 @@ from repro.exec.cache import ResultCache
 from repro.exec.canonical import callable_fingerprint
 from repro.exec.parallel import ParallelExecutor
 from repro.exec.serial import SerialExecutor
+from repro.obs import Counter, get_registry
 from repro.service.endpoints import Endpoint, open_endpoint, parse_endpoint
 from repro.sweep import SweepPoint
 
@@ -97,9 +98,47 @@ class ClusterWorker:
             ParallelExecutor(jobs=self.jobs) if self.jobs > 1 else SerialExecutor()
         )
         self._send_lock = asyncio.Lock()
-        self.shards_done = 0
-        self.points_done = 0
-        self.cache_hits = 0
+        # Tallies live on the process registry, tagged with the final
+        # worker name — which the coordinator only confirms at welcome,
+        # so the instruments bind then.  The public attributes are views
+        # (deltas since binding) and read 0 until registration.
+        self._registry = get_registry()
+        self._c_shards: Counter | None = None
+        self._c_points: Counter | None = None
+        self._c_hits: Counter | None = None
+        self._b_shards = 0
+        self._b_points = 0
+        self._b_hits = 0
+
+    def _bind_instruments(self) -> None:
+        """Create the per-worker counters once the name is final."""
+        self._c_shards = self._registry.counter(
+            "worker.shards_done", worker=self.name
+        )
+        self._c_points = self._registry.counter(
+            "worker.points_done", worker=self.name
+        )
+        self._c_hits = self._registry.counter(
+            "worker.cache_hits", worker=self.name
+        )
+        self._b_shards = self._c_shards.value
+        self._b_points = self._c_points.value
+        self._b_hits = self._c_hits.value
+
+    @property
+    def shards_done(self) -> int:
+        """Shards completed; a view over ``worker.shards_done``."""
+        return 0 if self._c_shards is None else self._c_shards.value - self._b_shards
+
+    @property
+    def points_done(self) -> int:
+        """Point results reported; a view over ``worker.points_done``."""
+        return 0 if self._c_points is None else self._c_points.value - self._b_points
+
+    @property
+    def cache_hits(self) -> int:
+        """Points served from the local cache; a view over ``worker.cache_hits``."""
+        return 0 if self._c_hits is None else self._c_hits.value - self._b_hits
 
     # ------------------------------------------------------------------
     async def run(self) -> None:
@@ -126,6 +165,7 @@ class ClusterWorker:
                     f"expected welcome, got {welcome.get('type')!r}"
                 )
             self.name = str(welcome.get("worker"))
+            self._bind_instruments()
             heartbeat = asyncio.get_running_loop().create_task(
                 self._heartbeat(writer), name=f"heartbeat-{self.name}"
             )
@@ -210,7 +250,8 @@ class ClusterWorker:
                     else None
                 )
                 if metrics is not None:
-                    self.cache_hits += 1
+                    assert self._c_hits is not None  # bound at welcome
+                    self._c_hits.inc()
                     await self._report(writer, shard_id, index, metrics, 0.0, True)
                 else:
                     to_compute.append((index, point))
@@ -224,7 +265,8 @@ class ClusterWorker:
                     )
                 await self._report(writer, shard_id, index, metrics, elapsed, False)
             await self._send(writer, {"type": "shard-done", "shard": shard_id})
-            self.shards_done += 1
+            assert self._c_shards is not None  # bound at welcome
+            self._c_shards.inc()
         except (ConnectionResetError, BrokenPipeError, asyncio.CancelledError):
             raise
         except Exception as exc:  # the factory failed: report, stay alive
@@ -246,7 +288,8 @@ class ClusterWorker:
         elapsed_s: float,
         cached: bool,
     ) -> None:
-        self.points_done += 1
+        assert self._c_points is not None  # bound at welcome
+        self._c_points.inc()
         await self._send(
             writer,
             {

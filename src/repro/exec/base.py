@@ -15,12 +15,12 @@ the same contract:
 from __future__ import annotations
 
 import abc
-import time
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Iterable, Mapping, Sequence
 
 from repro.errors import ConfigurationError
 from repro.exec.canonical import callable_fingerprint
+from repro.obs import get_registry
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.exec.cache import ResultCache
@@ -40,7 +40,14 @@ class PointTiming:
 
 @dataclass
 class ExecutionStats:
-    """Throughput summary of one executor run."""
+    """Throughput summary of one executor run.
+
+    Point/hit/corrupt counts are per-run deltas of the process
+    :class:`repro.obs.MetricsRegistry` instruments (``exec.points``,
+    ``exec.cache_hits``, ``cache.corrupt_evictions``) — a view over the
+    registry, not separate bookkeeping — so the CLI one-liner and
+    ``python -m repro metrics`` can never disagree.
+    """
 
     executor: str
     jobs: int
@@ -89,11 +96,21 @@ class Executor(abc.ABC):
     ) -> tuple[list["SweepResult"], ExecutionStats]:
         from repro.sweep import SweepResult
 
-        start = time.perf_counter()
+        # Per-run counts are registry deltas, not private tallies: the
+        # returned ExecutionStats is a view over repro.obs instruments.
+        registry = get_registry()
+        clock = registry.clock
+        c_points = registry.counter("exec.points", executor=self.name)
+        c_hits = registry.counter("exec.cache_hits", executor=self.name)
+        c_misses = registry.counter("exec.cache_misses", executor=self.name)
+        h_latency = registry.histogram("exec.point_latency_s", executor=self.name)
+        points_before = c_points.value
+        hits_before = c_hits.value
+
+        start = clock()
         total = len(points)
         metrics_by_index: list[Mapping[str, float] | None] = [None] * total
         timings: list[PointTiming | None] = [None] * total
-        cache_hits = 0
         done = 0
 
         fingerprint = callable_fingerprint(factory) if cache is not None else ""
@@ -105,11 +122,14 @@ class Executor(abc.ABC):
                 metrics_by_index[index] = entry
                 timing = PointTiming(index=index, elapsed_s=0.0, cached=True)
                 timings[index] = timing
-                cache_hits += 1
+                c_points.inc()
+                c_hits.inc()
                 done += 1
                 if progress is not None:
                     progress(done, total, timing)
             else:
+                if cache is not None:
+                    c_misses.inc()
                 pending.append((index, point))
 
         for index, metrics, elapsed in self._compute(pending, factory):
@@ -118,6 +138,8 @@ class Executor(abc.ABC):
             timings[index] = timing
             if cache is not None:
                 cache.store(points[index], fingerprint, metrics)
+            c_points.inc()
+            h_latency.observe(elapsed)
             done += 1
             if progress is not None:
                 progress(done, total, timing)
@@ -134,9 +156,9 @@ class Executor(abc.ABC):
         stats = ExecutionStats(
             executor=self.name,
             jobs=self.jobs,
-            points=total,
-            cache_hits=cache_hits,
-            elapsed_s=time.perf_counter() - start,
+            points=c_points.value - points_before,
+            cache_hits=c_hits.value - hits_before,
+            elapsed_s=clock() - start,
             timings=[t for t in timings if t is not None],
             cache_corrupt=(
                 cache.corrupt_evictions - corrupt_before
@@ -159,8 +181,19 @@ class Executor(abc.ABC):
         point's metrics the moment that point finishes, not when the
         whole batch does.  :meth:`run` remains the one-shot, ordered,
         cache-aware entry point for everything else.
+
+        Streamed points still land on the registry (``exec.points`` and
+        the latency histogram, tagged with this executor's name), so
+        service- and cluster-driven sweeps show up in ``python -m repro
+        metrics`` exactly like :meth:`run`-driven ones.
         """
-        return self._compute(pending, factory)
+        registry = get_registry()
+        c_points = registry.counter("exec.points", executor=self.name)
+        h_latency = registry.histogram("exec.point_latency_s", executor=self.name)
+        for index, metrics, elapsed in self._compute(pending, factory):
+            c_points.inc()
+            h_latency.observe(elapsed)
+            yield index, metrics, elapsed
 
     @abc.abstractmethod
     def _compute(

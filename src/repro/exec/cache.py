@@ -34,6 +34,7 @@ from typing import TYPE_CHECKING, Mapping
 
 from repro.errors import ConfigurationError
 from repro.exec.canonical import POINT_KEY_VERSION, point_key
+from repro.obs import get_registry
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.sweep import SweepPoint
@@ -58,8 +59,21 @@ class ResultCache:
         if self.root.exists() and not self.root.is_dir():
             raise ConfigurationError(f"cache path {self.root} is not a directory")
         self.root.mkdir(parents=True, exist_ok=True)
-        #: Corrupt/truncated entries evicted by :meth:`load` so far.
-        self.corrupt_evictions = 0
+        # Evictions are recorded on the process metrics registry; this
+        # instance's corrupt_evictions is a view (delta since creation).
+        self._registry = get_registry()
+        self._corrupt_counter = self._registry.counter("cache.corrupt_evictions")
+        self._corrupt_base = self._corrupt_counter.value
+
+    @property
+    def corrupt_evictions(self) -> int:
+        """Corrupt/truncated entries evicted by :meth:`load` so far.
+
+        A view over the ``cache.corrupt_evictions`` counter of the
+        registry that was current at construction; each eviction also
+        leaves a ``cache.corrupt-evicted`` event naming the key.
+        """
+        return self._corrupt_counter.value - self._corrupt_base
 
     # ------------------------------------------------------------------
     def key(self, point: "SweepPoint", fingerprint: str) -> str:
@@ -78,29 +92,38 @@ class ResultCache:
         evicted (so the recompute heals it) and the eviction recorded in
         :attr:`corrupt_evictions`.
         """
-        path = self._path(self.key(point, fingerprint))
+        key = self.key(point, fingerprint)
+        path = self._path(key)
         try:
             text = path.read_text()
         except OSError:
             return None  # absent (or unreadable): a plain miss
         except UnicodeDecodeError:
-            return self._evict_corrupt(path)  # garbage bytes on disk
+            return self._evict_corrupt(path, key)  # garbage bytes on disk
         try:
             payload = json.loads(text)
         except ValueError:
-            return self._evict_corrupt(path)
+            return self._evict_corrupt(path, key)
         metrics = payload.get("metrics") if isinstance(payload, dict) else None
         if not isinstance(metrics, dict):
-            return self._evict_corrupt(path)
+            return self._evict_corrupt(path, key)
         return metrics
 
-    def _evict_corrupt(self, path: Path) -> None:
-        """Drop one unparseable entry and count the eviction."""
+    def _evict_corrupt(self, path: Path, key: str) -> None:
+        """Drop one unparseable entry; count it and log *which* key.
+
+        The key matters operationally — it names exactly which (point,
+        trial, seed, factory) slot healed — so the eviction is recorded
+        as a structured registry event, not just an anonymous count.
+        """
         try:
             path.unlink()
         except OSError:  # pragma: no cover - raced with another evictor
             pass
-        self.corrupt_evictions += 1
+        self._corrupt_counter.inc()
+        self._registry.event(
+            "cache.corrupt-evicted", key=key, path=str(path)
+        )
         return None
 
     def store(

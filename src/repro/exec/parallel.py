@@ -16,11 +16,11 @@ from __future__ import annotations
 
 import concurrent.futures
 import multiprocessing
-from time import perf_counter
 from typing import Callable, Iterable, Mapping, Sequence
 
 from repro.errors import ConfigurationError
 from repro.exec.base import Executor
+from repro.obs import get_registry
 
 __all__ = ["ParallelExecutor"]
 
@@ -28,10 +28,16 @@ __all__ = ["ParallelExecutor"]
 def _run_point(
     factory: Callable[[object], Mapping[str, float]], index: int, point: object
 ) -> tuple[int, dict, float]:
-    """Worker entry point: compute one grid point, timed."""
-    t0 = perf_counter()
+    """Worker entry point: compute one grid point, timed.
+
+    Timed on the registry clock: in pool children that is the host
+    monotonic clock (a fresh process default), while the inline
+    ``jobs=1`` path honours an injected deterministic clock.
+    """
+    clock = get_registry().clock
+    t0 = clock()
     metrics = dict(factory(point))
-    return index, metrics, perf_counter() - t0
+    return index, metrics, clock() - t0
 
 
 def _pool_context() -> multiprocessing.context.BaseContext:

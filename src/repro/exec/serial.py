@@ -2,10 +2,10 @@
 
 from __future__ import annotations
 
-import time
 from typing import Callable, Iterable, Mapping, Sequence
 
 from repro.exec.base import Executor
+from repro.obs import get_registry
 
 __all__ = ["SerialExecutor"]
 
@@ -25,7 +25,11 @@ class SerialExecutor(Executor):
         pending: Sequence[tuple[int, object]],
         factory: Callable[[object], Mapping[str, float]],
     ) -> Iterable[tuple[int, Mapping[str, float], float]]:
+        # The registry clock (not time.* directly) so an injected
+        # ManualClock makes per-point timings — and therefore metric
+        # snapshots — reproducible byte-for-byte.
+        clock = get_registry().clock
         for index, point in pending:
-            t0 = time.perf_counter()
+            t0 = clock()
             metrics = dict(factory(point))
-            yield index, metrics, time.perf_counter() - t0
+            yield index, metrics, clock() - t0

@@ -33,6 +33,9 @@ __all__ = ["LintConfig", "DEFAULT_LAYERS", "default_config"]
 DEFAULT_LAYERS: Mapping[str, frozenset[str]] = {
     # -- foundations ----------------------------------------------------
     "errors": frozenset(),
+    # Observability is a foundation: anything may record metrics, the
+    # registry itself depends on nothing but the error types.
+    "obs": frozenset({"errors"}),
     "rng": frozenset({"errors"}),
     "isa": frozenset({"errors"}),
     "caches": frozenset({"errors"}),
@@ -59,16 +62,16 @@ DEFAULT_LAYERS: Mapping[str, frozenset[str]] = {
     # grid model and the executors that run it share canonical identity
     # helpers, so each may import the other (and nothing higher).
     "sweep": frozenset({"errors", "exec", "rng"}),
-    "exec": frozenset({"errors", "rng", "sweep"}),
+    "exec": frozenset({"errors", "obs", "rng", "sweep"}),
     "reporting": frozenset({"errors", "exec"}),
     # -- service layer ---------------------------------------------------
     "service": frozenset(
-        {"analysis", "channels", "errors", "exec", "machine", "sweep"}
+        {"analysis", "channels", "errors", "exec", "machine", "obs", "sweep"}
     ),
     # -- cluster fabric ---------------------------------------------------
     # Sits above the service layer: it reuses the service's endpoint
     # grammar and event vocabulary, and drives executors over the wire.
-    "cluster": frozenset({"errors", "exec", "service", "sweep"}),
+    "cluster": frozenset({"errors", "exec", "obs", "service", "sweep"}),
     # -- tooling ---------------------------------------------------------
     # The linter inspects everything but imports only foundations.
     "lint": frozenset({"errors"}),
@@ -87,6 +90,7 @@ DEFAULT_LAYERS: Mapping[str, frozenset[str]] = {
             "lint",
             "machine",
             "measure",
+            "obs",
             "reporting",
             "service",
             "sgx",
@@ -114,6 +118,7 @@ DEFAULT_LAYERS: Mapping[str, frozenset[str]] = {
             "isa",
             "machine",
             "measure",
+            "obs",
             "repro",
             "reporting",
             "rng",
@@ -141,12 +146,16 @@ class LintConfig:
     #: Directories (repo-relative) whose ``*.py`` files get linted.
     include: tuple[str, ...] = ("src/repro", "benchmarks")
     #: Packages where wall-clock/OS-entropy reads break simulator
-    #: determinism (the cache/dedup correctness argument).
+    #: determinism (the cache/dedup correctness argument).  ``obs`` is
+    #: held to the same bar: every timestamp must flow through the
+    #: injectable clock, whose shim (``repro/obs/clock.py``) carries the
+    #: single file-scoped exemption.
     deterministic_units: tuple[str, ...] = (
         "frontend",
         "machine",
         "channels",
         "measure",
+        "obs",
     )
     #: Packages whose ``async def`` bodies must never block the loop.
     async_units: tuple[str, ...] = ("service", "cluster")

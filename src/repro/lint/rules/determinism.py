@@ -162,13 +162,37 @@ class WallClockRule(Rule):
                     )
 
 
-def _is_set_expr(node: ast.AST) -> bool:
-    """Is this expression literally a set (hash-ordered iteration)?"""
+def _is_set_expr(node: ast.AST, set_returners: frozenset[str] = frozenset()) -> bool:
+    """Is this expression a set value (hash-ordered iteration)?
+
+    ``set_returners`` names module-level functions known to return sets
+    (see :meth:`SetIterationRule._module_set_returners`); a call to one
+    counts as a set expression, so set-ness flows across function
+    boundaries within a module.
+    """
     if isinstance(node, (ast.Set, ast.SetComp)):
         return True
     if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
-        return node.func.id in ("set", "frozenset")
+        return node.func.id in ("set", "frozenset") or (
+            node.func.id in set_returners
+        )
     return False
+
+
+def _is_set_annotation(annotation: ast.expr | None) -> bool:
+    """Does this annotation declare a set type (``set[int]``, ``Set``...)?"""
+    if annotation is None:
+        return False
+    node: ast.expr = annotation
+    if isinstance(node, ast.Subscript):  # set[int], frozenset[str], Set[T]
+        node = node.value
+    name = None
+    if isinstance(node, ast.Name):
+        name = node.id
+    elif isinstance(node, ast.Attribute):  # typing.Set / typing.FrozenSet
+        name = node.attr
+    return name in ("set", "frozenset", "Set", "FrozenSet", "AbstractSet",
+                    "MutableSet")
 
 
 @register
@@ -178,11 +202,21 @@ class SetIterationRule(Rule):
     Iterating a ``set`` yields elements in hash order, which varies
     with ``PYTHONHASHSEED`` for strings — so a returned list built from
     a bare set walk differs between runs even at a fixed experiment
-    seed.  Flags (a) ``for``-loops over a set expression (or a local
-    name only ever assigned set expressions) that append/yield into the
+    seed.  Flags (a) ``for``-loops over a set expression (or a name the
+    dataflow pass proves set-typed) that append/yield into the
     function's returned value, and (b) ``return list(<set>)`` /
     ``return tuple(<set>)``.  Wrap the iterable in ``sorted(...)`` to
     fix the order, which also clears the violation.
+
+    Set-ness is tracked across function boundaries within a module: a
+    fixed-point pass first finds every module-level function whose each
+    ``return`` is provably a set (a set display/comprehension, a
+    ``set()``/``frozenset()`` call, a set-typed local, or a call to
+    another set-returning function).  Calls to those functions then
+    count as set expressions wherever they flow — into locals, into
+    loops, into ``return list(...)`` — and parameters annotated
+    ``set[...]``/``frozenset[...]``/``Set[...]`` are set-typed from the
+    signature down.
     """
 
     name = "det-set-iteration"
@@ -194,15 +228,62 @@ class SetIterationRule(Rule):
 
     def check(self, project: Project) -> Iterator[Violation]:
         for module in project.modules:
+            set_returners = self._module_set_returners(module.tree)
             for func in ast.walk(module.tree):
                 if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
                     continue
-                yield from self._check_function(module, func)
+                yield from self._check_function(module, func, set_returners)
+
+    # ------------------------------------------------------------------
+    # module-level dataflow: which functions provably return sets?
+    # ------------------------------------------------------------------
+    @classmethod
+    def _module_set_returners(cls, tree: ast.AST) -> frozenset[str]:
+        """Module-level functions whose every return is provably a set.
+
+        Iterates to a fixed point so chains resolve regardless of
+        definition order (``def a(): return b()`` before ``def b():
+        return set(...)``).
+        """
+        functions: dict[str, ast.AST] = {}
+        for node in ast.iter_child_nodes(tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                functions[node.name] = node
+        returners: set[str] = set()
+        changed = True
+        while changed:
+            changed = False
+            frozen = frozenset(returners)
+            for name, func in functions.items():
+                if name in returners:
+                    continue
+                if cls._returns_only_sets(func, frozen):
+                    returners.add(name)
+                    changed = True
+        return frozenset(returners)
+
+    @classmethod
+    def _returns_only_sets(
+        cls, func: ast.AST, set_returners: frozenset[str]
+    ) -> bool:
+        set_names = cls._set_typed_names(func, set_returners)
+        returns = [
+            node
+            for node in ast.walk(func)
+            if isinstance(node, ast.Return) and node.value is not None
+        ]
+        return bool(returns) and all(
+            cls._is_set_like(node.value, set_names, set_returners)
+            for node in returns
+        )
 
     def _check_function(
-        self, module: ModuleInfo, func: ast.AST
+        self,
+        module: ModuleInfo,
+        func: ast.AST,
+        set_returners: frozenset[str] = frozenset(),
     ) -> Iterator[Violation]:
-        set_names = self._set_typed_names(func)
+        set_names = self._set_typed_names(func, set_returners)
         returned = self._returned_names(func)
         for node in ast.walk(func):
             if isinstance(node, ast.Return) and node.value is not None:
@@ -212,7 +293,7 @@ class SetIterationRule(Rule):
                     and isinstance(value.func, ast.Name)
                     and value.func.id in ("list", "tuple")
                     and len(value.args) == 1
-                    and self._is_set_like(value.args[0], set_names)
+                    and self._is_set_like(value.args[0], set_names, set_returners)
                 ):
                     yield self.violation(
                         module,
@@ -221,7 +302,7 @@ class SetIterationRule(Rule):
                         "order; use sorted(...) for a stable order",
                     )
             elif isinstance(node, (ast.For, ast.AsyncFor)):
-                if not self._is_set_like(node.iter, set_names):
+                if not self._is_set_like(node.iter, set_names, set_returners):
                     continue
                 if self._loop_feeds_results(node, returned):
                     yield self.violation(
@@ -232,15 +313,33 @@ class SetIterationRule(Rule):
                     )
 
     @staticmethod
-    def _is_set_like(node: ast.AST, set_names: set[str]) -> bool:
-        if _is_set_expr(node):
+    def _is_set_like(
+        node: ast.AST,
+        set_names: set[str],
+        set_returners: frozenset[str] = frozenset(),
+    ) -> bool:
+        if _is_set_expr(node, set_returners):
             return True
         return isinstance(node, ast.Name) and node.id in set_names
 
     @staticmethod
-    def _set_typed_names(func: ast.AST) -> set[str]:
-        """Local names whose every assignment is a set expression."""
+    def _set_typed_names(
+        func: ast.AST, set_returners: frozenset[str] = frozenset()
+    ) -> set[str]:
+        """Names provably set-typed inside ``func``.
+
+        A name qualifies when every assignment to it is a set expression
+        (including calls to module-local set-returning functions), or
+        when it is a parameter annotated with a set type.
+        """
         assigned: dict[str, bool] = {}
+        if isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            params = list(func.args.posonlyargs) + list(func.args.args) + list(
+                func.args.kwonlyargs
+            )
+            for param in params:
+                if _is_set_annotation(param.annotation):
+                    assigned[param.arg] = True
         for node in ast.walk(func):
             targets: list[ast.expr] = []
             value: ast.expr | None = None
@@ -250,7 +349,7 @@ class SetIterationRule(Rule):
                 targets, value = [node.target], node.value
             for target in targets:
                 if isinstance(target, ast.Name):
-                    is_set = _is_set_expr(value)
+                    is_set = _is_set_expr(value, set_returners)
                     previous = assigned.get(target.id)
                     assigned[target.id] = is_set if previous is None else (
                         previous and is_set

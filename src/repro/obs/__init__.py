@@ -1,0 +1,48 @@
+"""Observability layer: process-local metrics, spans, and exporters.
+
+``repro.obs`` is the unified view over what were previously private
+ad-hoc counters in three layers: the executors' :class:`ExecutionStats`,
+the sweep service's queue/dedup bookkeeping, and the cluster
+coordinator's fault-tolerance tallies.  Those all remain as *views* over
+one process-local :class:`MetricsRegistry`.
+
+Zero dependencies, deterministic by construction: fixed histogram bucket
+edges, identity-sorted snapshots, and a single injectable clock (see
+:mod:`repro.obs.clock`) so that a snapshot of a seeded sweep can be
+byte-identical across runs.  See ``docs/observability.md``.
+"""
+
+from repro.obs.clock import Clock, ManualClock, host_clock
+from repro.obs.export import render_text, snapshot_json, write_jsonl
+from repro.obs.registry import (
+    DEFAULT_LATENCY_EDGES,
+    Counter,
+    EventRecord,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    set_registry,
+    use_registry,
+)
+from repro.obs.spans import Span, SpanRecord
+
+__all__ = [
+    "Clock",
+    "ManualClock",
+    "host_clock",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "EventRecord",
+    "MetricsRegistry",
+    "DEFAULT_LATENCY_EDGES",
+    "Span",
+    "SpanRecord",
+    "get_registry",
+    "set_registry",
+    "use_registry",
+    "snapshot_json",
+    "write_jsonl",
+    "render_text",
+]

@@ -1,0 +1,68 @@
+# repro: lint-disable-file=det-wall-clock
+"""The observability layer's single wall-clock read, behind a shim.
+
+``repro.obs`` is part of the lint config's *deterministic* scope: metric
+values must never depend on when the process runs unless a caller
+explicitly asked for host time.  Every duration the registry captures
+therefore flows through one injectable callable — ``clock() -> float
+seconds`` — and the only place that callable defaults to the host's
+monotonic clock is this module (hence the file-scoped ``det-wall-clock``
+exemption above; nothing else under ``repro/obs/`` may read host time).
+
+Tests and the deterministic-replay harness inject a :class:`ManualClock`
+instead, which makes every timing field of a metrics snapshot a pure
+function of the code path taken — two runs of the same seeded sweep then
+serialize byte-identically.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+__all__ = ["Clock", "ManualClock", "host_clock"]
+
+#: A monotonic time source: call it, get seconds as a float.
+Clock = Callable[[], float]
+
+
+def host_clock() -> Clock:
+    """The process's monotonic clock — the production default.
+
+    Returned rather than referenced directly by callers so that the
+    wall-clock read stays confined to this shim.
+    """
+    return time.monotonic
+
+
+class ManualClock:
+    """A clock that only moves when told to — the deterministic double.
+
+    Starts at ``start`` (default ``0.0``) and returns the same value
+    until :meth:`advance` is called.  With ``step`` set, every *read*
+    advances the clock by that much first, so code that measures
+    ``clock() - clock()`` style deltas sees a fixed, reproducible
+    elapsed time instead of zero.
+    """
+
+    def __init__(self, start: float = 0.0, step: float = 0.0) -> None:
+        self._now = float(start)
+        self.step = float(step)
+
+    def __call__(self) -> float:
+        if self.step:
+            self._now += self.step
+        return self._now
+
+    def advance(self, seconds: float) -> float:
+        """Move the clock forward; returns the new time."""
+        self._now += float(seconds)
+        return self._now
+
+    @property
+    def now(self) -> float:
+        """Current time without advancing (even when ``step`` is set)."""
+        return self._now
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ManualClock(now={self._now!r}, step={self.step!r})"

@@ -1,0 +1,110 @@
+"""Exporters: deterministic JSON, JSONL sinks, and a human text table.
+
+Three consumers, three formats:
+
+* :func:`snapshot_json` — the canonical byte-stable serialization
+  (sorted keys, compact separators).  This is what the ``{"op":
+  "metrics"}`` service verb returns, what ``python -m repro metrics``
+  prints, and what the deterministic-replay fixtures pin;
+* :func:`write_jsonl` — one line per instrument, then (optionally) one
+  line per span/event record, for log shippers and offline analysis;
+* :func:`render_text` — a fixed-width table for terminals.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO
+
+from repro.obs.registry import MetricsRegistry
+
+__all__ = ["snapshot_json", "write_jsonl", "render_text"]
+
+
+def snapshot_json(registry: MetricsRegistry) -> str:
+    """The registry snapshot as canonical (byte-stable) JSON."""
+    return json.dumps(
+        registry.snapshot(), sort_keys=True, separators=(",", ":")
+    )
+
+
+def write_jsonl(
+    registry: MetricsRegistry,
+    stream: IO[str],
+    spans: bool = False,
+    events: bool = False,
+) -> int:
+    """Write the registry as JSONL; returns the number of lines written.
+
+    Every instrument becomes one ``{"kind": "metric", ...}`` line in
+    deterministic identity order.  With ``spans``/``events`` set, the
+    bounded trace buffers follow in capture order — those lines carry
+    clock values, so they are for tracing, not for byte-stable fixtures.
+    """
+    lines = 0
+    for instrument in registry.instruments():
+        payload = {"kind": "metric", **instrument.snapshot()}
+        stream.write(json.dumps(payload, sort_keys=True, separators=(",", ":")))
+        stream.write("\n")
+        lines += 1
+    if spans:
+        for record in registry.spans:
+            payload = {"kind": "span", **record.to_dict()}
+            stream.write(json.dumps(payload, separators=(",", ":")))
+            stream.write("\n")
+            lines += 1
+    if events:
+        for record in registry.events:
+            payload = {"kind": "event", **record.to_dict()}
+            stream.write(
+                json.dumps(payload, separators=(",", ":"), default=repr)
+            )
+            stream.write("\n")
+            lines += 1
+    return lines
+
+
+def render_text(snapshot: dict) -> str:
+    """Fixed-width table of a :meth:`MetricsRegistry.snapshot` payload."""
+    metrics = snapshot.get("metrics", [])
+    if not metrics:
+        return "(no metrics recorded)"
+    rows = []
+    for entry in metrics:
+        tags = entry.get("tags") or {}
+        tag_text = ",".join(f"{k}={v}" for k, v in sorted(tags.items()))
+        rows.append(
+            (
+                str(entry.get("name", "")),
+                str(entry.get("type", "")),
+                tag_text,
+                _value_cell(entry),
+            )
+        )
+    headers = ("metric", "type", "tags", "value")
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in rows)) + 2
+        for i in range(len(headers))
+    ]
+    lines = ["".join(h.ljust(widths[i]) for i, h in enumerate(headers))]
+    lines.append("-" * (sum(widths) - 2))
+    for row in rows:
+        lines.append("".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def _value_cell(entry: dict) -> str:
+    if entry.get("type") == "histogram":
+        count = entry.get("count", 0)
+        total = entry.get("sum", 0.0)
+        vmin, vmax = entry.get("min"), entry.get("max")
+        if not count:
+            return "count=0"
+        return (
+            f"count={count} sum={total:.6f} "
+            f"min={vmin:.6f} max={vmax:.6f}"
+        )
+    value = entry.get("value", 0)
+    if isinstance(value, float) and not value.is_integer():
+        return f"{value:.6f}"
+    return str(int(value)) if isinstance(value, float) else str(value)

@@ -1,0 +1,93 @@
+"""Lightweight span tracing: named, tagged durations on the registry clock.
+
+A span measures one dispatch→complete interval — ``span("shard.dispatch",
+shard=3, worker="local-1")`` — using whatever clock its registry was
+built with (the host monotonic clock in production, a
+:class:`~repro.obs.clock.ManualClock` under test).  Ending a span does
+two things:
+
+* the duration lands in the registry **histogram** of the same name and
+  tags, so aggregate latency distributions appear in every snapshot;
+* the completed :class:`SpanRecord` is appended to the registry's
+  bounded trace buffer, which the JSONL exporter can drain for
+  per-occurrence timelines.
+
+Spans are deliberately not hierarchical: the hot paths instrumented here
+(executor points, service jobs, cluster shards) are one level deep, and
+a flat model keeps the capture cost to two clock reads and a dict append.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+__all__ = ["Span", "SpanRecord"]
+
+
+@dataclass(frozen=True)
+class SpanRecord:
+    """One completed span, as kept in the registry's trace buffer."""
+
+    name: str
+    tags: Mapping[str, str]
+    start: float
+    elapsed_s: float
+
+    def to_dict(self) -> dict:
+        return {
+            "span": self.name,
+            "tags": dict(self.tags),
+            "start": self.start,
+            "elapsed_s": self.elapsed_s,
+        }
+
+
+class Span:
+    """An open interval; :meth:`end` closes it exactly once.
+
+    Usable manually (``s = registry.begin_span(...); ...; s.end()``)
+    for intervals that cross callback boundaries, or through the
+    ``with registry.span(...):`` context-manager form for lexical ones.
+    """
+
+    __slots__ = ("name", "tags", "start", "_registry", "_ended")
+
+    def __init__(self, registry, name: str, tags: Mapping[str, str], start: float):
+        self.name = name
+        self.tags = tags
+        self.start = start
+        self._registry = registry
+        self._ended = False
+
+    @property
+    def ended(self) -> bool:
+        return self._ended
+
+    def end(self) -> float | None:
+        """Close the span; returns its duration (None if already closed).
+
+        Idempotent by design: fault-path callers (worker drops, shard
+        retries) may race the normal completion path to the same span.
+        """
+        if self._ended:
+            return None
+        self._ended = True
+        elapsed = self._registry.clock() - self.start
+        self._registry._record_span(
+            SpanRecord(
+                name=self.name, tags=self.tags, start=self.start,
+                elapsed_s=elapsed,
+            )
+        )
+        return elapsed
+
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.end()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "ended" if self._ended else "open"
+        return f"Span({self.name!r}, tags={dict(self.tags)!r}, {state})"

@@ -21,7 +21,13 @@ from repro.service.endpoints import open_endpoint, parse_endpoint
 from repro.service.events import Event
 from repro.service.spec import SweepSpec
 
-__all__ = ["ServiceClient", "submit_and_stream", "watch_and_stream", "render_rows"]
+__all__ = [
+    "ServiceClient",
+    "submit_and_stream",
+    "watch_and_stream",
+    "fetch_metrics",
+    "render_rows",
+]
 
 
 class ServiceClient:
@@ -61,6 +67,10 @@ class ServiceClient:
     async def ping(self) -> Event:
         """Liveness check; returns the server's ``pong`` counters."""
         return await self._round_trip({"op": "ping"})
+
+    async def metrics(self) -> Event:
+        """The server's metrics snapshot (the ``metrics`` op)."""
+        return await self._round_trip({"op": "metrics"})
 
     async def watch(self, kinds: list[str] | None = None) -> AsyncIterator[Event]:
         """Stream the service-wide event feed (the ``watch`` op).
@@ -173,6 +183,27 @@ def submit_and_stream(
                 "sweep service closed the stream before job-done"
             )
         return last
+
+    return asyncio.run(run())
+
+
+def fetch_metrics(socket_path: str | os.PathLike) -> dict:
+    """One-shot metrics snapshot from a running service (CLI ``metrics``).
+
+    Returns the ``snapshot`` payload of the server's ``metrics`` event —
+    ``{"metrics": [...]}`` in the registry's deterministic order — or
+    raises :class:`~repro.errors.ConfigurationError` if nothing is
+    listening (same contract as the other one-shot ops).
+    """
+
+    async def run() -> dict:
+        event = await ServiceClient(socket_path).metrics()
+        if event.kind != "metrics":
+            raise ConfigurationError(
+                f"service answered {event.kind!r}: {event.get('message')}"
+            )
+        snapshot = event.get("snapshot")
+        return snapshot if isinstance(snapshot, dict) else {"metrics": []}
 
     return asyncio.run(run())
 

@@ -10,6 +10,11 @@ One request per connection, newline-delimited JSON both ways:
   ``{"event": "cancel", "job": ..., "ok": true/false}``;
 * ``{"op": "ping"}`` — liveness check, answers ``{"event": "pong"}``
   with queue/scheduler counters;
+* ``{"op": "metrics"}`` — answers ``{"event": "metrics"}`` carrying the
+  deterministic snapshot of the service process's
+  :class:`~repro.obs.MetricsRegistry` (exec, service, and — when the
+  executor is distributed — cluster instruments; see
+  ``docs/observability.md``);
 * ``{"op": "watch"}`` — subscribe to the service-wide event feed: after
   an initial ``watching`` acknowledgement, every event from every job
   streams to the client until it hangs up or the service stops (the
@@ -147,6 +152,14 @@ class SweepServer:
                                 "executions": self.service.scheduler.executions,
                                 "watchers": self.service.subscriber_count,
                             },
+                        ),
+                    )
+                elif op == "metrics":
+                    await self._send(
+                        writer,
+                        Event(
+                            "metrics",
+                            {"snapshot": self.service.registry.snapshot()},
                         ),
                     )
                 elif op == "watch":

@@ -24,10 +24,10 @@ from __future__ import annotations
 
 import asyncio
 import itertools
-from time import monotonic, perf_counter
 from typing import TYPE_CHECKING, Callable
 
 from repro.exec.base import ExecutionStats, Executor, PointTiming
+from repro.obs import MetricsRegistry, get_registry
 from repro.service.events import Event
 from repro.service.jobs import Job, JobQueue, JobStatus
 from repro.service.scheduler import Resolution, Scheduler
@@ -58,8 +58,14 @@ class SweepService:
         Eviction is opportunistic (on submit and on job completion) plus
         explicit via :meth:`gc`.
     clock:
-        Monotonic time source for the TTL bookkeeping (tests inject a
-        fake; the default is :func:`time.monotonic`).
+        Monotonic time source for TTL bookkeeping and job timing (tests
+        inject a fake; the default is the metrics registry's clock,
+        which is the host monotonic clock unless injected too).
+    registry:
+        The :class:`~repro.obs.MetricsRegistry` this service records
+        into (queue depth, dedup counters, job latency); the ``{"op":
+        "metrics"}`` verb snapshots it.  Defaults to the process
+        registry.
     """
 
     def __init__(
@@ -70,6 +76,7 @@ class SweepService:
         workers: int = 2,
         job_ttl_s: float | None = None,
         clock: Callable[[], float] | None = None,
+        registry: MetricsRegistry | None = None,
     ) -> None:
         if job_ttl_s is not None and job_ttl_s < 0:
             from repro.errors import ConfigurationError
@@ -83,12 +90,15 @@ class SweepService:
         )
         self.workers = max(1, int(workers))
         self.job_ttl_s = job_ttl_s
-        self._clock = clock if clock is not None else monotonic
+        self.registry = registry if registry is not None else get_registry()
+        self._clock = clock if clock is not None else self.registry.clock
         self.jobs: dict[str, Job] = {}
         self._job_ids = itertools.count(1)
         self._seq = itertools.count()
         self._worker_tasks: list[asyncio.Task] = []
         self._subscribers: list[asyncio.Queue] = []
+        self._g_queue_depth = self.registry.gauge("service.queue_depth")
+        self._h_job_latency = self.registry.histogram("service.job_latency_s")
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -152,6 +162,8 @@ class SweepService:
             label=job.label,
         )
         self.queue.put(job)
+        self.registry.counter("service.jobs_submitted").inc()
+        self._g_queue_depth.set(len(self.queue))
         return job
 
     def cancel(self, job_id: str) -> bool:
@@ -227,6 +239,7 @@ class SweepService:
     async def _worker(self) -> None:
         while True:
             job = await self.queue.get()
+            self._g_queue_depth.set(len(self.queue))
             await self._run_job(job)
 
     async def _run_job(self, job: Job) -> None:
@@ -234,7 +247,7 @@ class SweepService:
             self._finish(job, JobStatus.CANCELLED, points=0)
             return
         job.status = JobStatus.RUNNING
-        start = perf_counter()
+        start = self._clock()
         points = job.sweep.points()
         total = len(points)
         try:
@@ -248,6 +261,7 @@ class SweepService:
         except Exception as exc:
             self._fail(job, exc, start)
             return
+        self.registry.counter("service.points_claimed").inc(total)
 
         metrics_by_index: list = [None] * total
         timings: list[PointTiming] = []
@@ -259,6 +273,9 @@ class SweepService:
                 timings.append(PointTiming(index=index, elapsed_s=0.0, cached=True))
                 done += 1
                 cache_hits += 1
+                self.registry.counter(
+                    "service.dedup_hits", source=resolution.source
+                ).inc()
                 self._emit(
                     job,
                     "cache-hit",
@@ -286,7 +303,7 @@ class SweepService:
                         JobStatus.CANCELLED,
                         points=total,
                         done=done,
-                        elapsed_s=perf_counter() - start,
+                        elapsed_s=self._clock() - start,
                     )
                     return
                 failure: BaseException | None = None
@@ -306,8 +323,14 @@ class SweepService:
                     done += 1
                     if resolution.entry.owner == job.id:
                         computed += 1
+                        self.registry.counter("service.points_computed").inc()
                     else:
                         shared += 1
+                        # Another job owned the computation: an in-flight
+                        # dedup win, same family as the memory/disk hits.
+                        self.registry.counter(
+                            "service.dedup_hits", source="inflight"
+                        ).inc()
                     self._emit(
                         job,
                         "point-done",
@@ -337,7 +360,7 @@ class SweepService:
         except Exception as exc:
             self._fail(job, exc, start)
             return
-        elapsed_total = perf_counter() - start
+        elapsed_total = self._clock() - start
         job.table = table
         job.sweep.last_stats = job.stats = ExecutionStats(
             executor="service",
@@ -347,6 +370,7 @@ class SweepService:
             elapsed_s=elapsed_total,
             timings=sorted(timings, key=lambda t: t.index),
         )
+        self._h_job_latency.observe(elapsed_total)
         self._finish(
             job,
             JobStatus.DONE,
@@ -359,6 +383,7 @@ class SweepService:
 
     def _finish(self, job: Job, status: JobStatus, **data) -> None:
         job.finish(status, at=self._clock())
+        self.registry.counter("service.jobs_finished", status=status.value).inc()
         self._emit(job, "job-done", status=status.value, **data)
         self.gc()
 
@@ -366,11 +391,14 @@ class SweepService:
         job.error = f"{type(exc).__name__}: {exc}"
         self._emit(job, "error", message=job.error)
         job.finish(JobStatus.FAILED, at=self._clock())
+        self.registry.counter(
+            "service.jobs_finished", status=JobStatus.FAILED.value
+        ).inc()
         self._emit(
             job,
             "job-done",
             status=JobStatus.FAILED.value,
             message=job.error,
-            elapsed_s=round(perf_counter() - start, 6),
+            elapsed_s=round(self._clock() - start, 6),
         )
         self.gc()

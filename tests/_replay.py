@@ -1,0 +1,86 @@
+"""Deterministic-replay harness: pin a sweep's results *and* telemetry.
+
+The repo's determinism story is that a seeded sweep is a pure function
+of its configuration: rerunning it must reproduce every row bit-exactly,
+and — with timing routed through an injectable clock — the metrics
+snapshot too.  This module turns that claim into a fixture-backed
+assertion:
+
+* :func:`capture` serializes one run — the result table plus the
+  registry snapshot — as canonical JSON (sorted keys, compact
+  separators), so equal runs are equal *bytes*;
+* :func:`assert_replay` records that document to
+  ``tests/fixtures/replay/<name>.json`` on first run and, on every run
+  after, asserts the fresh capture is byte-identical to the committed
+  fixture.  A mismatch means a determinism regression (or an intended
+  behaviour change — delete the fixture to re-record, and let the diff
+  review the change).
+
+The module is deliberately standalone (stdlib + ``repro`` only, no
+pytest imports, no package-relative imports) so the benchmark suite can
+load it by file path — see ``benchmarks/test_smoke_cluster.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from repro.obs import MetricsRegistry, snapshot_json
+
+FIXTURES_DIR = Path(__file__).resolve().parent / "fixtures" / "replay"
+
+#: Set to re-record every fixture touched by a run (commit the diff).
+RECORD_ENV = "REPRO_REPLAY_RECORD"
+
+__all__ = ["FIXTURES_DIR", "RECORD_ENV", "capture", "assert_replay"]
+
+
+def capture(table, registry: MetricsRegistry | None = None) -> str:
+    """One run as canonical JSON: rows, axes, and (optionally) metrics.
+
+    ``table`` is a :class:`repro.sweep.SweepTable`; ``registry`` the
+    :class:`~repro.obs.MetricsRegistry` the run recorded into.  Metrics
+    only replay byte-stably when the run's timing flowed through a
+    deterministic clock (``MetricsRegistry(clock=ManualClock())``), so
+    pass ``registry=None`` to pin results alone.
+    """
+    document = {
+        "parameters": list(table.parameter_names),
+        "metrics": list(table.metric_names),
+        "rows": table.rows(),
+    }
+    if registry is not None:
+        document["snapshot"] = json.loads(snapshot_json(registry))
+    return json.dumps(document, sort_keys=True, separators=(",", ":"))
+
+
+def assert_replay(
+    name: str,
+    table,
+    registry: MetricsRegistry | None = None,
+    fixtures_dir: Path | None = None,
+) -> Path:
+    """Record-or-verify one run against its committed fixture.
+
+    First run (no fixture on disk, or ``REPRO_REPLAY_RECORD`` set):
+    writes the capture and returns.  Every later run: asserts the fresh
+    capture is byte-identical to the fixture.  Returns the fixture path.
+    """
+    directory = fixtures_dir if fixtures_dir is not None else FIXTURES_DIR
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"{name}.json"
+    document = capture(table, registry)
+    if not path.exists() or os.environ.get(RECORD_ENV):
+        path.write_text(document + "\n")
+        return path
+    recorded = path.read_text().rstrip("\n")
+    if recorded != document:
+        raise AssertionError(
+            f"replay mismatch for {name!r}: this run's results/metrics "
+            f"differ from the committed fixture {path}.  If the change "
+            f"is intended, delete the fixture (or set {RECORD_ENV}=1) "
+            "and commit the re-recorded file."
+        )
+    return path

@@ -440,6 +440,153 @@ class TestFaultTolerance:
         stolen = [e for e in events if e.kind == "shard-stolen"]
         assert any(e["shard"] == straggler_shard_id for e in stolen)
 
+    def test_coordinator_restart_with_stale_worker_still_heartbeating(self):
+        """A coordinator dies mid-run and a replacement takes over while
+        a worker from the old incarnation is still alive and beating at
+        the dead socket.  The stale worker must not disturb the new run:
+        the merge is byte-identical to serial and the replacement's
+        fault counters stay clean."""
+        from repro.obs import MetricsRegistry, use_registry
+
+        sweep = make_sweep(xs=(1, 2, 3, 4))
+        serial = make_sweep(xs=(1, 2, 3, 4)).run(executor=SerialExecutor())
+        registry = MetricsRegistry()
+
+        async def scenario():
+            pending = list(enumerate(sweep.points()))
+            first = Coordinator(
+                pending, square_factory, shard_size=2, heartbeat_timeout=5.0
+            )
+            address_a = await first.start("tcp://127.0.0.1:0")
+
+            # The stale worker: registers with the first incarnation and
+            # holds a shard when that coordinator dies.
+            reader, writer = await open_endpoint(address_a)
+            await send_message(
+                writer,
+                {"type": "register", "worker": "stale", "slots": 1,
+                 "version": PROTOCOL_VERSION},
+            )
+            await read_message(reader)  # welcome
+            shard_msg = await read_message(reader)
+            assert shard_msg["type"] == "shard"
+            await first.stop("simulated crash")
+            with pytest.raises(ClusterError):
+                await first.results()
+
+            # It keeps heartbeating into the dead connection — exactly
+            # what a worker that missed the shutdown frame would do.
+            async def beat_at_the_void():
+                while True:
+                    await asyncio.sleep(0.02)
+                    try:
+                        await send_message(
+                            writer, {"type": "heartbeat", "worker": "stale"}
+                        )
+                    except (ConnectionResetError, BrokenPipeError, OSError):
+                        await asyncio.sleep(0.02)
+
+            stale_beat = asyncio.ensure_future(beat_at_the_void())
+
+            # The replacement incarnation reruns the same pending points
+            # on a fresh socket with a fresh worker.
+            second = Coordinator(
+                pending, square_factory, shard_size=2, heartbeat_timeout=5.0
+            )
+            address_b = await second.start("tcp://127.0.0.1:0")
+            worker = asyncio.ensure_future(
+                ClusterWorker(address_b, name="fresh", heartbeat_interval=0.1).run()
+            )
+            try:
+                results = await asyncio.wait_for(second.results(), 30)
+            finally:
+                stale_beat.cancel()
+                await second.stop()
+                worker.cancel()
+                await asyncio.gather(stale_beat, worker, return_exceptions=True)
+                writer.close()
+            return results, second
+
+        with use_registry(registry):
+            results, second = run(scenario())
+        points = sweep.points()
+        table = sweep.build_table(
+            [SweepResult(point=points[i], metrics=m) for i, m, _ in results]
+        )
+        assert json.dumps(rows_of(table)) == json.dumps(rows_of(serial))
+        # The stale worker never reached the replacement: no duplicate
+        # merges, no re-dispatches, and only the fresh worker joined it.
+        assert second.duplicate_results == 0
+        assert second.redispatches == 0
+        assert second.workers == ()  # all cleaned up after stop
+        # Registry view consistency: both incarnations' joins accumulate
+        # on the shared counter, while each instance's views stay local.
+        assert registry.counter("cluster.workers_joined").value == 2
+        assert registry.counter("cluster.redispatches").value == 0
+
+    def test_immediate_steal_races_normal_completion(self):
+        """``steal_after_s=0`` makes every lone in-flight shard stealable
+        the moment a worker goes idle, so duplicate dispatches race the
+        original's completion.  Whichever copy reports first must win,
+        late copies must drop, and the merge must stay byte-identical."""
+        from repro.obs import MetricsRegistry, use_registry
+
+        xs = tuple(range(6))
+        sweep = make_sweep(xs=xs, factory=slow_factory)
+        serial = make_sweep(xs=xs, factory=slow_factory).run(
+            executor=SerialExecutor()
+        )
+        registry = MetricsRegistry()
+
+        async def scenario():
+            pending = list(enumerate(sweep.points()))
+            coordinator = Coordinator(
+                pending,
+                slow_factory,
+                shard_size=3,
+                heartbeat_timeout=30.0,
+                steal_after_s=0.0,  # immediate: steals race completions
+            )
+            address = await coordinator.start("tcp://127.0.0.1:0")
+            workers = [
+                asyncio.ensure_future(
+                    ClusterWorker(
+                        address, name=f"racer-{i}", heartbeat_interval=0.1
+                    ).run()
+                )
+                for i in range(3)
+            ]
+            try:
+                results = await asyncio.wait_for(coordinator.results(), 30)
+            finally:
+                await coordinator.stop()
+                for task in workers:
+                    task.cancel()
+                await asyncio.gather(*workers, return_exceptions=True)
+            return results, coordinator
+
+        with use_registry(registry):
+            results, coordinator = run(scenario())
+        points = sweep.points()
+        table = sweep.build_table(
+            [SweepResult(point=points[i], metrics=m) for i, m, _ in results]
+        )
+        # The race changed nothing observable: byte-identical merge.
+        assert json.dumps(rows_of(table)) == json.dumps(rows_of(serial))
+        # Two shards, three workers: the idle one must have stolen, and
+        # stolen copies never travel the retry path.
+        assert coordinator.steals >= 1
+        assert coordinator.redispatches == 0
+        # Every duplicate the race produced was counted and dropped —
+        # never more than one extra delivery per point.
+        assert 0 <= coordinator.duplicate_results <= len(xs)
+        # Views agree with the shared registry instruments.
+        assert registry.counter("cluster.steals").value == coordinator.steals
+        assert (
+            registry.counter("cluster.duplicate_results").value
+            == coordinator.duplicate_results
+        )
+
 
 # ----------------------------------------------------------------------
 # graceful degradation

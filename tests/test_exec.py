@@ -218,6 +218,30 @@ class TestResultCache:
         assert warm.last_stats.cache_hits == 3
         assert warm.last_stats.cache_corrupt == 0
 
+    def test_corrupt_eviction_names_the_evicted_key(self, tmp_path):
+        """The eviction is observable: a registry event says *which*
+        (point, trial, seed, factory) slot was dropped, not just that
+        one was."""
+        from repro.obs import MetricsRegistry, use_registry
+
+        with use_registry(MetricsRegistry()) as registry:
+            cache = ResultCache(tmp_path / "cache")
+            sweep = ParameterSweep(quadratic, {"x": [1]})
+            sweep.run(cache=cache)
+            [entry] = (tmp_path / "cache").glob("*/*.json")
+            entry.write_text("{broken")
+            ParameterSweep(quadratic, {"x": [1]}).run(cache=cache)
+
+            evictions = [
+                e for e in registry.events if e.name == "cache.corrupt-evicted"
+            ]
+            assert len(evictions) == 1
+            [point] = sweep.points()
+            expected_key = cache.key(point, callable_fingerprint(quadratic))
+            assert evictions[0].fields["key"] == expected_key
+            assert evictions[0].fields["path"] == str(entry)
+            assert registry.counter("cache.corrupt_evictions").value == 1
+
     def test_stats_corrupt_count_is_per_run(self, tmp_path):
         """ExecutionStats reports this run's evictions, not the cache's
         lifetime total."""

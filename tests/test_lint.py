@@ -191,6 +191,97 @@ class TestSetIteration:
         report = lint_tree(tmp_path, [SetIterationRule])
         assert report.active == []
 
+    def test_dataflow_tracks_set_returning_function(self, tmp_path):
+        # The set is built behind a helper: the module-level dataflow
+        # pass must prove gather() returns a set and flag both the loop
+        # over its call and the local assigned from it.
+        write_module(
+            tmp_path,
+            "src/repro/frontend/flow.py",
+            """
+            def gather(tags):
+                return {t.strip() for t in tags}
+
+
+            def windows(tags):
+                out = []
+                for tag in gather(tags):
+                    out.append(tag)
+                return out
+
+
+            def labels(tags):
+                found = gather(tags)
+                return list(found)
+            """,
+        )
+        report = lint_tree(tmp_path, [SetIterationRule])
+        assert active_rules(report) == ["det-set-iteration"] * 2
+
+    def test_dataflow_resolves_chains_out_of_order(self, tmp_path):
+        # a() -> b() -> set: the fixed point must converge even though
+        # the caller is defined before the set-building callee.
+        write_module(
+            tmp_path,
+            "src/repro/frontend/chain.py",
+            """
+            def outer(tags):
+                return inner(tags)
+
+
+            def inner(tags):
+                return frozenset(tags)
+
+
+            def windows(tags):
+                return list(outer(tags))
+            """,
+        )
+        report = lint_tree(tmp_path, [SetIterationRule])
+        assert active_rules(report) == ["det-set-iteration"]
+
+    def test_dataflow_tracks_set_annotated_parameter(self, tmp_path):
+        write_module(
+            tmp_path,
+            "src/repro/frontend/params.py",
+            """
+            def windows(tags: set[str]):
+                out = []
+                for tag in tags:
+                    out.append(tag)
+                return out
+            """,
+        )
+        report = lint_tree(tmp_path, [SetIterationRule])
+        assert active_rules(report) == ["det-set-iteration"]
+
+    def test_dataflow_stays_quiet_on_sorted_helpers(self, tmp_path):
+        # A helper that sorts before returning is not a set returner,
+        # and sorting a set-returning call clears the violation.
+        write_module(
+            tmp_path,
+            "src/repro/frontend/flow_ok.py",
+            """
+            def gather(tags):
+                return {t.strip() for t in tags}
+
+
+            def ordered(tags):
+                return sorted(gather(tags))
+
+
+            def windows(tags):
+                out = []
+                for tag in ordered(tags):
+                    out.append(tag)
+                for tag in sorted(gather(tags)):
+                    out.append(tag)
+                return out
+            """,
+        )
+        report = lint_tree(tmp_path, [SetIterationRule])
+        assert report.active == []
+
 
 # ----------------------------------------------------------------------
 # layering family

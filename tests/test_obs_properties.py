@@ -1,0 +1,133 @@
+"""Property tests for metrics-snapshot determinism.
+
+The replay harness (``tests/_replay.py``) pins snapshots as committed
+bytes, so the registry's serialization must be invariant under the two
+things Python is allowed to reorder between runs:
+
+* **insertion order** — instruments registered in any order serialize
+  identically (identity sort, checked against shuffles);
+* **hash order** — tags and names are strings, and dict/set iteration
+  order depends on ``PYTHONHASHSEED``; the snapshot must not
+  (subprocess check, mirroring ``test_point_key_properties.py``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs import ManualClock, MetricsRegistry, snapshot_json
+
+_names = st.text(
+    alphabet=st.characters(min_codepoint=33, max_codepoint=126), min_size=1,
+    max_size=12,
+)
+
+_instruments = st.lists(
+    st.tuples(
+        st.sampled_from(["counter", "gauge", "histogram"]),
+        _names,
+        st.dictionaries(_names, _names, max_size=3),
+        st.integers(min_value=0, max_value=50),
+    ),
+    min_size=1,
+    max_size=12,
+)
+
+
+def _dedupe(spec):
+    """Keep one entry per instrument identity.
+
+    Registry identity is (name, sorted tags); a second entry under the
+    same identity could legitimately change the outcome (gauge.set is
+    last-write-wins, and a kind clash is an intentional error), so the
+    commutativity property quantifies over *distinct* instruments.
+    """
+    seen = set()
+    out = []
+    for kind, name, tags, amount in spec:
+        key = (name, tuple(sorted(tags.items())))
+        if key in seen:
+            continue
+        seen.add(key)
+        out.append((kind, name, tags, amount))
+    return out
+
+
+def _populate(registry: MetricsRegistry, spec) -> None:
+    for kind, name, tags, amount in spec:
+        if kind == "counter":
+            registry.counter(name, **tags).inc(amount)
+        elif kind == "gauge":
+            registry.gauge(name, **tags).set(float(amount))
+        else:
+            hist = registry.histogram(name, **tags)
+            for i in range(amount % 5):
+                hist.observe(0.01 * (i + 1))
+
+
+class TestInsertionOrderInvariance:
+    @given(spec=_instruments, seed=st.integers(0, 2**16))
+    @settings(max_examples=100, deadline=None)
+    def test_snapshot_invariant_under_registration_order(self, spec, seed):
+        import random
+
+        deduped = _dedupe(spec)
+        forward = MetricsRegistry(clock=ManualClock())
+        _populate(forward, deduped)
+        shuffled_spec = list(deduped)
+        random.Random(seed).shuffle(shuffled_spec)
+        shuffled = MetricsRegistry(clock=ManualClock())
+        _populate(shuffled, shuffled_spec)
+        # Same instruments in any registration order: same bytes.
+        assert snapshot_json(forward) == snapshot_json(shuffled)
+
+
+# A registry deliberately heavy on string tags and names: if snapshot
+# serialization leaked dict/set iteration order anywhere, these values
+# would expose it across hash seeds.
+_HASH_HOSTILE_REGISTRY = """
+from repro.obs import ManualClock, MetricsRegistry, snapshot_json
+
+registry = MetricsRegistry(clock=ManualClock(step=0.001))
+for worker in ("local-1", "local-2", "remote-alpha", "remote-beta"):
+    registry.counter("worker.points_done", worker=worker).inc(3)
+    registry.counter("worker.cache_hits", worker=worker, host="h-" + worker).inc()
+for executor in ("serial", "parallel", "distributed"):
+    registry.counter("exec.points", executor=executor).inc(7)
+    registry.histogram("exec.point_latency_s", executor=executor).observe(0.02)
+with registry.span("shard.dispatch", shard=1, worker="local-1"):
+    pass
+registry.gauge("service.queue_depth").set(4)
+print(snapshot_json(registry))
+"""
+
+
+class TestHashSeedInvariance:
+    def test_snapshot_identical_across_pythonhashseed(self):
+        repo_src = str(Path(__file__).resolve().parent.parent / "src")
+        outputs = []
+        for hash_seed in ("0", "1", "4242", "random"):
+            env = dict(os.environ)
+            env["PYTHONHASHSEED"] = hash_seed
+            env["PYTHONPATH"] = repo_src + (
+                os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+            )
+            result = subprocess.run(
+                [sys.executable, "-c", _HASH_HOSTILE_REGISTRY],
+                capture_output=True,
+                text=True,
+                env=env,
+                check=True,
+            )
+            outputs.append(result.stdout)
+        assert all(out == outputs[0] for out in outputs[1:]), (
+            "metrics snapshot drifted across PYTHONHASHSEED values"
+        )
+        json.loads(outputs[0])  # and it is valid canonical JSON
