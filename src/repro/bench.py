@@ -1,0 +1,224 @@
+"""Backend micro-benchmark harness (``python -m repro bench``).
+
+Measures the simulation backends against a **pinned micro suite** of
+loop programs that exercise the three frontend delivery regimes the
+paper's experiments hammer in steady state:
+
+* ``dsb_resident_8`` — eight aligned blocks that become DSB-resident
+  after one cold pass (too many uops for the LSD);
+* ``lsd_capture_4``  — four aligned blocks the LSD captures and streams;
+* ``lcp_mixed_6``    — four aligned blocks plus two LCP windows, paying
+  per-iteration decode stalls and path switches.
+
+Two views are recorded per backend:
+
+* **single-point latency** — the median wall time of one
+  ``Machine.run_loop`` call on a persistent machine;
+* **points/sec** — throughput of a small :class:`ParameterSweep` over
+  the suite under the serial and parallel executors, each point running
+  a fresh seeded machine for ``reps`` loop executions (the shape of a
+  real sweep point).
+
+Results are written to ``BENCH_frontend.json`` via the observability
+snapshot machinery: the harness runs under a private
+:class:`~repro.obs.MetricsRegistry`, so the engine's own per-backend
+``sim.points`` / ``sim.latency`` instruments land in the same file as
+the computed summary.  Before any timing, every backend pair is checked
+for byte-identical reports on the suite — a benchmark of a wrong
+backend is worthless.
+
+``check_floor`` enforces the committed performance contract: the
+vectorized backend must stay at least ``VECTORIZED_SPEEDUP_FLOOR``
+times faster than the reference on serial points/sec.  CI runs
+``python -m repro bench --check`` so a regression that erodes the fast
+path fails the build rather than silently decaying sweeps.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import functools
+import json
+import time
+from pathlib import Path
+
+from repro.errors import ExecutionError
+from repro.exec import ParallelExecutor, SerialExecutor
+from repro.isa.blocks import lcp_block, standard_mix_block
+from repro.isa.layout import BlockChainLayout
+from repro.isa.program import LoopProgram
+from repro.machine.machine import Machine
+from repro.machine.specs import GOLD_6226
+from repro.obs import MetricsRegistry, use_registry
+from repro.sweep import ParameterSweep, SweepPoint
+
+__all__ = [
+    "SUITE_NAME",
+    "VECTORIZED_SPEEDUP_FLOOR",
+    "pinned_suite",
+    "run_bench",
+    "check_floor",
+    "write_bench",
+]
+
+SUITE_NAME = "frontend-micro-v1"
+
+#: Committed contract: vectorized serial points/sec >= floor * reference.
+VECTORIZED_SPEEDUP_FLOOR = 5.0
+
+#: Iteration count high enough that every program extrapolates (the
+#: regime sweeps live in), pinned so results stay comparable over time.
+_ITERATIONS = 20_000_000
+
+_LAYOUT = BlockChainLayout()
+
+
+def pinned_suite() -> dict[str, LoopProgram]:
+    """The fixed programs every bench run measures (never reorder)."""
+    return {
+        "dsb_resident_8": LoopProgram(
+            [standard_mix_block(_LAYOUT.block_address(s, 40)) for s in range(8)],
+            _ITERATIONS,
+        ),
+        "lsd_capture_4": LoopProgram(
+            [standard_mix_block(_LAYOUT.block_address(s, 41)) for s in range(4)],
+            _ITERATIONS,
+        ),
+        "lcp_mixed_6": LoopProgram(
+            [standard_mix_block(_LAYOUT.block_address(s, 42)) for s in range(4)]
+            + [
+                lcp_block(_LAYOUT.block_address(10 + s, 42), lcp_sets=4, mixed=True)
+                for s in range(2)
+            ],
+            _ITERATIONS,
+        ),
+    }
+
+
+def _bench_sweep_point(backend: str, reps: int, point: SweepPoint) -> dict:
+    """One sweep point: a fresh machine running ``reps`` loop executions.
+
+    Module-level (dispatched via :func:`functools.partial`) so the
+    parallel executor can pickle it into worker processes.
+    """
+    suite = pinned_suite()
+    program = suite[point.values["program"]]
+    machine = Machine(GOLD_6226, seed=point.seed, backend=backend)
+    for _ in range(reps):
+        machine.run_loop(program)
+    return {"runs": float(reps)}
+
+
+def _assert_equivalent(backends: tuple[str, ...], suite: dict) -> None:
+    """Refuse to benchmark backends that disagree on the suite."""
+    for name, program in suite.items():
+        reports = []
+        for backend in backends:
+            machine = Machine(GOLD_6226, seed=7, backend=backend)
+            machine.run_loop(program)  # cold
+            reports.append(dataclasses.astuple(machine.run_loop(program)))
+        for backend, report in zip(backends, reports):
+            if report != reports[0]:
+                raise ExecutionError(
+                    f"backend {backend!r} diverges from {backends[0]!r} "
+                    f"on pinned program {name!r}; fix equivalence before "
+                    "benchmarking"
+                )
+
+
+def run_bench(
+    loops: int = 300,
+    reps: int = 200,
+    jobs: int = 2,
+    backends: tuple[str, ...] = ("reference", "vectorized"),
+) -> dict:
+    """Run the pinned suite and return the result document.
+
+    ``loops`` is the sample count for single-point latency medians;
+    ``reps`` the loop executions per sweep point; ``jobs`` the parallel
+    executor's process count.
+    """
+    suite = pinned_suite()
+    registry = MetricsRegistry()
+    latency_us: dict[str, dict[str, float]] = {}
+    points_per_sec: dict[str, dict[str, float]] = {}
+    with use_registry(registry):
+        _assert_equivalent(backends, suite)
+        for backend in backends:
+            latency_us[backend] = {}
+            for name, program in suite.items():
+                machine = Machine(GOLD_6226, seed=0, backend=backend)
+                machine.run_loop(program)  # warm trace/window caches
+                samples = []
+                for _ in range(loops):
+                    start = time.perf_counter()
+                    machine.run_loop(program)
+                    samples.append(time.perf_counter() - start)
+                samples.sort()
+                latency_us[backend][name] = samples[len(samples) // 2] * 1e6
+        for backend in backends:
+            points_per_sec[backend] = {}
+            sweep = ParameterSweep(
+                functools.partial(_bench_sweep_point, backend, reps),
+                {"program": list(suite)},
+                trials=2,
+                base_seed=1,
+            )
+            n_points = len(sweep.points())
+            for label, executor in (
+                ("serial", SerialExecutor()),
+                ("parallel", ParallelExecutor(jobs=jobs)),
+            ):
+                start = time.perf_counter()
+                sweep.run(executor=executor)
+                elapsed = time.perf_counter() - start
+                points_per_sec[backend][label] = n_points / elapsed
+    result = {
+        "suite": SUITE_NAME,
+        "floor": VECTORIZED_SPEEDUP_FLOOR,
+        "loops": loops,
+        "reps": reps,
+        "jobs": jobs,
+        "programs": {
+            name: {"blocks": len(p.body), "iterations": p.iterations}
+            for name, p in suite.items()
+        },
+        "latency_us": latency_us,
+        "points_per_sec": points_per_sec,
+        "metrics": registry.snapshot(),
+    }
+    if "reference" in backends and "vectorized" in backends:
+        result["speedup"] = {
+            "latency": {
+                name: latency_us["reference"][name] / latency_us["vectorized"][name]
+                for name in suite
+            },
+            "serial": points_per_sec["vectorized"]["serial"]
+            / points_per_sec["reference"]["serial"],
+            "parallel": points_per_sec["vectorized"]["parallel"]
+            / points_per_sec["reference"]["parallel"],
+        }
+    return result
+
+
+def check_floor(result: dict, floor: float | None = None) -> float:
+    """Raise unless the vectorized serial speedup clears ``floor``."""
+    floor = VECTORIZED_SPEEDUP_FLOOR if floor is None else floor
+    speedup = result.get("speedup", {}).get("serial")
+    if speedup is None:
+        raise ExecutionError(
+            "bench result has no reference/vectorized speedup to check"
+        )
+    if speedup < floor:
+        raise ExecutionError(
+            f"vectorized backend speedup {speedup:.2f}x is below the "
+            f"committed floor {floor:.1f}x"
+        )
+    return speedup
+
+
+def write_bench(result: dict, path: str | Path) -> Path:
+    """Write the result document as stable, diff-friendly JSON."""
+    target = Path(path)
+    target.write_text(json.dumps(result, indent=2, sort_keys=True) + "\n")
+    return target

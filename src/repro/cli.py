@@ -17,6 +17,8 @@ Gives each of the library's headline capabilities a one-line invocation:
 * ``watch``       — mirror a running service's event feed as JSONL;
 * ``metrics``     — fetch a running service's metrics snapshot;
 * ``worker``      — join a cluster coordinator as a compute node;
+* ``bench``       — benchmark the simulation backends (pinned micro
+  suite, writes ``BENCH_frontend.json``);
 * ``validate``    — run the 10-point model-invariant checklist;
 * ``report``      — assemble benchmark results into REPORT.md.
 
@@ -27,18 +29,26 @@ additionally takes ``--jobs N`` (worker processes), ``--cache-dir``
 event format, see ``docs/service.md``) to **stderr**; stdout carries
 only results, so piping stays clean (``watch`` is the exception: its
 event stream *is* the result, so it goes to stdout).
+
+``sweep``, ``serve`` and ``worker`` accept ``--backend`` to pick the
+frontend simulation backend (see ``docs/backends.md``).  The flag is
+applied as the process default *and* exported via ``REPRO_SIM_BACKEND``
+so spawned worker processes inherit it; it never enters sweep point
+keys, so caches stay valid across backends.
 """
 
 from __future__ import annotations
 
 import argparse
 import functools
+import os
 import sys
 from typing import Sequence
 
 from repro.analysis.bits import alternating_bits, random_bits, string_to_bits
 from repro.channels.probes import path_timing_samples
 from repro.errors import ReproError
+from repro.frontend.backends import ENV_VAR, available_backends, set_default_backend
 from repro.frontend.paths import DeliveryPath
 from repro.machine.machine import Machine
 from repro.machine.specs import ALL_SPECS, spec_by_name
@@ -171,6 +181,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=4,
         help="max grid points per dispatched shard",
     )
+    _add_backend_argument(sweep)
 
     serve = sub.add_parser(
         "serve",
@@ -212,6 +223,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="evict terminal jobs (and their event logs) after this many "
         "seconds; <= 0 keeps jobs forever (default: 3600)",
     )
+    _add_backend_argument(serve)
 
     submit = sub.add_parser(
         "submit",
@@ -298,6 +310,38 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="SECONDS",
         help="liveness ping interval (keep under the coordinator timeout)",
     )
+    _add_backend_argument(worker)
+
+    bench = sub.add_parser(
+        "bench",
+        help="benchmark the simulation backends on the pinned micro suite",
+        parents=[common],
+    )
+    bench.add_argument(
+        "--output",
+        default="BENCH_frontend.json",
+        help="result file (canonical JSON, default: BENCH_frontend.json)",
+    )
+    bench.add_argument(
+        "--loops",
+        type=int,
+        default=300,
+        help="samples per single-point latency median",
+    )
+    bench.add_argument(
+        "--reps",
+        type=int,
+        default=200,
+        help="loop executions per sweep point",
+    )
+    bench.add_argument(
+        "--jobs", type=int, default=2, help="parallel executor process count"
+    )
+    bench.add_argument(
+        "--check",
+        action="store_true",
+        help="fail unless the vectorized speedup clears the committed floor",
+    )
 
     sub.add_parser(
         "validate",
@@ -352,6 +396,30 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--output", default="REPORT.md")
 
     return parser
+
+
+def _add_backend_argument(parser: argparse.ArgumentParser) -> None:
+    """The simulation-backend option shared by sweep/serve/worker."""
+    parser.add_argument(
+        "--backend",
+        default=None,
+        choices=available_backends(),
+        help="frontend simulation backend (default: $REPRO_SIM_BACKEND "
+        "or 'reference'); results are identical across backends and the "
+        "choice never enters cache keys",
+    )
+
+
+def _apply_backend(args) -> None:
+    """Install ``--backend`` as process default + inherited environment.
+
+    The env export is what carries the choice into spawned sweep worker
+    processes; factories stay backend-agnostic so point keys (and any
+    on-disk cache) are unaffected.
+    """
+    if getattr(args, "backend", None):
+        set_default_backend(args.backend)
+        os.environ[ENV_VAR] = args.backend
 
 
 def _add_grid_arguments(parser: argparse.ArgumentParser) -> None:
@@ -526,6 +594,7 @@ def _cmd_sweep(args) -> int:
     from repro.service.events import jsonl_progress
     from repro.sweep import ParameterSweep
 
+    _apply_backend(args)
     grid = dict(parse_param_axis(axis) for axis in args.param)
     factory = functools.partial(
         sweep_point_metrics, args.machine, args.channel, args.variant, args.bits
@@ -596,6 +665,7 @@ def _cmd_serve(args) -> int:
     from repro.exec import ParallelExecutor, ResultCache, SerialExecutor
     from repro.service import SweepServer, SweepService
 
+    _apply_backend(args)
     if args.jobs < 1:
         raise ConfigurationError(f"--jobs must be >= 1, got {args.jobs}")
     executor = (
@@ -696,6 +766,7 @@ def _cmd_worker(args) -> int:
     from repro.cluster import run_worker
     from repro.errors import ConfigurationError
 
+    _apply_backend(args)
     if args.jobs < 1:
         raise ConfigurationError(f"--jobs must be >= 1, got {args.jobs}")
     print(f"worker connecting to {args.connect}", file=sys.stderr)
@@ -735,6 +806,32 @@ def _cmd_defense(args) -> int:
     return 0
 
 
+def _cmd_bench(args) -> int:
+    from repro.bench import check_floor, run_bench, write_bench
+
+    result = run_bench(loops=args.loops, reps=args.reps, jobs=args.jobs)
+    target = write_bench(result, args.output)
+    for backend, per_program in result["latency_us"].items():
+        for name, micros in per_program.items():
+            print(f"{backend:11s} {name:16s} {micros:9.1f} us/point")
+    for backend, rates in result["points_per_sec"].items():
+        print(
+            f"{backend:11s} {rates['serial']:8.1f} points/s serial, "
+            f"{rates['parallel']:8.1f} parallel"
+        )
+    speedup = result.get("speedup")
+    if speedup is not None:
+        print(
+            f"vectorized speedup: {speedup['serial']:.2f}x serial, "
+            f"{speedup['parallel']:.2f}x parallel "
+            f"(floor {result['floor']:.1f}x)"
+        )
+    print(f"wrote {target}", file=sys.stderr)
+    if args.check:
+        check_floor(result)
+    return 0
+
+
 _COMMANDS = {
     "machines": _cmd_machines,
     "transmit": _cmd_transmit,
@@ -749,6 +846,7 @@ _COMMANDS = {
     "watch": _cmd_watch,
     "metrics": _cmd_metrics,
     "worker": _cmd_worker,
+    "bench": _cmd_bench,
     "lint": _cmd_lint,
     "validate": _cmd_validate,
     "report": _cmd_report,

@@ -33,6 +33,7 @@ from typing import Iterator
 
 from repro.caches.sa_cache import SetAssociativeCache
 from repro.errors import ExecutionError
+from repro.obs import get_registry
 from repro.frontend.dsb import DecodedStreamBuffer
 from repro.frontend.lsd import LoopStreamDetector
 from repro.frontend.mite import MiteDecoder
@@ -134,12 +135,25 @@ class LoopReport:
     def scaled(self, factor: float) -> "LoopReport":
         """Return a copy with every counter multiplied by ``factor``.
 
-        Integer counters are rounded; used by steady-state extrapolation.
+        Integral factors (the steady-state extrapolation always passes an
+        iteration *count*) multiply integer counters exactly, so scaled
+        reports conserve uops: ``scaled(n).total_uops == n * total_uops``.
+        Fractional factors fall back to rounding each integer counter,
+        which cannot conserve sums — callers that need conservation must
+        scale by integers.
         """
         result = LoopReport()
+        integral = isinstance(factor, int) or (
+            isinstance(factor, float) and factor.is_integer()
+        )
         for f in fields(self):
-            value = getattr(self, f.name) * factor
-            setattr(result, f.name, value if isinstance(getattr(self, f.name), float) else round(value))
+            value = getattr(self, f.name)
+            if isinstance(value, float):
+                setattr(result, f.name, value * factor)
+            elif integral:
+                setattr(result, f.name, value * int(factor))
+            else:
+                setattr(result, f.name, round(value * factor))
         return result
 
     def dominant_path(self) -> DeliveryPath:
@@ -172,13 +186,30 @@ class _IterationCost:
     energy_nj: float
 
     def key(self) -> tuple:
-        """Equality key for steady-state detection."""
+        """Equality key for steady-state detection.
+
+        Every cost field participates: two iterations only count as
+        "the same" when the full delivery profile repeats.  A key over a
+        subset (the pre-fix behaviour) let iterations with differing
+        switch/flush/eviction counters compare equal, so extrapolation
+        could scale the wrong per-iteration deltas.  Floats are rounded
+        to 9 decimals to absorb representation jitter only.
+        """
         return (
             round(self.cycles, 9),
             self.uops_lsd,
             self.uops_dsb,
             self.uops_mite,
+            self.windows_lsd,
+            self.windows_dsb,
+            self.windows_mite,
+            self.switches_to_mite,
+            self.switches_to_dsb,
             self.lcp_stalls,
+            self.lsd_flushes,
+            self.lsd_captures,
+            self.dsb_evictions,
+            round(self.energy_nj, 9),
         )
 
     def to_report(self) -> LoopReport:
@@ -202,6 +233,33 @@ class _IterationCost:
         )
 
 
+def extrapolate_tail(
+    prev_cost: "_IterationCost | None",
+    last_cost: "_IterationCost",
+    remaining: int,
+    period_two: bool,
+) -> LoopReport:
+    """Analytic report for ``remaining`` unsimulated iterations.
+
+    Period-1 steady states repeat ``last_cost``.  Period-2 steady states
+    alternate the two costs; the last *simulated* iteration already paid
+    ``last_cost``, so the continuation is ``prev, last, prev, ...`` —
+    ``ceil(remaining / 2)`` copies of ``prev_cost`` and ``remaining // 2``
+    of ``last_cost``.  Both factors are integers, so integer counters
+    scale exactly and the extrapolated totals conserve
+    (``total_uops == sum of per-iteration uops``), which the old
+    single-cost float-factor path did not guarantee.
+    """
+    if period_two and prev_cost is not None:
+        tail = prev_cost.to_report().scaled((remaining + 1) // 2)
+        tail.merge(last_cost.to_report().scaled(remaining // 2))
+    else:
+        tail = last_cost.to_report().scaled(remaining)
+    tail.simulated_iterations = 0
+    tail.iterations = remaining
+    return tail
+
+
 class FrontendEngine:
     """Executes loop programs through the modelled frontend.
 
@@ -217,6 +275,11 @@ class FrontendEngine:
     lsd_enabled:
         Whether the LSD exists/is enabled (microcode patch 2 and two of
         the Table I machines have it disabled).
+    backend:
+        Simulation backend name (see :mod:`repro.frontend.backends`).
+        ``None`` resolves the process default / ``REPRO_SIM_BACKEND`` at
+        first use.  Backends are bit-identical by contract, so the
+        choice never changes reports — only how fast they arrive.
     """
 
     #: Iterations simulated before steady-state extrapolation may engage.
@@ -231,6 +294,7 @@ class FrontendEngine:
         n_threads: int = 2,
         lsd_enabled: bool = True,
         l1i: "SetAssociativeCache | None" = None,
+        backend: str | None = None,
     ) -> None:
         if n_threads not in (1, 2):
             raise ExecutionError(f"cores have 1 or 2 hardware threads, got {n_threads}")
@@ -258,6 +322,14 @@ class FrontendEngine:
             thread: None for thread in range(n_threads)
         }
         self._window_cache: dict[tuple[MixBlock, ...], tuple[WindowAccess, ...]] = {}
+        # Backend resolution is lazy: resolving at first run_loop keeps
+        # construction cheap and lets the process default / env var set
+        # after engine creation still take effect.
+        self._backend_name = backend
+        self._backend: "object | None" = None
+        # (registry, sim.points counter, sim.latency histogram) — rebuilt
+        # whenever the process registry is swapped (use_registry in tests).
+        self._sim_cache: tuple | None = None
 
     # ------------------------------------------------------------------
     # static program analysis
@@ -553,8 +625,29 @@ class FrontendEngine:
         )
 
     # ------------------------------------------------------------------
-    # loop execution with steady-state extrapolation
+    # loop execution (dispatched to the selected backend)
     # ------------------------------------------------------------------
+    @property
+    def backend(self):
+        """The resolved :class:`~repro.frontend.backends.FrontendBackend`."""
+        if self._backend is None:
+            from repro.frontend.backends import create_backend
+
+            self._backend = create_backend(self._backend_name)
+        return self._backend
+
+    def _sim_instruments(self, registry, backend_name: str):
+        """Per-backend ``sim.points`` / ``sim.latency``, cached per registry."""
+        cache = self._sim_cache
+        if cache is None or cache[0] is not registry:
+            cache = (
+                registry,
+                registry.counter("sim.points", backend=backend_name),
+                registry.histogram("sim.latency", backend=backend_name),
+            )
+            self._sim_cache = cache
+        return cache[1], cache[2]
+
     def run_loop(
         self,
         program: LoopProgram,
@@ -565,48 +658,18 @@ class FrontendEngine:
         """Execute all iterations of ``program`` on ``thread``.
 
         ``exact=True`` disables steady-state extrapolation and simulates
-        every iteration (used by tests and short loops).
+        every iteration (used by tests and short loops).  The driver
+        itself lives in the selected backend
+        (:mod:`repro.frontend.backends`); backends are bit-identical by
+        contract, so selection only changes throughput, never reports.
         """
-        report = LoopReport()
-        history: list[tuple] = []
-        iteration = 0
-        limit = program.iterations if exact else min(program.iterations, self.MAX_SIMULATED)
-        steady_cost: _IterationCost | None = None
-        # Pre-capture DSB iterations look steady but are not: a loop the
-        # LSD could still lock onto must be simulated past the detection
-        # latency before extrapolation may engage.
-        min_warmup = self.MIN_WARMUP
-        if self.lsds[thread].structurally_qualifies(program):
-            min_warmup = max(min_warmup, self.params.lsd_detect_iterations + 2)
-        while iteration < limit:
-            cost = self.run_iteration(program, thread, smt_active)
-            report.merge(cost.to_report())
-            history.append(cost.key())
-            iteration += 1
-            if not exact and iteration >= min_warmup and self._is_steady(history):
-                steady_cost = cost
-                break
-        remaining = program.iterations - iteration
-        if remaining > 0:
-            if steady_cost is None:
-                # Hit MAX_SIMULATED without period-1/2 convergence: fall
-                # back to extrapolating the mean of the last 8 iterations.
-                steady_cost = self.run_iteration(program, thread, smt_active)
-                report.merge(steady_cost.to_report())
-                remaining -= 1
-            extrapolated = steady_cost.to_report().scaled(remaining)
-            extrapolated.simulated_iterations = 0
-            extrapolated.iterations = remaining
-            report.merge(extrapolated)
-            if self.lsds[thread].is_streaming(program):
-                self.lsds[thread].stats.streamed_iterations += remaining
-        # Loop exit: the terminal backward branch mispredicts and any LSD
-        # stream for this loop ends (no flush penalty is charged to the
-        # *next* loop; the exit cost covers it).
-        report.cycles += self.params.loop_exit_mispredict
-        report.energy_nj += self.params.loop_exit_mispredict * self.energy.cycle_energy
-        self.lsds[thread].flush()
-        self._last_path[thread] = None
+        backend = self.backend
+        registry = get_registry()
+        start = registry.clock()
+        report = backend.run_loop(self, program, thread, smt_active, exact)
+        points, latency = self._sim_instruments(registry, backend.name)
+        points.inc()
+        latency.observe(registry.clock() - start)
         return report
 
     @staticmethod

@@ -100,8 +100,15 @@ class LoopStreamDetector:
     # ------------------------------------------------------------------
     def structurally_qualifies(self, program: LoopProgram) -> bool:
         """Can this body ever stream from the LSD?"""
-        if not self.enabled:
-            return False
+        return self.enabled and self.body_qualifies(program)
+
+    def body_qualifies(self, program: LoopProgram) -> bool:
+        """The enabled-independent part of :meth:`structurally_qualifies`.
+
+        Pure in (program, params), so callers may cache it per program;
+        ``enabled`` must be re-read at use time because microcode
+        patches toggle it on a live core (``Core.set_lsd_enabled``).
+        """
         if program.uops_per_iteration > self.params.lsd_capacity:
             return False
         if program.lcp_instructions_per_iteration:
@@ -113,6 +120,20 @@ class LoopStreamDetector:
     # ------------------------------------------------------------------
     # dynamic protocol, driven by the engine once per loop iteration
     # ------------------------------------------------------------------
+    @property
+    def idle(self) -> bool:
+        """True when nothing dynamic is in flight: no stream, no candidate.
+
+        The vectorized backend uses this to decide whether a run starts
+        from a clean LSD — any partial qualify streak or active stream
+        means history matters and the run must take the reference path.
+        """
+        return (
+            self.state is LsdState.IDLE
+            and self._candidate is None
+            and self._qualify_streak == 0
+        )
+
     def is_streaming(self, program: LoopProgram) -> bool:
         """True if this iteration's uops come straight from the LSD."""
         return (

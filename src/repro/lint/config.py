@@ -41,7 +41,10 @@ DEFAULT_LAYERS: Mapping[str, frozenset[str]] = {
     "caches": frozenset({"errors"}),
     "analysis": frozenset({"errors"}),
     # -- simulator core -------------------------------------------------
-    "frontend": frozenset({"errors", "isa", "caches"}),
+    # ``obs`` entered the frontend set when run_loop grew per-backend
+    # sim.points/sim.latency instruments; obs is a foundation, so the
+    # frontend stays a simulator leaf.
+    "frontend": frozenset({"errors", "isa", "caches", "obs"}),
     "measure": frozenset({"errors", "frontend"}),
     "backend": frozenset({"errors", "isa", "frontend"}),
     "machine": frozenset({"errors", "caches", "frontend", "isa", "measure", "rng"}),
@@ -75,10 +78,17 @@ DEFAULT_LAYERS: Mapping[str, frozenset[str]] = {
     # -- tooling ---------------------------------------------------------
     # The linter inspects everything but imports only foundations.
     "lint": frozenset({"errors"}),
+    # The backend benchmark harness builds machines and drives sweeps to
+    # time them; like ``benchmarks`` it is a subject of tooling, not a
+    # driver, so it never reaches cli/__main__/lint.
+    "bench": frozenset(
+        {"errors", "exec", "frontend", "isa", "machine", "obs", "sweep", "workloads"}
+    ),
     # -- entry points ----------------------------------------------------
     "cli": frozenset(
         {
             "analysis",
+            "bench",
             "channels",
             "cluster",
             "defense",

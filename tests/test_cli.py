@@ -147,3 +147,82 @@ class TestCommands:
     def test_unknown_machine_fails_cleanly(self, capsys):
         assert main(["transmit", "--machine", "i9-9900K"]) == 1
         assert "unknown machine" in capsys.readouterr().err
+
+
+class TestBackendFlag:
+    """``--backend`` selects the simulation backend without changing results."""
+
+    @pytest.fixture(autouse=True)
+    def _restore_backend(self, monkeypatch):
+        from repro.frontend.backends import ENV_VAR, set_default_backend
+
+        monkeypatch.delenv(ENV_VAR, raising=False)
+        previous = set_default_backend(None)
+        yield
+        set_default_backend(previous)
+
+    def test_parser_accepts_backend_on_sweep_serve_worker(self):
+        parser = build_parser()
+        for argv in (
+            ["sweep", "--param", "d=2", "--backend", "vectorized"],
+            ["serve", "--backend", "reference"],
+            ["worker", "--connect", "x", "--backend", "vectorized"],
+        ):
+            assert parser.parse_args(argv).backend == argv[-1]
+
+    def test_parser_rejects_unknown_backend(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "--backend", "turbo"])
+
+    def test_backend_flag_sets_default_and_environment(self, capsys):
+        import os
+
+        from repro.frontend.backends import ENV_VAR, default_backend_name
+
+        base = [
+            "sweep", "--channel", "eviction", "--variant", "fast",
+            "--param", "d=2,4", "--bits", "8", "--no-cache",
+        ]
+        assert main(base) == 0
+        reference_out = capsys.readouterr().out.splitlines()[:4]
+        assert main(base + ["--backend", "vectorized"]) == 0
+        vectorized_out = capsys.readouterr().out.splitlines()[:4]
+        assert vectorized_out == reference_out
+        assert default_backend_name() == "vectorized"
+        assert os.environ[ENV_VAR] == "vectorized"
+
+
+class TestBench:
+    def test_bench_writes_result_and_reports_speedup(self, capsys, tmp_path):
+        import json
+
+        target = tmp_path / "BENCH_frontend.json"
+        argv = [
+            "bench", "--loops", "3", "--reps", "4", "--jobs", "2",
+            "--output", str(target),
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "vectorized speedup" in out
+        document = json.loads(target.read_text())
+        assert document["suite"] == "frontend-micro-v1"
+        assert set(document["latency_us"]) == {"reference", "vectorized"}
+        assert "serial" in document["speedup"]
+        assert any(
+            "sim.points" in str(key) for key in document["metrics"]
+        ) or "sim.points" in json.dumps(document["metrics"])
+
+    def test_bench_check_flag_enforces_floor(self, capsys, tmp_path):
+        from unittest import mock
+
+        import repro.bench
+
+        argv = [
+            "bench", "--loops", "2", "--reps", "3", "--jobs", "2",
+            "--output", str(tmp_path / "b.json"), "--check",
+        ]
+        with mock.patch.object(
+            repro.bench, "VECTORIZED_SPEEDUP_FLOOR", 10_000.0
+        ):
+            assert main(argv) == 1
+        assert "below the committed floor" in capsys.readouterr().err
