@@ -15,6 +15,7 @@ from repro.analysis.bits import (
     pack_chunks,
     unpack_chunks,
 )
+from repro.analysis.outcome import ScenarioOutcome, SuccessCriteria, leak_kbps
 from repro.analysis.threshold import ThresholdDecoder, calibrate_threshold
 from repro.analysis.stats import summarize, Summary, separation, trimmed
 from repro.analysis.capacity import (
@@ -33,6 +34,9 @@ __all__ = [
     "random_bits",
     "pack_chunks",
     "unpack_chunks",
+    "ScenarioOutcome",
+    "SuccessCriteria",
+    "leak_kbps",
     "ThresholdDecoder",
     "calibrate_threshold",
     "summarize",

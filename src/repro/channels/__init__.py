@@ -16,6 +16,7 @@ class                      mechanism                  setting
 ========================  =========================  ====================
 MtEvictionChannel          DSB set eviction           hyper-threaded
 MtMisalignmentChannel      LSD misalign collision     hyper-threaded
+RetirementChannel          retirement-slot sharing    hyper-threaded
 NonMtEvictionChannel       DSB eviction, own thread   time-sliced
 NonMtMisalignmentChannel   LSD collision, own thread  time-sliced
 SlowSwitchChannel          LCP stalls + DSB switches  time-sliced
@@ -39,6 +40,7 @@ from repro.channels.misalignment import (
     MtMisalignmentChannel,
     NonMtMisalignmentChannel,
 )
+from repro.channels.retirement import RetirementChannel, RETIRE_WIDTH
 from repro.channels.slow_switch import SlowSwitchChannel
 from repro.channels.power import PowerEvictionChannel, PowerMisalignmentChannel
 from repro.channels.coding import (
@@ -63,6 +65,8 @@ __all__ = [
     "NonMtEvictionChannel",
     "MtMisalignmentChannel",
     "NonMtMisalignmentChannel",
+    "RetirementChannel",
+    "RETIRE_WIDTH",
     "SlowSwitchChannel",
     "PowerEvictionChannel",
     "PowerMisalignmentChannel",

@@ -23,6 +23,7 @@ from dataclasses import dataclass, replace
 from typing import Sequence
 
 from repro.analysis.bits import alternating_bits, bits_to_string
+from repro.analysis.outcome import ScenarioOutcome
 from repro.analysis.threshold import ThresholdDecoder, calibrate_threshold
 from repro.analysis.wagner_fischer import error_rate
 from repro.errors import ChannelError
@@ -148,6 +149,27 @@ class TransmissionResult:
     @property
     def received_string(self) -> str:
         return bits_to_string(self.received_bits)
+
+    def to_outcome(self, frequency_hz: float = 0.0) -> ScenarioOutcome:
+        """Normalise into the shared outcome record scenarios consume.
+
+        ``frequency_hz`` is needed because the result only stores the
+        machine's *name*; pass ``machine.spec.frequency_hz`` to make the
+        outcome's own ``kbps`` property agree with :attr:`kbps`.
+        """
+        correct = sum(
+            1 for s, r in zip(self.sent_bits, self.received_bits) if s == r
+        )
+        return ScenarioOutcome(
+            label=self.channel_name,
+            machine=self.machine_name,
+            units_total=len(self.sent_bits),
+            units_correct=correct,
+            bits=len(self.sent_bits),
+            cycles=self.total_cycles,
+            frequency_hz=frequency_hz,
+            error_rate=self.error_rate,
+        )
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return (

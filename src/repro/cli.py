@@ -9,6 +9,8 @@ Gives each of the library's headline capabilities a one-line invocation:
 * ``spectre``     — recover a secret via Spectre v1 over a chosen channel;
 * ``sgx``         — run an SGX enclave attack;
 * ``defense``     — print the mitigation/attack matrix;
+* ``scenario``    — list/describe/run/submit declarative attack
+  scenarios (the ``repro.scenarios`` registry, see ``docs/scenarios.md``);
 * ``sweep``       — grid-sweep channel parameters (parallel + cached;
   ``--workers N`` shards it across the distributed fabric);
 * ``serve``       — run the sweep service on a Unix socket (and,
@@ -17,8 +19,9 @@ Gives each of the library's headline capabilities a one-line invocation:
 * ``watch``       — mirror a running service's event feed as JSONL;
 * ``metrics``     — fetch a running service's metrics snapshot;
 * ``worker``      — join a cluster coordinator as a compute node;
-* ``bench``       — benchmark the simulation backends (pinned micro
-  suite, writes ``BENCH_frontend.json``);
+* ``bench``       — benchmark a pinned micro suite (``--suite frontend``
+  writes ``BENCH_frontend.json``, ``--suite scenarios`` writes
+  ``BENCH_scenarios.json``);
 * ``validate``    — run the 10-point model-invariant checklist;
 * ``report``      — assemble benchmark results into REPORT.md.
 
@@ -138,6 +141,74 @@ def build_parser() -> argparse.ArgumentParser:
         "defense", help="mitigation/attack matrix", parents=[common]
     )
     defense.add_argument("--bits", type=int, default=32)
+
+    scenario = sub.add_parser(
+        "scenario",
+        help="run declarative attack scenarios (docs/scenarios.md)",
+    )
+    scenario_sub = scenario.add_subparsers(dest="scenario_command", required=True)
+    scenario_sub.add_parser("list", help="list the registered scenarios")
+    describe = scenario_sub.add_parser(
+        "describe", help="print one scenario's full spec"
+    )
+    describe.add_argument("name", help="registered scenario name")
+    describe.add_argument(
+        "--json",
+        action="store_true",
+        help="print the canonical JSON form instead of the table",
+    )
+    scenario_run = scenario_sub.add_parser(
+        "run", help="run a scenario and check its success criteria"
+    )
+    scenario_run.add_argument("name", help="registered scenario name")
+    scenario_run.add_argument(
+        "--trials",
+        type=int,
+        default=None,
+        help="override the spec's trial count",
+    )
+    scenario_run.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="override the spec's base seed",
+    )
+    scenario_run.add_argument(
+        "--json",
+        action="store_true",
+        help="print the pooled outcome as canonical JSON",
+    )
+    scenario_run.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="FILE",
+        help="also write the scenario.* metrics snapshot as JSON",
+    )
+    _add_backend_argument(scenario_run)
+    scenario_submit = scenario_sub.add_parser(
+        "submit",
+        help="submit a scenario parameter grid to a running service",
+    )
+    scenario_submit.add_argument("name", help="registered scenario name")
+    scenario_submit.add_argument(
+        "--socket", default=DEFAULT_SOCKET, help="Unix socket of the service"
+    )
+    scenario_submit.add_argument(
+        "--param",
+        action="append",
+        required=True,
+        metavar="NAME=V1,V2,...",
+        help="grid axis over a scenario parameter, e.g. "
+        "attempts_per_chunk=1,3,5 (repeat for multi-axis grids)",
+    )
+    scenario_submit.add_argument("--trials", type=int, default=1)
+    scenario_submit.add_argument(
+        "--seed", type=int, default=0, help="sweep base seed"
+    )
+    scenario_submit.add_argument("--priority", type=int, default=0)
+    scenario_submit.add_argument(
+        "--label", default=None, help="job label for the event log"
+    )
 
     sweep = sub.add_parser(
         "sweep",
@@ -314,25 +385,39 @@ def build_parser() -> argparse.ArgumentParser:
 
     bench = sub.add_parser(
         "bench",
-        help="benchmark the simulation backends on the pinned micro suite",
+        help="benchmark a pinned micro suite (frontend or scenarios)",
         parents=[common],
     )
     bench.add_argument(
+        "--suite",
+        default="frontend",
+        choices=["frontend", "scenarios"],
+        help="frontend: raw run_loop dispatch (BENCH_frontend.json); "
+        "scenarios: whole scenario trials (BENCH_scenarios.json)",
+    )
+    bench.add_argument(
         "--output",
-        default="BENCH_frontend.json",
-        help="result file (canonical JSON, default: BENCH_frontend.json)",
+        default=None,
+        help="result file (canonical JSON; default: BENCH_<suite>.json)",
     )
     bench.add_argument(
         "--loops",
         type=int,
-        default=300,
-        help="samples per single-point latency median",
+        default=None,
+        help="samples per latency median (default: 300 frontend, "
+        "5 scenarios)",
     )
     bench.add_argument(
         "--reps",
         type=int,
         default=200,
-        help="loop executions per sweep point",
+        help="loop executions per sweep point (frontend suite)",
+    )
+    bench.add_argument(
+        "--trials",
+        type=int,
+        default=2,
+        help="sweep trials per grid point (scenarios suite)",
     )
     bench.add_argument(
         "--jobs", type=int, default=2, help="parallel executor process count"
@@ -340,7 +425,8 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "--check",
         action="store_true",
-        help="fail unless the vectorized speedup clears the committed floor",
+        help="fail unless the vectorized speedup clears the committed "
+        "floor (frontend suite only)",
     )
 
     sub.add_parser(
@@ -806,11 +892,143 @@ def _cmd_defense(args) -> int:
     return 0
 
 
+def _render_criteria(criteria) -> str:
+    """``min_accuracy=0.9, min_kbps=100.0`` — only the set thresholds."""
+    return ", ".join(
+        f"{name}={value}"
+        for name, value in criteria.to_dict().items()
+        if value is not None
+    )
+
+
+def _cmd_scenario(args) -> int:
+    import json as _json
+
+    from repro import scenarios
+
+    if args.scenario_command == "list":
+        print(f"{'name':20s} {'kind':11s} {'machine':14s} {'trials':>6s}  title")
+        for spec in scenarios.all_specs():
+            print(
+                f"{spec.name:20s} {spec.kind:11s} {spec.machine:14s} "
+                f"{spec.trials:>6d}  {spec.title}"
+            )
+        return 0
+    spec = scenarios.get(args.name)
+    if args.scenario_command == "describe":
+        if args.json:
+            print(spec.to_json())
+            return 0
+        print(f"name     : {spec.name}")
+        print(f"kind     : {spec.kind}")
+        print(f"title    : {spec.title}")
+        print(f"machine  : {spec.machine}")
+        print(f"trials   : {spec.trials} (base seed {spec.base_seed})")
+        print(f"criteria : {_render_criteria(spec.criteria)}")
+        for name in sorted(spec.params):
+            print(f"param    : {name} = {spec.params[name]!r}")
+        return 0
+    if args.scenario_command == "run":
+        from repro.obs import MetricsRegistry
+
+        _apply_backend(args)
+        registry = MetricsRegistry()
+        result = scenarios.run_scenario(
+            spec, trials=args.trials, base_seed=args.seed, registry=registry
+        )
+        if args.metrics_out:
+            with open(args.metrics_out, "w", encoding="utf-8") as handle:
+                _json.dump(
+                    registry.snapshot(), handle, indent=2, sort_keys=True
+                )
+                handle.write("\n")
+        if args.json:
+            print(_json.dumps(result.to_dict(), sort_keys=True))
+            return 0 if result.passed else 1
+        outcome = result.outcome
+        print(f"scenario : {spec.name} ({spec.kind}) on {spec.machine}")
+        print(f"trials   : {len(result.per_trial)}")
+        print(
+            f"outcome  : accuracy {outcome.accuracy * 100:.1f}%, "
+            f"error {outcome.error_rate * 100:.2f}%, "
+            f"{outcome.kbps:.1f} Kbps"
+        )
+        verdict = "PASS" if result.passed else "FAIL"
+        print(f"criteria : {_render_criteria(spec.criteria)} -> {verdict}")
+        for failure in result.failures:
+            print(f"  failed : {failure}")
+        return 0 if result.passed else 1
+    # submit: a scenario parameter grid through the running sweep service.
+    from repro.scenarios.sweep import ScenarioSweepSpec
+    from repro.service.client import render_rows, submit_and_stream
+
+    grid = dict(parse_param_axis(axis) for axis in args.param)
+    sweep_spec = ScenarioSweepSpec(
+        scenario=spec.name,
+        grid=grid,
+        trials=args.trials,
+        base_seed=args.seed,
+        priority=args.priority,
+        label=args.label,
+    )
+    final = submit_and_stream(args.socket, sweep_spec)
+    if final.kind != "job-done":
+        print(f"error: {final.get('message')}", file=sys.stderr)
+        return 1
+    status = final.get("status")
+    if status != "ok":
+        print(f"job {final.get('job')} finished with status: {status}",
+              file=sys.stderr)
+        return 1
+    print(
+        f"scenario grid over {', '.join(grid)} — {spec.name} on "
+        f"{spec.machine} ({args.trials} trial(s)/point)"
+    )
+    print(
+        render_rows(
+            final.get("parameters", []),
+            final.get("metrics", []),
+            final.get("rows", []),
+        )
+    )
+    print(
+        f"{final.get('points')} points via service — "
+        f"cache hits {final.get('cache_hits')}, computed {final.get('computed')}, "
+        f"shared {final.get('shared')}, {final.get('elapsed_s'):.2f}s"
+    )
+    return 0
+
+
 def _cmd_bench(args) -> int:
     from repro.bench import check_floor, run_bench, write_bench
 
-    result = run_bench(loops=args.loops, reps=args.reps, jobs=args.jobs)
-    target = write_bench(result, args.output)
+    if args.suite == "scenarios":
+        from repro.errors import ConfigurationError
+        from repro.scenarios.bench import run_bench as run_scenario_bench
+
+        if args.check:
+            raise ConfigurationError(
+                "--check applies to the frontend suite only"
+            )
+        result = run_scenario_bench(
+            loops=args.loops if args.loops is not None else 5,
+            trials=args.trials,
+        )
+        target = write_bench(result, args.output or "BENCH_scenarios.json")
+        for backend, per_scenario in result["latency_ms"].items():
+            for name, millis in per_scenario.items():
+                print(f"{backend:11s} {name:20s} {millis:9.2f} ms/trial")
+        for backend, rates in result["points_per_sec"].items():
+            for name, rate in rates.items():
+                print(f"{backend:11s} {name:20s} {rate:9.2f} points/s")
+        print(f"wrote {target}", file=sys.stderr)
+        return 0
+    result = run_bench(
+        loops=args.loops if args.loops is not None else 300,
+        reps=args.reps,
+        jobs=args.jobs,
+    )
+    target = write_bench(result, args.output or "BENCH_frontend.json")
     for backend, per_program in result["latency_us"].items():
         for name, micros in per_program.items():
             print(f"{backend:11s} {name:16s} {micros:9.1f} us/point")
@@ -840,6 +1058,7 @@ _COMMANDS = {
     "spectre": _cmd_spectre,
     "sgx": _cmd_sgx,
     "defense": _cmd_defense,
+    "scenario": _cmd_scenario,
     "sweep": _cmd_sweep,
     "serve": _cmd_serve,
     "submit": _cmd_submit,

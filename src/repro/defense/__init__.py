@@ -36,6 +36,7 @@ from repro.defense.evaluation import (
     DefenseEvaluator,
     ChannelOutcome,
     MitigationReport,
+    evaluate_spectre_v2,
 )
 from repro.defense.detector import (
     CounterSignature,
@@ -53,6 +54,7 @@ __all__ = [
     "DefenseEvaluator",
     "ChannelOutcome",
     "MitigationReport",
+    "evaluate_spectre_v2",
     "CounterSignature",
     "DetectionResult",
     "FrontendAnomalyDetector",

@@ -28,8 +28,15 @@ from repro.frontend.params import FrontendParams
 from repro.isa.program import LoopProgram
 from repro.machine.machine import Machine
 from repro.machine.specs import GOLD_6226, MachineSpec
+from repro.spectre.btb import SpectreV2Attack, V2_DEFENSES
+from repro.spectre.channels import FrontendDsbChannel
 
-__all__ = ["ChannelOutcome", "MitigationReport", "DefenseEvaluator"]
+__all__ = [
+    "ChannelOutcome",
+    "MitigationReport",
+    "DefenseEvaluator",
+    "evaluate_spectre_v2",
+]
 
 #: A channel is considered broken when its error rate reaches this level
 #: (at 40%+ the receiver learns almost nothing per bit).
@@ -75,6 +82,61 @@ class MitigationReport:
             for o in self.outcomes
             if o.status in ("blocked", "broken")
         ]
+
+
+def evaluate_spectre_v2(
+    spec: MachineSpec = GOLD_6226,
+    seed: int = 4242,
+    secret: bytes = b"btb!",
+    defenses: tuple[str | None, ...] = V2_DEFENSES,
+    attempts_per_chunk: int = 3,
+    channel_factory=None,
+) -> list[ChannelOutcome]:
+    """Evaluate branch-target-injection defenses against Spectre v2.
+
+    Runs :class:`~repro.spectre.btb.SpectreV2Attack` once per defense
+    mode on an otherwise identical machine and classifies each outcome
+    with the channel thresholds: an ``intact`` undefended attack and
+    ``broken`` retpoline/IBPB runs is the expected report.  The channel
+    defaults to the paper's frontend DSB medium; pass
+    ``channel_factory(machine)`` to evaluate another.
+    """
+    outcomes: list[ChannelOutcome] = []
+    for defense in defenses:
+        if defense not in V2_DEFENSES:
+            raise ReproError(
+                f"unknown defense {defense!r}; expected one of {V2_DEFENSES}"
+            )
+        machine = Machine(spec, seed=seed)
+        channel = (
+            channel_factory(machine)
+            if channel_factory is not None
+            else FrontendDsbChannel(machine)
+        )
+        report = SpectreV2Attack(
+            machine,
+            channel,
+            secret,
+            attempts_per_chunk=attempts_per_chunk,
+            defense=defense,
+        ).run()
+        error = 1.0 - report.accuracy
+        if error >= BROKEN_ERROR:
+            status = "broken"
+        elif error >= DEGRADED_ERROR:
+            status = "degraded"
+        else:
+            status = "intact"
+        outcomes.append(
+            ChannelOutcome(
+                channel_name=f"spectre-v2[{defense or 'none'}]",
+                status=status,
+                kbps=report.leak_kbps,
+                error_rate=error,
+                detail=f"{report.chunks_correct}/{report.chunks_total} chunks",
+            )
+        )
+    return outcomes
 
 
 class DefenseEvaluator:

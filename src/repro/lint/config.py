@@ -53,9 +53,14 @@ DEFAULT_LAYERS: Mapping[str, frozenset[str]] = {
     "fingerprint": frozenset({"analysis", "errors", "isa", "machine"}),
     "sidechannel": frozenset({"analysis", "errors", "frontend", "isa", "machine"}),
     "spectre": frozenset({"analysis", "caches", "errors", "isa", "machine"}),
-    "sgx": frozenset({"channels", "errors", "frontend", "isa", "machine", "measure"}),
+    "sgx": frozenset(
+        {"analysis", "channels", "errors", "frontend", "isa", "machine", "measure"}
+    ),
+    # ``spectre`` entered the defense set with the Spectre v2 defense
+    # hook (evaluate_spectre_v2): mitigations are judged against the
+    # attacks they claim to stop.
     "defense": frozenset(
-        {"analysis", "channels", "errors", "frontend", "isa", "machine"}
+        {"analysis", "channels", "errors", "frontend", "isa", "machine", "spectre"}
     ),
     # -- experiment plumbing --------------------------------------------
     "workloads": frozenset({"errors", "isa"}),
@@ -67,9 +72,43 @@ DEFAULT_LAYERS: Mapping[str, frozenset[str]] = {
     "sweep": frozenset({"errors", "exec", "rng"}),
     "exec": frozenset({"errors", "obs", "rng", "sweep"}),
     "reporting": frozenset({"errors", "exec"}),
+    # -- scenario registry ------------------------------------------------
+    # Declarative attack scenarios sit above every attack layer they
+    # orchestrate and reuse the service's JSON spec conventions; only
+    # the entry points (cli) and the service's submit dispatch may
+    # import them back — a mutual service<->scenarios allowance like
+    # sweep<->exec (the Python-level cycle is broken by the server's
+    # lazy import).
+    "scenarios": frozenset(
+        {
+            "analysis",
+            "channels",
+            "errors",
+            "exec",
+            "frontend",
+            "isa",
+            "machine",
+            "measure",
+            "obs",
+            "rng",
+            "service",
+            "sgx",
+            "spectre",
+            "sweep",
+        }
+    ),
     # -- service layer ---------------------------------------------------
     "service": frozenset(
-        {"analysis", "channels", "errors", "exec", "machine", "obs", "sweep"}
+        {
+            "analysis",
+            "channels",
+            "errors",
+            "exec",
+            "machine",
+            "obs",
+            "scenarios",
+            "sweep",
+        }
     ),
     # -- cluster fabric ---------------------------------------------------
     # Sits above the service layer: it reuses the service's endpoint
@@ -102,6 +141,7 @@ DEFAULT_LAYERS: Mapping[str, frozenset[str]] = {
             "measure",
             "obs",
             "reporting",
+            "scenarios",
             "service",
             "sgx",
             "spectre",

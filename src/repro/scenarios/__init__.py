@@ -1,0 +1,62 @@
+"""Declarative attack-scenario registry.
+
+Every reproduction in this repository — the paper's own channels and
+the neighbouring attacks the substrate can express — is described by a
+:class:`~repro.scenarios.spec.ScenarioSpec`: machine, runner kind,
+kind-specific parameters, trial count, and declarative
+:class:`~repro.analysis.outcome.SuccessCriteria`.  Specs are pure data
+(JSON-round-trippable), live in a name → spec registry, and are
+executed by :func:`~repro.scenarios.runners.run_scenario`, which pools
+per-trial :class:`~repro.analysis.outcome.ScenarioOutcome` records,
+checks the criteria, and emits ``scenario.*`` metrics.
+
+Builtin scenarios (registered on import):
+
+====================  ==========  ===========================================
+name                  kind        reproduction
+====================  ==========  ===========================================
+frontal               frontal     arXiv 2005.11516 — interrupt-driven
+                                  per-step timing of SGX enclave paths
+                                  recovers branch directions
+retirement-channel    channel     arXiv 2307.12486 — SMT retirement-slot
+                                  contention as a covert channel
+spectre-v2            spectre-v2  branch-target injection through a
+                                  partially-tagged BTB, frontend-DSB medium
+====================  ==========  ===========================================
+
+Consumers: ``python -m repro scenario list|describe|run|submit`` and the
+sweep service's scenario-grid submissions
+(:class:`~repro.scenarios.sweep.ScenarioSweepSpec`).
+"""
+
+from repro.scenarios.spec import SCENARIO_KINDS, ScenarioSpec
+from repro.scenarios import registry
+from repro.scenarios.registry import register, unregister, get, names, all_specs
+from repro.scenarios.builtin import (
+    BUILTIN_SCENARIOS,
+    FRONTAL,
+    RETIREMENT_CHANNEL,
+    SPECTRE_V2,
+)
+from repro.scenarios.runners import ScenarioResult, run_scenario, run_trial
+from repro.scenarios.sweep import ScenarioSweepSpec, scenario_point_metrics
+
+__all__ = [
+    "SCENARIO_KINDS",
+    "ScenarioSpec",
+    "registry",
+    "register",
+    "unregister",
+    "get",
+    "names",
+    "all_specs",
+    "BUILTIN_SCENARIOS",
+    "FRONTAL",
+    "RETIREMENT_CHANNEL",
+    "SPECTRE_V2",
+    "ScenarioResult",
+    "run_scenario",
+    "run_trial",
+    "ScenarioSweepSpec",
+    "scenario_point_metrics",
+]

@@ -1,0 +1,144 @@
+"""Scenario micro-benchmark: the pinned ``scenarios-micro-v1`` suite.
+
+The frontend bench (``repro.bench``) times raw ``run_loop`` dispatch;
+this suite times whole *scenario trials* — the realistic unit of work a
+scenario sweep schedules — for every registered builtin scenario, under
+every simulation backend.  Before any timing, each scenario trial is
+checked for identical outcome metrics across the backends (the
+bit-identical backend contract extends through attacks, enclaves, and
+channels; a fast backend that changes an attack's result is broken, not
+fast).
+
+Two views per backend, mirroring the frontend suite:
+
+* **trial latency** — median wall time of one ``run_trial`` at a
+  pinned seed;
+* **points/sec** — throughput of a small pinned scenario grid under
+  the serial executor.
+
+``python -m repro bench --suite scenarios`` writes the result through
+the same :func:`repro.bench.write_bench` snapshot machinery into
+``BENCH_scenarios.json``.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.errors import ExecutionError
+from repro.exec import SerialExecutor
+from repro.frontend.backends import set_default_backend
+from repro.obs import MetricsRegistry, use_registry
+from repro.scenarios import registry
+from repro.scenarios.builtin import BUILTIN_SCENARIOS
+from repro.scenarios.runners import run_trial
+from repro.scenarios.sweep import ScenarioSweepSpec
+
+__all__ = ["SUITE_NAME", "pinned_grids", "run_bench"]
+
+SUITE_NAME = "scenarios-micro-v1"
+
+#: Seed every latency/equivalence trial uses (never change: results
+#: stay comparable over time).
+_TRIAL_SEED = 20220417
+
+
+def pinned_grids() -> dict[str, dict[str, list]]:
+    """The fixed per-scenario sweep grids the throughput view runs."""
+    return {
+        "frontal": {"steps_per_branch": [3, 5]},
+        "retirement-channel": {"bits": [120, 200]},
+        "spectre-v2": {"attempts_per_chunk": [1, 3]},
+    }
+
+
+def _assert_equivalent(backends: tuple[str, ...]) -> dict[str, dict]:
+    """Refuse to benchmark backends that change any scenario's outcome.
+
+    Returns the (backend-independent) outcome metrics per scenario for
+    embedding in the result document.
+    """
+    reference_metrics: dict[str, dict] = {}
+    for spec in BUILTIN_SCENARIOS:
+        per_backend = {}
+        for backend in backends:
+            previous = set_default_backend(backend)
+            try:
+                outcome = run_trial(spec, seed=_TRIAL_SEED)
+            finally:
+                set_default_backend(previous)
+            per_backend[backend] = outcome.metrics()
+        first = per_backend[backends[0]]
+        for backend, metrics in per_backend.items():
+            if metrics != first:
+                raise ExecutionError(
+                    f"backend {backend!r} changes scenario {spec.name!r} "
+                    f"outcome ({metrics} != {first}); fix equivalence "
+                    "before benchmarking"
+                )
+        reference_metrics[spec.name] = first
+    return reference_metrics
+
+
+def run_bench(
+    loops: int = 5,
+    trials: int = 2,
+    backends: tuple[str, ...] = ("reference", "vectorized"),
+) -> dict:
+    """Run the pinned scenario suite and return the result document.
+
+    ``loops`` is the sample count for trial-latency medians; ``trials``
+    the sweep trial count for the points/sec view.
+    """
+    grids = pinned_grids()
+    metrics_registry = MetricsRegistry()
+    latency_ms: dict[str, dict[str, float]] = {}
+    points_per_sec: dict[str, dict[str, float]] = {}
+    with use_registry(metrics_registry):
+        outcomes = _assert_equivalent(backends)
+        for backend in backends:
+            latency_ms[backend] = {}
+            points_per_sec[backend] = {}
+            previous = set_default_backend(backend)
+            try:
+                for spec in BUILTIN_SCENARIOS:
+                    samples = []
+                    for _ in range(loops):
+                        start = time.perf_counter()
+                        run_trial(spec, seed=_TRIAL_SEED)
+                        samples.append(time.perf_counter() - start)
+                    samples.sort()
+                    latency_ms[backend][spec.name] = (
+                        samples[len(samples) // 2] * 1e3
+                    )
+                    sweep = ScenarioSweepSpec(
+                        scenario=spec.name,
+                        grid=grids[spec.name],
+                        trials=trials,
+                        base_seed=1,
+                    ).build_sweep()
+                    n_points = len(sweep.points())
+                    start = time.perf_counter()
+                    sweep.run(executor=SerialExecutor())
+                    elapsed = time.perf_counter() - start
+                    points_per_sec[backend][spec.name] = n_points / elapsed
+            finally:
+                set_default_backend(previous)
+    return {
+        "suite": SUITE_NAME,
+        "loops": loops,
+        "trials": trials,
+        "scenarios": {
+            spec.name: {
+                "kind": spec.kind,
+                "machine": spec.machine,
+                "grid": grids[spec.name],
+            }
+            for spec in BUILTIN_SCENARIOS
+        },
+        "outcomes": outcomes,
+        "latency_ms": latency_ms,
+        "points_per_sec": points_per_sec,
+        "registered": list(registry.names()),
+        "metrics": metrics_registry.snapshot(),
+    }

@@ -1,0 +1,71 @@
+"""The three builtin attack scenarios.
+
+Each is a pure data value — the substrate it exercises lives in
+``repro.sgx.frontal``, ``repro.channels.retirement``, and
+``repro.spectre.btb``.  Machine choices follow the hardware each attack
+needs: Frontal wants SGX (and works best without SMT noise — the Azure
+E-2288G), the retirement channel and Spectre v2 want the SMT-enabled
+Gold 6226.
+
+The success criteria are the acceptance thresholds the CI scenario
+smoke job asserts: Frontal branch-direction accuracy > 0.9, retirement
+channel error rate < 0.05, Spectre v2 secret-recovery accuracy > 0.9.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.outcome import SuccessCriteria
+from repro.scenarios.registry import register
+from repro.scenarios.spec import ScenarioSpec
+
+__all__ = ["FRONTAL", "RETIREMENT_CHANNEL", "SPECTRE_V2", "BUILTIN_SCENARIOS"]
+
+FRONTAL = ScenarioSpec(
+    name="frontal",
+    kind="frontal",
+    title="Frontal: interrupt-driven SGX branch-direction recovery",
+    machine="Xeon E-2288G",
+    criteria=SuccessCriteria(min_accuracy=0.9),
+    trials=3,
+    base_seed=2005_11516,
+    params={
+        "secret": "frontal!",
+        "steps_per_branch": 5,
+        "calibration_reps": 8,
+    },
+)
+
+RETIREMENT_CHANNEL = ScenarioSpec(
+    name="retirement-channel",
+    kind="channel",
+    title="Retirement-slot contention covert channel (SMT)",
+    machine="Gold 6226",
+    criteria=SuccessCriteria(max_error_rate=0.05, min_kbps=100.0),
+    trials=3,
+    base_seed=2307_12486,
+    params={
+        "channel": "mt-retirement",
+        "bits": 200,
+        "pattern": "random",
+    },
+)
+
+SPECTRE_V2 = ScenarioSpec(
+    name="spectre-v2",
+    kind="spectre-v2",
+    title="Spectre v2: BTB poisoning through the frontend DSB medium",
+    machine="Gold 6226",
+    criteria=SuccessCriteria(min_accuracy=0.9),
+    trials=3,
+    base_seed=2,
+    params={
+        "secret": "btbpoison",
+        "channel": "frontend-dsb",
+        "attempts_per_chunk": 5,
+    },
+)
+
+BUILTIN_SCENARIOS = (FRONTAL, RETIREMENT_CHANNEL, SPECTRE_V2)
+
+for _spec in BUILTIN_SCENARIOS:
+    register(_spec)

@@ -1,0 +1,148 @@
+"""Declarative scenario specifications.
+
+A :class:`ScenarioSpec` is a complete, JSON-round-trippable description
+of one attack reproduction: which runner *kind* executes it, which
+machine it runs on, its kind-specific parameters, how many trials to
+pool, and the :class:`~repro.analysis.outcome.SuccessCriteria` the
+pooled outcome must clear.  The serialisation conventions mirror
+``repro.service.spec.SweepSpec`` — plain-JSON ``to_dict``/``from_dict``
+with unknown-field rejection — so specs cross the sweep service's wire
+unchanged.
+
+Scenario *kinds* name runner families (how a spec is executed); the
+registry maps scenario *names* to concrete parameterisations.  Three
+kinds exist today:
+
+* ``frontal`` — single-stepped SGX branch-direction recovery
+  (:class:`repro.sgx.frontal.FrontalAttack`);
+* ``channel`` — a covert-channel transmission through any channel
+  ``repro.service.spec.build_channel`` knows;
+* ``spectre-v2`` — branch-target injection
+  (:class:`repro.spectre.btb.SpectreV2Attack`).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.analysis.outcome import SuccessCriteria
+from repro.errors import ConfigurationError
+
+__all__ = ["SCENARIO_KINDS", "ScenarioSpec"]
+
+#: Runner families ``repro.scenarios.runners`` can execute.
+SCENARIO_KINDS = ("frontal", "channel", "spectre-v2")
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One registered attack scenario, as data."""
+
+    name: str
+    kind: str
+    title: str
+    machine: str
+    criteria: SuccessCriteria
+    trials: int = 3
+    base_seed: int = 0
+    params: Mapping[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("scenario needs a non-empty name")
+        if self.kind not in SCENARIO_KINDS:
+            raise ConfigurationError(
+                f"unknown scenario kind {self.kind!r}; choose from "
+                f"{sorted(SCENARIO_KINDS)}"
+            )
+        if self.trials < 1:
+            raise ConfigurationError(
+                f"trials must be >= 1, got {self.trials}"
+            )
+        if not isinstance(self.criteria, SuccessCriteria):
+            raise ConfigurationError(
+                "criteria must be a SuccessCriteria instance"
+            )
+        # Freeze params into a plain dict so accidental aliasing of the
+        # caller's mapping cannot mutate a registered spec.
+        object.__setattr__(self, "params", dict(self.params))
+
+    # ------------------------------------------------------------------
+    def with_overrides(
+        self,
+        params: Mapping[str, object] | None = None,
+        trials: int | None = None,
+        base_seed: int | None = None,
+    ) -> "ScenarioSpec":
+        """A copy with parameter/trial/seed overrides applied."""
+        merged = dict(self.params)
+        if params:
+            merged.update(params)
+        return dataclasses.replace(
+            self,
+            params=merged,
+            trials=self.trials if trials is None else trials,
+            base_seed=self.base_seed if base_seed is None else base_seed,
+        )
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """Plain-JSON form, stable under ``json.dumps(sort_keys=True)``."""
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "title": self.title,
+            "machine": self.machine,
+            "criteria": self.criteria.to_dict(),
+            "trials": self.trials,
+            "base_seed": self.base_seed,
+            "params": dict(self.params),
+        }
+
+    def to_json(self) -> str:
+        """Canonical JSON text (byte-identical for equal specs)."""
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "ScenarioSpec":
+        if not isinstance(payload, Mapping):
+            raise ConfigurationError(
+                f"scenario spec must be an object: {payload!r}"
+            )
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = sorted(set(payload) - known)
+        if unknown:
+            raise ConfigurationError(
+                f"unknown scenario spec field(s) {unknown}"
+            )
+        missing = sorted(
+            {"name", "kind", "title", "machine", "criteria"} - set(payload)
+        )
+        if missing:
+            raise ConfigurationError(
+                f"scenario spec missing required field(s) {missing}"
+            )
+        params = payload.get("params", {})
+        if not isinstance(params, Mapping):
+            raise ConfigurationError("scenario params must be an object")
+        return cls(
+            name=str(payload["name"]),
+            kind=str(payload["kind"]),
+            title=str(payload["title"]),
+            machine=str(payload["machine"]),
+            criteria=SuccessCriteria.from_dict(payload["criteria"]),
+            trials=int(payload.get("trials", 3)),
+            base_seed=int(payload.get("base_seed", 0)),
+            params=dict(params),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "ScenarioSpec":
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ConfigurationError(f"invalid scenario JSON: {exc}") from exc
+        return cls.from_dict(payload)

@@ -183,7 +183,15 @@ class SweepServer:
         spec_payload = request.get("spec")
         if not isinstance(spec_payload, dict):
             raise ConfigurationError("submit request needs a spec object")
-        spec = SweepSpec.from_dict(spec_payload)
+        if "scenario" in spec_payload:
+            # Imported lazily: repro.scenarios sits above the service
+            # spec in the layer table, and importing it at module load
+            # would cycle through repro.service.__init__.
+            from repro.scenarios.sweep import ScenarioSweepSpec
+
+            spec = ScenarioSweepSpec.from_dict(spec_payload)
+        else:
+            spec = SweepSpec.from_dict(spec_payload)
         job = self.service.submit(
             spec.build_sweep(), priority=spec.priority, label=spec.label
         )

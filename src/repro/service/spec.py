@@ -36,6 +36,7 @@ from repro.channels.power import (
     PowerEvictionChannel,
     PowerMisalignmentChannel,
 )
+from repro.channels.retirement import RetirementChannel
 from repro.channels.slow_switch import SlowSwitchChannel
 from repro.errors import ConfigurationError
 from repro.machine.machine import Machine
@@ -59,6 +60,7 @@ CHANNEL_NAMES = (
     "slow-switch",
     "mt-eviction",
     "mt-misalignment",
+    "mt-retirement",
     "power-eviction",
     "power-misalignment",
 )
@@ -72,6 +74,7 @@ CHANNEL_DEFAULTS: dict[str, dict] = {
     "slow-switch": {},
     "mt-eviction": dict(MtEvictionChannel.MT_DEFAULTS),
     "mt-misalignment": dict(MtMisalignmentChannel.MT_DEFAULTS),
+    "mt-retirement": dict(RetirementChannel.MT_DEFAULTS),
     "power-eviction": {"p": POWER_ITERATIONS, "q": POWER_ITERATIONS},
     "power-misalignment": {
         "p": POWER_ITERATIONS,
@@ -92,6 +95,7 @@ def build_channel(machine: Machine, name: str, variant: str, config=None):
         "slow-switch": lambda: SlowSwitchChannel(machine, config),
         "mt-eviction": lambda: MtEvictionChannel(machine, config),
         "mt-misalignment": lambda: MtMisalignmentChannel(machine, config),
+        "mt-retirement": lambda: RetirementChannel(machine, config),
         "power-eviction": lambda: PowerEvictionChannel(
             machine, config, variant=variant
         ),

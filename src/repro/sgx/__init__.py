@@ -20,5 +20,14 @@ leak to a receiver outside.
 from repro.sgx.enclave import Enclave, EnclaveParams
 from repro.sgx.attacks import SgxNonMtAttack, SgxMtAttack
 from repro.sgx.power_attack import SgxPowerAttack
+from repro.sgx.frontal import FrontalAttack, FrontalParams
 
-__all__ = ["Enclave", "EnclaveParams", "SgxNonMtAttack", "SgxMtAttack", "SgxPowerAttack"]
+__all__ = [
+    "Enclave",
+    "EnclaveParams",
+    "SgxNonMtAttack",
+    "SgxMtAttack",
+    "SgxPowerAttack",
+    "FrontalAttack",
+    "FrontalParams",
+]

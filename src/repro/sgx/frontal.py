@@ -1,0 +1,203 @@
+"""The Frontal attack: interrupt-driven frontend timing of enclave code.
+
+Reproduces the mechanism of arXiv 2005.11516 on this simulator: a
+malicious OS single-steps an SGX enclave with timer interrupts (AEX /
+ERESUME around every step) and times each step.  A *balanced* secret-
+dependent branch — both sides execute the same instruction sequence —
+still leaks its direction, because the two sides are laid out at
+different code addresses and therefore different 16-byte-window
+**alignments**: the misaligned side pays extra decode work every time
+the frontend restarts cold.
+
+The model maps each element of the real attack onto the substrate:
+
+* **single-stepping** — every step is one `Enclave.ecall` (the
+  ERESUME…AEX round trip of ``EnclaveParams``) around a short run of
+  the current path's block chain;
+* **interrupt side effect** — the attacker's interrupt handler runs
+  between steps and evicts the enclave's frontend state, so each step
+  executes *cold* (``Machine.reset()``), which is precisely what makes
+  the per-window alignment difference visible (a warm DSB would serve
+  both paths identically);
+* **balanced branch** — the taken path is the not-taken path's chain
+  rebuilt ``misaligned=True`` (``MISALIGN_OFFSET`` into the fetch
+  window) in a different DSB set: same blocks, same micro-op counts,
+  different alignment;
+* **template classification** — the attacker first single-steps
+  known-direction executions of both paths, fits a
+  :class:`~repro.analysis.threshold.ThresholdDecoder` on the per-branch
+  mean step times, then classifies each secret branch.
+
+The enclave slowdown (×4) *amplifies* the alignment delta — SGX makes
+this attack easier, not harder, matching the paper's observation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.bits import pack_chunks, unpack_chunks
+from repro.analysis.outcome import ScenarioOutcome
+from repro.analysis.threshold import calibrate_threshold
+from repro.errors import ConfigurationError, EnclaveError
+from repro.isa.program import LoopProgram
+from repro.machine.machine import Machine
+from repro.sgx.enclave import Enclave, EnclaveParams
+
+__all__ = ["FrontalParams", "FrontalAttack"]
+
+
+@dataclass(frozen=True)
+class FrontalParams:
+    """Tunables of the single-stepping attacker.
+
+    blocks_per_path:
+        Chain length of each branch side (same for both — the branch is
+        balanced).
+    step_iterations:
+        Loop iterations executed inside one interrupt window; longer
+        windows integrate more per-window decode cost per timing shot.
+    steps_per_branch:
+        Interrupt windows averaged per secret branch execution; the
+        mean suppresses occasional measurement spikes.
+    calibration_reps:
+        Known-direction branch executions per class used to fit the
+        timing template.
+    not_taken_set / taken_set:
+        DSB sets the two sides' chains are placed in.
+    """
+
+    blocks_per_path: int = 6
+    step_iterations: int = 30
+    steps_per_branch: int = 5
+    calibration_reps: int = 8
+    not_taken_set: int = 3
+    taken_set: int = 9
+
+    def __post_init__(self) -> None:
+        if self.blocks_per_path < 1:
+            raise ConfigurationError("paths need at least one block")
+        if self.step_iterations < 1 or self.steps_per_branch < 1:
+            raise ConfigurationError("step counts must be >= 1")
+        if self.calibration_reps < 2:
+            raise ConfigurationError(
+                "template calibration needs at least 2 reps per class"
+            )
+        if self.not_taken_set == self.taken_set:
+            raise ConfigurationError(
+                "the two branch sides must live in different DSB sets"
+            )
+
+
+class FrontalAttack:
+    """Recovers secret branch directions by single-stepping an enclave."""
+
+    def __init__(
+        self,
+        machine: Machine,
+        secret: bytes,
+        params: FrontalParams | None = None,
+        enclave_params: EnclaveParams | None = None,
+    ) -> None:
+        if not secret:
+            raise EnclaveError("frontal attack needs a non-empty secret")
+        self.machine = machine
+        self.params = params or FrontalParams()
+        self.enclave = Enclave(machine, enclave_params)
+        self._secret = secret
+        self.secret_bits = pack_chunks(secret, chunk_bits=1)
+        p = self.params
+        layout = machine.layout()
+        # The balanced branch: identical chains, one aligned and one
+        # pushed MISALIGN_OFFSET into its fetch windows.
+        self._paths = {
+            0: LoopProgram(
+                layout.chain(p.not_taken_set, p.blocks_per_path, label="frontal.nt"),
+                p.step_iterations,
+                "frontal.nt",
+            ),
+            1: LoopProgram(
+                layout.chain(
+                    p.taken_set,
+                    p.blocks_per_path,
+                    misaligned=True,
+                    first_slot=p.blocks_per_path,
+                    label="frontal.t",
+                ),
+                p.step_iterations,
+                "frontal.t",
+            ),
+        }
+        self._decoder = None
+        #: True attack cycles (enclave steps, calibration excluded).
+        self.cycles = 0.0
+
+    # ------------------------------------------------------------------
+    def _step(self, bit: int) -> tuple[float, float]:
+        """One interrupt window: cold restart, ERESUME, run, AEX, time.
+
+        Returns ``(measured, true_cycles)``.
+        """
+        # The interrupt handler and the attacker's collection code ran
+        # on this core since the last step: the enclave's frontend
+        # state is gone.
+        self.machine.reset()
+        report = self.enclave.ecall(self._paths[bit])
+        measured = self.machine.timer.measure(report.cycles).measured_cycles
+        return measured, report.cycles
+
+    def _branch_mean(self, bit: int, charge: bool = True) -> float:
+        """Mean step time over one branch execution's interrupt windows."""
+        total_measured = 0.0
+        for _ in range(self.params.steps_per_branch):
+            measured, true_cycles = self._step(bit)
+            total_measured += measured
+            if charge:
+                self.cycles += true_cycles
+        return total_measured / self.params.steps_per_branch
+
+    # ------------------------------------------------------------------
+    def calibrate(self):
+        """Fit the timing template from known-direction executions."""
+        zero_obs = [
+            self._branch_mean(0, charge=False)
+            for _ in range(self.params.calibration_reps)
+        ]
+        one_obs = [
+            self._branch_mean(1, charge=False)
+            for _ in range(self.params.calibration_reps)
+        ]
+        self._decoder = calibrate_threshold(zero_obs, one_obs)
+        return self._decoder
+
+    def run(self) -> ScenarioOutcome:
+        """Recover every secret branch direction; returns the outcome.
+
+        Calibration traffic is not charged to the leak rate, matching
+        the steady-state convention of the covert channels.
+        """
+        if self._decoder is None:
+            self.calibrate()
+        recovered_bits = [
+            self._decoder.decide(self._branch_mean(bit))
+            for bit in self.secret_bits
+        ]
+        correct = sum(
+            1 for s, r in zip(self.secret_bits, recovered_bits) if s == r
+        )
+        self.recovered = unpack_chunks(
+            recovered_bits, n_bytes=len(self._secret), chunk_bits=1
+        )
+        return ScenarioOutcome.from_counts(
+            label="frontal",
+            machine=self.machine.spec.name,
+            units_correct=correct,
+            units_total=len(self.secret_bits),
+            bits=len(self.secret_bits),
+            cycles=self.cycles,
+            frequency_hz=self.machine.spec.frequency_hz,
+            details={
+                "steps_per_branch": float(self.params.steps_per_branch),
+                "enclave_transitions": float(self.enclave.transitions),
+            },
+        )

@@ -36,9 +36,16 @@ from repro.spectre.channels import (
     ALL_SPECTRE_CHANNELS,
 )
 from repro.spectre.attack import SpectreV1Attack, AttackReport
+from repro.spectre.btb import (
+    BranchTargetBuffer,
+    SpectreV2Victim,
+    SpectreV2Attack,
+    V2_DEFENSES,
+)
 
 __all__ = [
     "BranchPredictor",
+    "BranchTargetBuffer",
     "SpectreV1Victim",
     "TransientWindow",
     "SpectreChannel",
@@ -51,4 +58,7 @@ __all__ = [
     "ALL_SPECTRE_CHANNELS",
     "SpectreV1Attack",
     "AttackReport",
+    "SpectreV2Victim",
+    "SpectreV2Attack",
+    "V2_DEFENSES",
 ]

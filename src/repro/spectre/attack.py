@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.analysis.bits import unpack_chunks
+from repro.analysis.outcome import ScenarioOutcome, leak_kbps
 from repro.errors import SpectreError
 from repro.machine.machine import Machine
 from repro.spectre.channels import MissCounts, SpectreChannel
@@ -53,11 +54,24 @@ class AttackReport:
     @property
     def leak_kbps(self) -> float:
         """Secret bits recovered per second of attack execution."""
-        if not self.channel_cycles or not self.frequency_hz:
-            return 0.0
-        seconds = self.channel_cycles / self.frequency_hz
-        bits = self.chunks_total * self.chunk_bits
-        return bits / seconds / 1e3
+        return leak_kbps(
+            self.chunks_total * self.chunk_bits,
+            self.channel_cycles,
+            self.frequency_hz,
+        )
+
+    def to_outcome(self, machine: str = "") -> ScenarioOutcome:
+        """Normalise into the shared outcome record scenarios consume."""
+        return ScenarioOutcome.from_counts(
+            label=self.channel_name,
+            machine=machine,
+            units_correct=self.chunks_correct,
+            units_total=self.chunks_total,
+            bits=self.chunks_total * self.chunk_bits,
+            cycles=self.channel_cycles,
+            frequency_hz=self.frequency_hz,
+            details={"l1_miss_rate": self.l1_miss_rate},
+        )
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return (

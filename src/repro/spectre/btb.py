@@ -1,0 +1,284 @@
+"""Spectre v2: branch-target injection through a partially-tagged BTB.
+
+Spectre v1 (``repro.spectre.attack``) steers a *conditional* branch's
+direction.  Variant 2 steers an *indirect* branch's target: the branch
+target buffer stores only a partial tag above its set index, so an
+attacker executing an indirect branch at a congruent address in its own
+address space installs an entry the victim's branch hits.  The poisoned
+prediction sends the victim's transient execution into a disclosure
+gadget that touches one of the existing ``repro.spectre.channels``
+media, exactly like a v1 gadget.
+
+The model keeps the three properties the attack depends on:
+
+* **partial tagging** — :meth:`BranchTargetBuffer.aliasing_pc` produces
+  a different address with identical index *and* tag, so cross-address-
+  space training works without knowing the victim's full PC;
+* **entry turnover** — every architectural execution of the victim's
+  branch overwrites the entry with the real target, so the attacker
+  must re-poison before each victim invocation;
+* **defenses** — ``retpoline`` (the victim's indirect branches never
+  consume BTB predictions) and ``ibpb`` (the predictor is flushed on
+  the context switch into the victim), evaluated by
+  ``repro.defense.evaluation.evaluate_spectre_v2``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.bits import pack_chunks, unpack_chunks
+from repro.errors import SpectreError
+from repro.machine.machine import Machine
+from repro.spectre.attack import AttackReport
+from repro.spectre.channels import SpectreChannel
+from repro.spectre.victim import TransientWindow
+
+__all__ = [
+    "BranchTargetBuffer",
+    "SpectreV2Victim",
+    "SpectreV2Attack",
+    "V2_DEFENSES",
+]
+
+#: Recognised defense modes for the v2 attack (``None`` = undefended).
+V2_DEFENSES = (None, "retpoline", "ibpb")
+
+
+class BranchTargetBuffer:
+    """Set-indexed, partially-tagged branch target buffer.
+
+    An entry is looked up by ``index = (pc >> 4) % entries`` with a
+    ``tag_bits``-wide tag taken from the bits directly above the index.
+    Address bits above the tag never participate — that truncation is
+    the vulnerability: congruent PCs in different address spaces share
+    an entry.
+    """
+
+    def __init__(self, entries: int = 512, tag_bits: int = 8) -> None:
+        if entries < 1 or entries & (entries - 1):
+            raise SpectreError(f"entries must be a power of two, got {entries}")
+        if tag_bits < 1:
+            raise SpectreError(f"tag_bits must be >= 1, got {tag_bits}")
+        self.entries = entries
+        self.tag_bits = tag_bits
+        self._index_bits = entries.bit_length() - 1
+        # index -> (tag, predicted target); None when invalid.
+        self._table: list[tuple[int, int] | None] = [None] * entries
+
+    def _locate(self, pc: int) -> tuple[int, int]:
+        index = (pc >> 4) % self.entries
+        tag = (pc >> (4 + self._index_bits)) & ((1 << self.tag_bits) - 1)
+        return index, tag
+
+    def predict(self, pc: int) -> int | None:
+        """Predicted target for the indirect branch at ``pc`` (or None)."""
+        index, tag = self._locate(pc)
+        entry = self._table[index]
+        if entry is None or entry[0] != tag:
+            return None
+        return entry[1]
+
+    def update(self, pc: int, target: int) -> None:
+        """Install the resolved target (evicting any tag-conflicting entry)."""
+        index, tag = self._locate(pc)
+        self._table[index] = (tag, target)
+
+    def flush(self) -> None:
+        """IBPB: invalidate every entry."""
+        self._table = [None] * self.entries
+
+    def aliasing_pc(self, pc: int, salt: int = 1) -> int:
+        """A different address whose index *and* tag collide with ``pc``.
+
+        Adding multiples of ``2 ** (4 + index_bits + tag_bits)`` changes
+        only bits the lookup ignores — the attacker's trampoline address.
+        """
+        if salt < 1:
+            raise SpectreError(f"salt must be >= 1, got {salt}")
+        return pc + (salt << (4 + self._index_bits + self.tag_bits))
+
+
+class SpectreV2Victim:
+    """A victim dispatching through a function-pointer table.
+
+    Architecturally every call lands in one of ``n_handlers`` benign
+    handlers.  Microarchitecturally, if the BTB predicts the attacker's
+    gadget address, the disclosure gadget runs transiently and touches
+    channel element ``chunks[staged]`` before the squash — ``staged``
+    models the attacker-controlled register contents left in place for
+    the gadget to consume.
+    """
+
+    def __init__(
+        self,
+        secret: bytes,
+        rng: np.random.Generator,
+        chunk_bits: int = 5,
+        n_handlers: int = 4,
+        branch_pc: int = 0x402000,
+        gadget_pc: int = 0x40F300,
+        window: TransientWindow | None = None,
+    ) -> None:
+        if not secret:
+            raise SpectreError("victim needs a non-empty secret")
+        if n_handlers < 1:
+            raise SpectreError("dispatch table needs at least one handler")
+        self.chunk_bits = chunk_bits
+        self.chunks = pack_chunks(secret, chunk_bits)
+        self.branch_pc = branch_pc
+        self.gadget_pc = gadget_pc
+        self.handler_pcs = [0x404000 + 64 * i for i in range(n_handlers)]
+        if gadget_pc in self.handler_pcs or gadget_pc == branch_pc:
+            raise SpectreError("gadget_pc must not collide with victim code")
+        self.window = window or TransientWindow()
+        self._rng = rng
+        self._staged = 0
+
+    @property
+    def n_chunks(self) -> int:
+        return len(self.chunks)
+
+    def stage(self, chunk: int) -> None:
+        """Leave attacker-controlled register state selecting ``chunk``."""
+        if not 0 <= chunk < self.n_chunks:
+            raise SpectreError(
+                f"chunk must be in 0..{self.n_chunks - 1}, got {chunk}"
+            )
+        self._staged = chunk
+
+    def call(
+        self,
+        selector: int,
+        btb: BranchTargetBuffer,
+        channel,
+        speculate: bool = True,
+    ) -> bool:
+        """One dispatch; returns True if the transient gadget fired.
+
+        ``speculate=False`` models a retpoline-compiled victim: the
+        indirect branch is a return trampoline that never consumes a
+        BTB prediction.
+        """
+        if not 0 <= selector < len(self.handler_pcs):
+            raise SpectreError(
+                f"selector must be in 0..{len(self.handler_pcs) - 1}, "
+                f"got {selector}"
+            )
+        target = self.handler_pcs[selector]
+        predicted = btb.predict(self.branch_pc) if speculate else None
+        fired = False
+        if (
+            predicted == self.gadget_pc
+            and predicted != target
+            and self._rng.random() < self.window.success_rate
+        ):
+            channel.touch(self.chunks[self._staged], transient=True)
+            fired = True
+        # The architectural path runs the benign handler — unlike v1's
+        # in-bounds gadget it never touches the probe medium; its cache
+        # footprint is modelled by the attack's background() calls.
+        btb.update(self.branch_pc, target)
+        return fired
+
+
+class SpectreV2Attack:
+    """Recovers a victim secret by branch-target injection.
+
+    Mirrors :class:`~repro.spectre.attack.SpectreV1Attack`'s phase
+    structure — poison, prepare, dispatch, recover — and returns the
+    same :class:`~repro.spectre.attack.AttackReport`, so scenario
+    success criteria consume both variants identically.
+    """
+
+    def __init__(
+        self,
+        machine: Machine,
+        channel: SpectreChannel,
+        secret: bytes,
+        trainings: int = 4,
+        attempts_per_chunk: int = 1,
+        window: TransientWindow | None = None,
+        defense: str | None = None,
+        btb: BranchTargetBuffer | None = None,
+    ) -> None:
+        if trainings < 1:
+            raise SpectreError("need at least one training call per chunk")
+        if attempts_per_chunk < 1:
+            raise SpectreError("need at least one attempt per chunk")
+        if defense not in V2_DEFENSES:
+            raise SpectreError(
+                f"unknown defense {defense!r}; expected one of {V2_DEFENSES}"
+            )
+        self.machine = machine
+        self.channel = channel
+        self.trainings = trainings
+        self.attempts_per_chunk = attempts_per_chunk
+        self.defense = defense
+        self.btb = btb or BranchTargetBuffer()
+        self.victim = SpectreV2Victim(
+            secret,
+            rng=machine.rngs.stream("spectre/v2-victim"),
+            chunk_bits=channel.chunk_bits,
+            window=window,
+        )
+        self._train_pc = self.btb.aliasing_pc(self.victim.branch_pc)
+        self._secret = secret
+
+    def poison(self) -> None:
+        """Train the shared BTB entry from the attacker's address space."""
+        for _ in range(self.trainings):
+            self.btb.update(self._train_pc, self.victim.gadget_pc)
+
+    def recover_chunk(self, chunk: int) -> int:
+        """Poison, prepare, dispatch, recover — one chunk."""
+        self.poison()
+        if self.defense == "ibpb":
+            # Barrier on the context switch into the victim: the
+            # attacker's training never survives to the dispatch.
+            self.btb.flush()
+        self.channel.prepare()
+        self.channel.background()
+        self.victim.stage(chunk)
+        self.victim.call(
+            chunk % len(self.victim.handler_pcs),
+            self.btb,
+            self.channel,
+            speculate=self.defense != "retpoline",
+        )
+        recovered = self.channel.recover()
+        self.channel.background()
+        return recovered
+
+    def run(self) -> AttackReport:
+        """Recover the whole secret; majority-vote across attempts."""
+        before = self.channel.miss_counts()
+        cycles_before = self.channel.cycles
+        recovered_chunks: list[int] = []
+        correct = 0
+        for chunk_index, true_value in enumerate(self.victim.chunks):
+            votes: dict[int, int] = {}
+            for _ in range(self.attempts_per_chunk):
+                guess = self.recover_chunk(chunk_index)
+                votes[guess] = votes.get(guess, 0) + 1
+            best = max(votes, key=lambda v: (votes[v], -v))
+            recovered_chunks.append(best)
+            if best == true_value:
+                correct += 1
+        after = self.channel.miss_counts()
+        recovered = unpack_chunks(
+            recovered_chunks,
+            n_bytes=len(self._secret),
+            chunk_bits=self.victim.chunk_bits,
+        )
+        return AttackReport(
+            channel_name=self.channel.name,
+            secret=self._secret,
+            recovered=recovered,
+            chunks_total=len(self.victim.chunks),
+            chunks_correct=correct,
+            l1=after.delta(before),
+            channel_cycles=self.channel.cycles - cycles_before,
+            frequency_hz=self.machine.spec.frequency_hz,
+            chunk_bits=self.victim.chunk_bits,
+        )
