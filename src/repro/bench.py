@@ -54,14 +54,18 @@ from repro.sweep import ParameterSweep, SweepPoint
 
 __all__ = [
     "SUITE_NAME",
+    "LINT_SUITE_NAME",
     "VECTORIZED_SPEEDUP_FLOOR",
     "pinned_suite",
     "run_bench",
+    "run_lint_bench",
     "check_floor",
     "write_bench",
 ]
 
 SUITE_NAME = "frontend-micro-v1"
+
+LINT_SUITE_NAME = "lint-full-tree-v1"
 
 #: Committed contract: vectorized serial points/sec >= floor * reference.
 VECTORIZED_SPEEDUP_FLOOR = 5.0
@@ -215,6 +219,98 @@ def check_floor(result: dict, floor: float | None = None) -> float:
             f"committed floor {floor:.1f}x"
         )
     return speedup
+
+
+def _median_of(samples: list[float]) -> float:
+    ordered = sorted(samples)
+    return ordered[len(ordered) // 2]
+
+
+def run_lint_bench(root: str | Path = ".", loops: int = 3) -> dict:
+    """Time a full-tree lint run, phase by phase (``--suite lint``).
+
+    The interprocedural families (``proto-*``/``race-*``) made the lint
+    run a real analysis pass rather than a per-file scan, so its cost
+    is now worth pinning: ``BENCH_lint.json`` records the median of
+    ``loops`` samples for the total run, the parse phase, the
+    call-graph build and each rule family, plus files/sec — a lint
+    perf regression shows up as a diff, exactly like a backend one.
+
+    Refuses to time a tree with active violations or parse errors: a
+    failing run exercises different code paths (and a dirty tree should
+    be fixed, not benchmarked).
+    """
+    # Local imports: ``bench`` is a subject of the linter, and the
+    # layering table grants it the ``lint`` edge for exactly this suite.
+    from repro.lint import all_rules, build_call_graph, default_config, run_lint
+    from repro.lint.core import Project
+    from repro.lint.runner import discover_files
+
+    root = Path(root).resolve()
+    config = default_config()
+    report = run_lint(root, config=config)
+    if report.parse_errors or report.active:
+        summary = report.summary()
+        raise ExecutionError(
+            "refusing to benchmark a tree that does not lint clean: "
+            f"{summary['errors']} error(s), {summary['warnings']} "
+            f"warning(s), {summary['parse_errors']} parse error(s)"
+        )
+
+    files = discover_files(root, config)
+    loops = max(1, loops)
+
+    total_samples: list[float] = []
+    for _ in range(loops):
+        start = time.perf_counter()
+        run_lint(root, config=config)
+        total_samples.append(time.perf_counter() - start)
+
+    parse_samples: list[float] = []
+    for _ in range(loops):
+        start = time.perf_counter()
+        Project.load(root, files, config=config)
+        parse_samples.append(time.perf_counter() - start)
+
+    graph_samples: list[float] = []
+    for _ in range(loops):
+        project = Project.load(root, files, config=config)
+        start = time.perf_counter()
+        build_call_graph(project)
+        graph_samples.append(time.perf_counter() - start)
+
+    families: dict[str, list[type]] = {}
+    for rule_cls in all_rules():
+        families.setdefault(rule_cls.family, []).append(rule_cls)
+    family_samples: dict[str, list[float]] = {name: [] for name in families}
+    for _ in range(loops):
+        # A fresh project per sample keeps memoised analyses (call
+        # graph, protocol tables) *inside* the family that builds them.
+        project = Project.load(root, files, config=config)
+        for name in sorted(families):
+            start = time.perf_counter()
+            for rule_cls in families[name]:
+                for _violation in rule_cls().check(project):
+                    pass
+            family_samples[name].append(time.perf_counter() - start)
+
+    total_s = _median_of(total_samples)
+    return {
+        "suite": LINT_SUITE_NAME,
+        "loops": loops,
+        "files": len(files),
+        "rules": len(all_rules()),
+        "total_s": round(total_s, 4),
+        "files_per_sec": round(len(files) / total_s, 1),
+        "phases_s": {
+            "parse": round(_median_of(parse_samples), 4),
+            "callgraph": round(_median_of(graph_samples), 4),
+        },
+        "families_s": {
+            name: round(_median_of(samples), 4)
+            for name, samples in sorted(family_samples.items())
+        },
+    }
 
 
 def write_bench(result: dict, path: str | Path) -> Path:

@@ -391,9 +391,10 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "--suite",
         default="frontend",
-        choices=["frontend", "scenarios"],
+        choices=["frontend", "scenarios", "lint"],
         help="frontend: raw run_loop dispatch (BENCH_frontend.json); "
-        "scenarios: whole scenario trials (BENCH_scenarios.json)",
+        "scenarios: whole scenario trials (BENCH_scenarios.json); "
+        "lint: full-tree analysis timing (BENCH_lint.json)",
     )
     bench.add_argument(
         "--output",
@@ -464,6 +465,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--strict",
         action="store_true",
         help="treat warnings as failures",
+    )
+    lint.add_argument(
+        "--changed",
+        nargs="?",
+        const="HEAD",
+        default=None,
+        metavar="REF",
+        help="report findings only for files changed vs REF (default "
+        "HEAD) plus untracked files; the whole tree is still analysed, "
+        "and the run falls back to full-tree when git is unavailable",
     )
     lint.add_argument(
         "--list-rules",
@@ -644,7 +655,11 @@ def _cmd_lint(args) -> int:
     root = Path.cwd()
     baseline = Baseline.load(args.baseline)
     report = run_lint(
-        root, paths=args.paths or None, baseline=baseline, strict=args.strict
+        root,
+        paths=args.paths or None,
+        baseline=baseline,
+        strict=args.strict,
+        changed_only=args.changed,
     )
     if args.write_baseline:
         if args.baseline is None:
@@ -1002,6 +1017,28 @@ def _cmd_scenario(args) -> int:
 def _cmd_bench(args) -> int:
     from repro.bench import check_floor, run_bench, write_bench
 
+    if args.suite == "lint":
+        from repro.bench import run_lint_bench
+        from repro.errors import ConfigurationError
+
+        if args.check:
+            raise ConfigurationError(
+                "--check applies to the frontend suite only"
+            )
+        result = run_lint_bench(
+            loops=args.loops if args.loops is not None else 3
+        )
+        target = write_bench(result, args.output or "BENCH_lint.json")
+        print(
+            f"lint        full tree        {result['total_s']:9.3f} s/run "
+            f"({result['files']} files, {result['files_per_sec']:.0f} files/s)"
+        )
+        for phase, seconds in sorted(result["phases_s"].items()):
+            print(f"lint        {phase:16s} {seconds:9.3f} s")
+        for family, seconds in sorted(result["families_s"].items()):
+            print(f"lint        family:{family:9s} {seconds:9.3f} s")
+        print(f"wrote {target}", file=sys.stderr)
+        return 0
     if args.suite == "scenarios":
         from repro.errors import ConfigurationError
         from repro.scenarios.bench import run_bench as run_scenario_bench

@@ -87,6 +87,8 @@ class WorkerHandle:
     shards: set[int] = field(default_factory=set)
     #: Locality of the last shard dispatched to this worker.
     locality: str | None = None
+    #: Local pool width the worker registered with (its ``jobs=``).
+    slots: int = 1
     points_done: int = 0
 
     @property
@@ -179,6 +181,8 @@ class Coordinator:
         self._server: asyncio.AbstractServer | None = None
         self._monitor: asyncio.Task | None = None
         self._handlers: set[asyncio.Task] = set()
+        #: In-flight shard dispatch sends (see _dispatch / stop).
+        self._send_tasks: set[asyncio.Task] = set()
         self._first_worker = asyncio.Event()
         self._finished = asyncio.Event()
         self._failure: BaseException | None = None
@@ -258,20 +262,31 @@ class Coordinator:
                 "point(s) unresolved"
             )
             self._finished.set()
-        if self._monitor is not None:
-            self._monitor.cancel()
+        # Swap pattern throughout: take ownership of the shared handle
+        # *before* the first await, so a concurrent stop() (or a handler
+        # observing the teardown) never sees a half-cancelled task.
+        monitor, self._monitor = self._monitor, None
+        if monitor is not None:
+            monitor.cancel()
             try:
-                await self._monitor
+                await monitor
             except asyncio.CancelledError:
                 pass
-            self._monitor = None
+        sends, self._send_tasks = self._send_tasks, set()
+        for task in sends:
+            task.cancel()
+        for task in sends:
+            try:
+                await task
+            except asyncio.CancelledError:
+                pass
         for worker in list(self._workers.values()):
             await self._send_safe(worker, {"type": "shutdown", "reason": reason})
             worker.writer.close()
-        if self._server is not None:
-            self._server.close()
-            await self._server.wait_closed()
-            self._server = None
+        server, self._server = self._server, None
+        if server is not None:
+            server.close()
+            await server.wait_closed()
         # Connections are closed, so handlers drain to EOF on their own;
         # cancellation is a last resort (it trips a noisy wart in
         # asyncio.streams' connection_made callback on 3.11).
@@ -381,13 +396,23 @@ class Coordinator:
         while name in self._workers:
             suffix += 1
             name = f"{requested}-{suffix}"
-        worker = WorkerHandle(name=name, writer=writer, last_seen=self._clock())
+        worker = WorkerHandle(
+            name=name,
+            writer=writer,
+            last_seen=self._clock(),
+            slots=max(1, int(message.get("slots") or 1)),
+        )
         self._workers[name] = worker
         self._ever_had_workers = True
         self._workerless_since = None
         self._first_worker.set()
         self.registry.counter("cluster.workers_joined").inc()
-        self._emit("worker-joined", worker=name, workers=len(self._workers))
+        self._emit(
+            "worker-joined",
+            worker=name,
+            workers=len(self._workers),
+            slots=worker.slots,
+        )
         return worker
 
     def _dispatch_message(self, worker: WorkerHandle, message: dict) -> None:
@@ -525,8 +550,12 @@ class Coordinator:
             attempt=state.attempts,
             stolen=stolen,
         )
+        # asyncio holds only a weak reference to running tasks: retain
+        # the send until it completes, and cancel stragglers in stop().
         loop = asyncio.get_running_loop()
-        loop.create_task(self._send_or_drop(worker, message))
+        task = loop.create_task(self._send_or_drop(worker, message))
+        self._send_tasks.add(task)
+        task.add_done_callback(self._send_tasks.discard)
 
     async def _send_or_drop(self, worker: WorkerHandle, message: dict) -> None:
         try:

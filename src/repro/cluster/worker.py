@@ -164,6 +164,15 @@ class ClusterWorker:
                 raise ClusterProtocolError(
                     f"expected welcome, got {welcome.get('type')!r}"
                 )
+            if welcome.get("version") != PROTOCOL_VERSION:
+                # The coordinator vets our version on register, but the
+                # check must hold in both directions: a newer
+                # coordinator welcoming an older worker would otherwise
+                # fail later, mid-shard, with an opaque frame error.
+                raise ClusterProtocolError(
+                    f"coordinator speaks protocol {welcome.get('version')!r}, "
+                    f"this worker speaks {PROTOCOL_VERSION}"
+                )
             self.name = str(welcome.get("worker"))
             self._bind_instruments()
             heartbeat = asyncio.get_running_loop().create_task(

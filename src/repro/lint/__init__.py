@@ -13,7 +13,19 @@ constants — so this package checks those structures mechanically:
 * **concurrency** (``async-*``): no blocking calls inside ``async
   def`` bodies in the service layer;
 * **paper fidelity** (``fidelity-*``): simulator constants and doc
-  phrases match :mod:`repro.lint.manifest` exactly.
+  phrases match :mod:`repro.lint.manifest` exactly;
+* **wire protocol** (``proto-*``): every service/cluster JSONL frame
+  matches the declarative manifest in
+  :mod:`repro.lint.protocol_manifest` — ops, frame keys, JSON safety —
+  on both the sender and the handler side;
+* **asyncio races** (``race-*``): no read-modify-writes of shared
+  state across ``await`` points without a lock, no dropped
+  ``create_task`` results, no never-awaited coroutine calls.
+
+The ``proto-*``/``race-*`` families are built on a shared
+interprocedural core: a project call graph
+(:mod:`repro.lint.callgraph`) and a forward dataflow framework
+(:mod:`repro.lint.dataflow`).
 
 Run it as ``python -m repro.cli lint [--format json] [--baseline FILE]``
 or programmatically::
@@ -27,6 +39,7 @@ See ``docs/linting.md`` for the rule catalogue, the suppression syntax
 """
 
 from repro.lint.baseline import Baseline
+from repro.lint.callgraph import CallGraph, CallSite, FunctionNode, build_call_graph
 from repro.lint.config import DEFAULT_LAYERS, LintConfig, default_config
 from repro.lint.core import (
     ModuleInfo,
@@ -37,21 +50,46 @@ from repro.lint.core import (
     all_rules,
     rules_by_name,
 )
-from repro.lint.runner import Finding, LintReport, run_lint
+from repro.lint.dataflow import (
+    ForwardPass,
+    NameBindings,
+    dict_key_flow,
+    fixpoint_functions,
+)
+from repro.lint.protocol_manifest import (
+    CLUSTER_OPS,
+    PROTOCOL_OPS,
+    SERVICE_OPS,
+    OpSpec,
+)
+from repro.lint.runner import Finding, LintReport, changed_files, run_lint
 
 __all__ = [
     "Baseline",
+    "CLUSTER_OPS",
+    "CallGraph",
+    "CallSite",
     "DEFAULT_LAYERS",
     "Finding",
+    "ForwardPass",
+    "FunctionNode",
     "LintConfig",
     "LintReport",
     "ModuleInfo",
+    "NameBindings",
+    "OpSpec",
+    "PROTOCOL_OPS",
     "Project",
     "Rule",
+    "SERVICE_OPS",
     "Severity",
     "Violation",
     "all_rules",
+    "build_call_graph",
+    "changed_files",
     "default_config",
+    "dict_key_flow",
+    "fixpoint_functions",
     "rules_by_name",
     "run_lint",
 ]

@@ -26,6 +26,7 @@ from dataclasses import dataclass, field
 from typing import Mapping
 
 from repro.lint.core import Severity
+from repro.lint.protocol_manifest import PROTOCOL_OPS
 
 __all__ = ["LintConfig", "DEFAULT_LAYERS", "default_config"]
 
@@ -118,10 +119,22 @@ DEFAULT_LAYERS: Mapping[str, frozenset[str]] = {
     # The linter inspects everything but imports only foundations.
     "lint": frozenset({"errors"}),
     # The backend benchmark harness builds machines and drives sweeps to
-    # time them; like ``benchmarks`` it is a subject of tooling, not a
-    # driver, so it never reaches cli/__main__/lint.
+    # time them; it also times the linter itself (``--suite lint``),
+    # which is the one sanctioned bench -> lint edge.  Like
+    # ``benchmarks`` it is a subject of tooling, not a driver, so it
+    # never reaches cli/__main__.
     "bench": frozenset(
-        {"errors", "exec", "frontend", "isa", "machine", "obs", "sweep", "workloads"}
+        {
+            "errors",
+            "exec",
+            "frontend",
+            "isa",
+            "lint",
+            "machine",
+            "obs",
+            "sweep",
+            "workloads",
+        }
     ),
     # -- entry points ----------------------------------------------------
     "cli": frozenset(
@@ -207,8 +220,16 @@ class LintConfig:
         "measure",
         "obs",
     )
-    #: Packages whose ``async def`` bodies must never block the loop.
+    #: Packages whose ``async def`` bodies must never block the loop,
+    #: and whose shared state the ``race-*`` family audits for
+    #: read-modify-writes across ``await`` points.
     async_units: tuple[str, ...] = ("service", "cluster")
+    #: Packages scanned for wire-protocol frames (dict literals carrying
+    #: an ``"op"``/``"type"`` discriminator) by the ``proto-*`` family.
+    protocol_units: tuple[str, ...] = ("service", "cluster")
+    #: The wire-protocol manifest the ``proto-*`` family checks against
+    #: (fixture trees substitute their own OpSpec tuples).
+    protocol_ops: tuple = PROTOCOL_OPS
     #: The import DAG (see module docstring).
     layers: Mapping[str, frozenset[str]] = field(
         default_factory=lambda: dict(DEFAULT_LAYERS)

@@ -1,0 +1,190 @@
+"""Declarative manifest of every JSONL wire-protocol frame.
+
+Same idea as the paper-constant manifest (:mod:`repro.lint.manifest`),
+applied to the other structural contract the repo hand-rolls: the op
+frames of the sweep service (``{"op": ...}``, client ↔ server) and the
+cluster fabric (``{"type": ...}``, worker ↔ coordinator).  Each
+:class:`OpSpec` pins one frame kind: its discriminator literal, which
+modules may *send* it, which modules must *handle* it, and the exact
+key vocabulary — so the ``proto-*`` rules can prove sender and handler
+agree without executing either.
+
+Drift this catches mechanically (each was representable before this
+manifest existed):
+
+* a sender emitting an op no handler dispatches on (or vice versa) —
+  e.g. deleting the ``metrics`` branch from ``server.py`` now fails
+  lint;
+* a frame key written by the sender that no handler ever reads (the
+  worker's ``register`` frame carried ``slots`` for two PRs before the
+  coordinator stored it);
+* a handler reading a key the sender never sets (silently ``None``).
+
+Keys in ``informational`` are sent for humans reading the wire (or for
+forward compatibility) and are exempt from the "handler must read it"
+direction — ``shutdown.reason`` is the canonical example.
+
+Editing the protocol means editing this manifest in the same PR; the
+diff review *is* the protocol review (exactly the paper-constant
+workflow).  ``PROTOCOL_VERSION`` lives in
+:mod:`repro.cluster.protocol`; bump it whenever an :class:`OpSpec`
+changes incompatibly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "OpSpec",
+    "SERVICE_OPS",
+    "CLUSTER_OPS",
+    "PROTOCOL_OPS",
+    "ops_by_discriminator",
+]
+
+
+@dataclass(frozen=True)
+class OpSpec:
+    """One frame kind of one JSONL protocol."""
+
+    #: Discriminator literal, e.g. ``"submit"`` or ``"point-result"``.
+    op: str
+    #: Discriminator key: ``"op"`` (service) or ``"type"`` (cluster).
+    key: str
+    #: Dotted module names that may (and must, somewhere) send this frame.
+    senders: tuple[str, ...]
+    #: Dotted module names that must dispatch on this literal.
+    handlers: tuple[str, ...]
+    #: Keys every send site must set in its frame literal (includes the
+    #: discriminator key itself).
+    required: frozenset[str]
+    #: Keys a send site may additionally set.
+    optional: frozenset[str] = frozenset()
+    #: Sent-but-not-machine-read keys, exempt from the handler-read check.
+    informational: frozenset[str] = frozenset()
+    #: One-line description for the docs/catalogue.
+    doc: str = ""
+
+    @property
+    def allowed(self) -> frozenset[str]:
+        return self.required | self.optional
+
+
+def _spec(op, key, senders, handlers, required, optional=(), informational=(),
+          doc=""):
+    return OpSpec(
+        op=op,
+        key=key,
+        senders=tuple(senders),
+        handlers=tuple(handlers),
+        required=frozenset(required),
+        optional=frozenset(optional),
+        informational=frozenset(informational),
+        doc=doc,
+    )
+
+
+_CLIENT = "repro.service.client"
+_SERVER = "repro.service.server"
+_WORKER = "repro.cluster.worker"
+_COORD = "repro.cluster.coordinator"
+
+#: The sweep service's request vocabulary (responses are Event JSONL,
+#: typed by ``"event"``, and are not op frames).
+SERVICE_OPS: tuple[OpSpec, ...] = (
+    _spec(
+        "submit", "op", [_CLIENT], [_SERVER],
+        required=["op", "spec"],
+        doc="queue one SweepSpec/ScenarioSweepSpec; answers the job's "
+            "event stream through job-done",
+    ),
+    _spec(
+        "cancel", "op", [_CLIENT], [_SERVER],
+        required=["op", "job"],
+        doc="request cancellation of a queued or running job",
+    ),
+    _spec(
+        "ping", "op", [_CLIENT], [_SERVER],
+        required=["op"],
+        doc="liveness check; answers pong with queue counters",
+    ),
+    _spec(
+        "metrics", "op", [_CLIENT], [_SERVER],
+        required=["op"],
+        doc="snapshot the service's metrics registry",
+    ),
+    _spec(
+        "watch", "op", [_CLIENT], [_SERVER],
+        required=["op"],
+        optional=["kinds"],
+        doc="subscribe to the service-wide event feed, optionally "
+            "filtered to event kinds",
+    ),
+)
+
+#: The cluster fabric's frame vocabulary (see repro/cluster/protocol.py
+#: for the prose version; PROTOCOL_VERSION guards both directions).
+CLUSTER_OPS: tuple[OpSpec, ...] = (
+    # worker -> coordinator
+    _spec(
+        "register", "type", [_WORKER], [_COORD],
+        required=["type", "worker", "slots", "version"],
+        doc="first frame on a worker connection: requested name, local "
+            "pool width, protocol version",
+    ),
+    _spec(
+        "heartbeat", "type", [_WORKER], [_COORD],
+        required=["type", "worker"],
+        informational=["worker"],  # liveness is per-connection; the name
+        # is for humans tailing the wire.
+        doc="liveness ping, sent every heartbeat_interval even while "
+            "computing",
+    ),
+    _spec(
+        "point-result", "type", [_WORKER], [_COORD],
+        required=["type", "shard", "index", "metrics", "elapsed_s", "cached"],
+        doc="one finished point, streamed the moment it completes",
+    ),
+    _spec(
+        "shard-done", "type", [_WORKER], [_COORD],
+        required=["type", "shard"],
+        doc="every point of the shard has been reported",
+    ),
+    _spec(
+        "shard-error", "type", [_WORKER], [_COORD],
+        required=["type", "shard", "message"],
+        doc="the shard failed (undecodable or the factory raised)",
+    ),
+    # coordinator -> worker
+    _spec(
+        "welcome", "type", [_COORD], [_WORKER],
+        required=["type", "worker", "version"],
+        doc="registration accepted; carries the final (uniquified) "
+            "worker name and the coordinator's protocol version",
+    ),
+    _spec(
+        "shard", "type", [_COORD], [_WORKER],
+        required=["type", "shard", "factory", "points"],
+        doc="compute these points with this (encoded) factory",
+    ),
+    _spec(
+        "shutdown", "type", [_COORD], [_WORKER],
+        required=["type", "reason"],
+        informational=["reason"],
+        doc="the run is over (or the registration was refused); workers "
+            "exit their serve loop",
+    ),
+)
+
+PROTOCOL_OPS: tuple[OpSpec, ...] = SERVICE_OPS + CLUSTER_OPS
+
+
+def ops_by_discriminator(
+    ops: tuple[OpSpec, ...] = PROTOCOL_OPS,
+) -> dict[str, dict[str, OpSpec]]:
+    """``{"op": {literal: spec}, "type": {literal: spec}}`` lookup table."""
+    table: dict[str, dict[str, OpSpec]] = {}
+    for spec in ops:
+        table.setdefault(spec.key, {})[spec.op] = spec
+    return table

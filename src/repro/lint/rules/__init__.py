@@ -5,9 +5,25 @@ Families (rule-name prefixes):
 * ``det-*``   — determinism (:mod:`repro.lint.rules.determinism`);
 * ``layer-*`` — layering / import DAG (:mod:`repro.lint.rules.layering`);
 * ``async-*`` — event-loop hygiene (:mod:`repro.lint.rules.concurrency`);
-* ``fidelity-*`` — paper-constant drift (:mod:`repro.lint.rules.fidelity`).
+* ``fidelity-*`` — paper-constant drift (:mod:`repro.lint.rules.fidelity`);
+* ``proto-*`` — wire-protocol conformance (:mod:`repro.lint.rules.protocol`);
+* ``race-*``  — asyncio race shapes (:mod:`repro.lint.rules.races`).
 """
 
-from repro.lint.rules import concurrency, determinism, fidelity, layering
+from repro.lint.rules import (
+    concurrency,
+    determinism,
+    fidelity,
+    layering,
+    protocol,
+    races,
+)
 
-__all__ = ["concurrency", "determinism", "fidelity", "layering"]
+__all__ = [
+    "concurrency",
+    "determinism",
+    "fidelity",
+    "layering",
+    "protocol",
+    "races",
+]

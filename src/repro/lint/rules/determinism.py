@@ -24,6 +24,7 @@ from repro.lint.core import (
     register,
     resolve_call_target,
 )
+from repro.lint.dataflow import fixpoint_functions
 
 __all__ = ["UnseededRandomRule", "WallClockRule", "SetIterationRule"]
 
@@ -241,26 +242,11 @@ class SetIterationRule(Rule):
     def _module_set_returners(cls, tree: ast.AST) -> frozenset[str]:
         """Module-level functions whose every return is provably a set.
 
-        Iterates to a fixed point so chains resolve regardless of
-        definition order (``def a(): return b()`` before ``def b():
-        return set(...)``).
+        The fixed-point plumbing this rule pioneered now lives in
+        :func:`repro.lint.dataflow.fixpoint_functions`; the rule keeps
+        only its acceptance predicate (:meth:`_returns_only_sets`).
         """
-        functions: dict[str, ast.AST] = {}
-        for node in ast.iter_child_nodes(tree):
-            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
-                functions[node.name] = node
-        returners: set[str] = set()
-        changed = True
-        while changed:
-            changed = False
-            frozen = frozenset(returners)
-            for name, func in functions.items():
-                if name in returners:
-                    continue
-                if cls._returns_only_sets(func, frozen):
-                    returners.add(name)
-                    changed = True
-        return frozenset(returners)
+        return fixpoint_functions(tree, cls._returns_only_sets)
 
     @classmethod
     def _returns_only_sets(

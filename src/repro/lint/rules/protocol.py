@@ -1,0 +1,742 @@
+"""Wire-protocol conformance rules (``proto-*``).
+
+The sweep service and the cluster fabric speak hand-rolled JSONL
+protocols: dict frames carrying an ``"op"`` (service) or ``"type"``
+(cluster) discriminator, built inline at send sites and dispatched on
+string comparisons at handler sites.  Nothing ties the two sides
+together at runtime except hope, so these rules prove the tie
+statically against the declarative manifest in
+:mod:`repro.lint.protocol_manifest`:
+
+* ``proto-unknown-op`` — a frame literal sent, or a dispatch
+  comparison made, with a discriminator the manifest does not declare;
+* ``proto-missing-handler`` — a declared op with no send site in its
+  sender modules, or no dispatch site in its handler modules (deleting
+  a handler branch fails the lint);
+* ``proto-frame-keys`` — a send site missing a required key or setting
+  an undeclared one; a handler reading an undeclared key; a declared
+  non-informational key that no handler ever reads;
+* ``proto-json-unsafe`` — a frame value that is statically not JSON
+  serialisable (sets, bytes, ...): it would die in ``json.dumps`` at
+  send time, on the remote's schedule instead of the author's.
+
+The analysis leans on the shared core: *send sites* are dict literals
+containing a discriminator key (plus ``frame["k"] = ...`` stores found
+by :func:`repro.lint.dataflow.dict_key_flow`); *handler sites* are
+comparisons of ``frame.get(<key>)`` (or a name bound to one) against
+string literals, where frame-ness of names starts at
+``read_message(...)``/``json.loads(...)`` results and propagates
+through calls via the project call graph — so keys read by
+``self._on_point_result(worker, message)`` count for the
+``point-result`` branch that made the call.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Iterator, Mapping
+
+from repro.lint.callgraph import CallGraph, FunctionNode, build_call_graph
+from repro.lint.core import (
+    ModuleInfo,
+    Project,
+    Rule,
+    Violation,
+    import_aliases,
+    register,
+    resolve_call_target,
+    walk_functions,
+)
+from repro.lint.dataflow import NameBindings, dict_key_flow, literal_dict_keys
+from repro.lint.protocol_manifest import OpSpec, ops_by_discriminator
+
+__all__ = [
+    "UnknownOpRule",
+    "MissingHandlerRule",
+    "FrameKeysRule",
+    "JsonUnsafeRule",
+]
+
+#: Call targets whose result is a protocol frame (dotted suffix match).
+_FRAME_SOURCES = ("read_message",)
+_FRAME_SOURCE_EXACT = ("json.loads",)
+
+
+@dataclass
+class SendSite:
+    """One dict literal that builds a protocol frame."""
+
+    module: ModuleInfo
+    node: ast.Dict
+    key: str
+    op: str
+    definite: frozenset[str]
+    possible: frozenset[str]
+    values: dict[str, ast.expr]
+    open_ended: bool
+
+
+@dataclass
+class DispatchSite:
+    """One handler branch: a discriminator comparison and its region."""
+
+    module: ModuleInfo
+    node: ast.AST
+    key: str
+    op: str
+    #: Local name of the frame whose discriminator was compared.
+    frame: str
+    #: Statements executed when the comparison selects this op.
+    region: tuple[ast.stmt, ...]
+    func: "ast.FunctionDef | ast.AsyncFunctionDef"
+    #: Frame-typed local names of ``func``.
+    frames: frozenset[str]
+
+
+class _ProtocolAnalysis:
+    """Send sites, dispatch sites and per-op key reads for one project.
+
+    Built once per lint run (memoised on the project) and shared by all
+    four ``proto-*`` rules.
+    """
+
+    def __init__(self, project: Project) -> None:
+        config = project.config
+        self.ops: dict[str, dict[str, OpSpec]] = ops_by_discriminator(
+            tuple(getattr(config, "protocol_ops", ()))
+        )
+        self.keys = frozenset(self.ops)
+        self.units = frozenset(getattr(config, "protocol_units", ()))
+        self.graph: CallGraph = build_call_graph(project)
+        self.send_sites: list[SendSite] = []
+        self.dispatch_sites: list[DispatchSite] = []
+        #: function qualname -> frame-typed local names.
+        self._frames: dict[str, frozenset[str]] = {}
+        #: function qualname -> keys read (transitively) on its frames.
+        self._reads: dict[str, set[str]] = {}
+        self._modules = [m for m in project.modules if m.unit in self.units]
+        if self.keys:
+            for module in self._modules:
+                self._scan_sends(module)
+            self._compute_frames()
+            self._compute_reads()
+            for module in self._modules:
+                self._scan_dispatches(module)
+
+    # -- send sites -----------------------------------------------------
+    def _scan_sends(self, module: ModuleInfo) -> None:
+        flows_by_dict: dict[int, tuple] = {}
+        for func in walk_functions(module.tree):
+            for flow in dict_key_flow(func).values():
+                flows_by_dict[id(flow.node)] = (
+                    flow.possible, flow.values, flow.open_ended
+                )
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Dict):
+                continue
+            definite, values, open_ended = literal_dict_keys(node)
+            discriminators = definite & self.keys
+            if not discriminators:
+                continue
+            key = sorted(discriminators)[0]
+            op_expr = values[key]
+            if not (
+                isinstance(op_expr, ast.Constant)
+                and isinstance(op_expr.value, str)
+            ):
+                continue  # computed discriminator: out of static reach
+            possible = definite
+            if id(node) in flows_by_dict:
+                possible, values, flow_open = flows_by_dict[id(node)]
+                open_ended = open_ended or flow_open
+            self.send_sites.append(
+                SendSite(
+                    module=module,
+                    node=node,
+                    key=key,
+                    op=op_expr.value,
+                    definite=definite,
+                    possible=frozenset(possible),
+                    values=dict(values),
+                    open_ended=open_ended,
+                )
+            )
+
+    # -- frame-ness of local names --------------------------------------
+    def _seed_frames(
+        self, module: ModuleInfo, func: ast.AST, aliases: Mapping[str, str]
+    ) -> set[str]:
+        seeds: set[str] = set()
+        bindings = NameBindings(func)
+        for name, sites in bindings.sites.items():
+            for _, value in sites:
+                if value is None:
+                    continue
+                call = value.value if isinstance(value, ast.Await) else value
+                if not isinstance(call, ast.Call):
+                    continue
+                target = resolve_call_target(call, aliases)
+                if target is None:
+                    continue
+                if target in _FRAME_SOURCE_EXACT or target.rsplit(".", 1)[
+                    -1
+                ] in _FRAME_SOURCES:
+                    seeds.add(name)
+        return seeds
+
+    def _compute_frames(self) -> None:
+        funcs: dict[str, tuple[ModuleInfo, ast.AST]] = {}
+        seeds: dict[str, set[str]] = {}
+        for module in self._modules:
+            aliases = import_aliases(module.tree)
+            for func in walk_functions(module.tree):
+                node = self.graph.functions.get(self._qualname_of(module, func))
+                qualname = node.qualname if node is not None else None
+                if qualname is None:
+                    continue
+                funcs[qualname] = (module, func)
+                seeds[qualname] = self._seed_frames(module, func, aliases)
+        frames = {q: set(s) for q, s in seeds.items()}
+        changed = True
+        while changed:
+            changed = False
+            for qualname, (module, func) in funcs.items():
+                current = frames[qualname]
+                if not current:
+                    continue
+                for call in (
+                    n for n in ast.walk(func) if isinstance(n, ast.Call)
+                ):
+                    callee = self.graph.callee_of(call)
+                    if callee is None or callee.qualname not in frames:
+                        continue
+                    for param in self._frame_params(call, callee, current):
+                        if param not in frames[callee.qualname]:
+                            frames[callee.qualname].add(param)
+                            changed = True
+        self._frames = {q: frozenset(s) for q, s in frames.items()}
+        self._funcs = funcs
+
+    @staticmethod
+    def _frame_params(
+        call: ast.Call, callee: FunctionNode, frames: set[str]
+    ) -> Iterator[str]:
+        """Parameter names of ``callee`` that receive a frame argument."""
+        params = list(callee.params)
+        offset = 1 if callee.kind == "method" and params[:1] in (
+            ["self"], ["cls"]
+        ) else 0
+        for position, arg in enumerate(call.args):
+            if isinstance(arg, ast.Name) and arg.id in frames:
+                index = position + offset
+                if index < len(params):
+                    yield params[index]
+        for keyword in call.keywords:
+            if (
+                keyword.arg is not None
+                and isinstance(keyword.value, ast.Name)
+                and keyword.value.id in frames
+            ):
+                yield keyword.arg
+
+    def _qualname_of(self, module: ModuleInfo, func: ast.AST) -> str:
+        # Re-derive the graph's qualname by matching (module, name, line).
+        for node in self.graph.module_functions(module.module):
+            if node.lineno == func.lineno and node.name == getattr(
+                func, "name", ""
+            ):
+                return node.qualname
+        return f"{module.module}.{getattr(func, 'name', '<lambda>')}"
+
+    # -- key reads ------------------------------------------------------
+    def _direct_reads(self, func: ast.AST, frames: frozenset[str]) -> set[str]:
+        reads: set[str] = set()
+        for key, _node in self._read_nodes(func, frames):
+            reads.add(key)
+        return reads
+
+    @staticmethod
+    def _read_nodes(
+        scope: ast.AST, frames: frozenset[str]
+    ) -> Iterator[tuple[str, ast.AST]]:
+        """``frame.get("k")`` / ``frame["k"]`` reads within ``scope``."""
+        for node in ast.walk(scope):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "get"
+                and isinstance(node.func.value, ast.Name)
+                and node.func.value.id in frames
+                and node.args
+                and isinstance(node.args[0], ast.Constant)
+                and isinstance(node.args[0].value, str)
+            ):
+                yield node.args[0].value, node
+            elif (
+                isinstance(node, ast.Subscript)
+                and isinstance(node.value, ast.Name)
+                and node.value.id in frames
+                and isinstance(node.ctx, ast.Load)
+                and isinstance(node.slice, ast.Constant)
+                and isinstance(node.slice.value, str)
+            ):
+                yield node.slice.value, node
+
+    def _compute_reads(self) -> None:
+        reads = {
+            qualname: self._direct_reads(func, self._frames[qualname])
+            for qualname, (_module, func) in self._funcs.items()
+        }
+        changed = True
+        while changed:
+            changed = False
+            for qualname, (_module, func) in self._funcs.items():
+                frames = self._frames[qualname]
+                if not frames:
+                    continue
+                for call in (
+                    n for n in ast.walk(func) if isinstance(n, ast.Call)
+                ):
+                    callee = self.graph.callee_of(call)
+                    if callee is None or callee.qualname not in reads:
+                        continue
+                    if any(self._frame_params(call, callee, set(frames))):
+                        before = len(reads[qualname])
+                        reads[qualname] |= reads[callee.qualname]
+                        if len(reads[qualname]) != before:
+                            changed = True
+        self._reads = reads
+
+    # -- dispatch sites -------------------------------------------------
+    def _scan_dispatches(self, module: ModuleInfo) -> None:
+        for qualname, (mod, func) in self._funcs.items():
+            if mod is not module:
+                continue
+            frames = self._frames[qualname]
+            if not frames:
+                continue
+            bindings = NameBindings(func)
+            self._scan_block(module, func, func.body, frames, bindings)
+
+    def _scan_block(
+        self,
+        module: ModuleInfo,
+        func: ast.AST,
+        body: list[ast.stmt],
+        frames: frozenset[str],
+        bindings: NameBindings,
+    ) -> None:
+        for position, stmt in enumerate(body):
+            if isinstance(stmt, ast.If):
+                matched = self._match_test(stmt.test, frames, bindings)
+                if matched is not None:
+                    key, frame, literals, negated = matched
+                    if negated and _diverts_control(stmt.body):
+                        region = tuple(body[position + 1:])
+                    elif negated:
+                        region = ()
+                    else:
+                        region = tuple(stmt.body)
+                    for op in literals:
+                        self.dispatch_sites.append(
+                            DispatchSite(
+                                module=module,
+                                node=stmt.test,
+                                key=key,
+                                op=op,
+                                frame=frame,
+                                region=region,
+                                func=func,  # type: ignore[arg-type]
+                                frames=frames,
+                            )
+                        )
+                self._scan_block(module, func, stmt.body, frames, bindings)
+                self._scan_block(module, func, stmt.orelse, frames, bindings)
+            elif isinstance(stmt, (ast.For, ast.AsyncFor, ast.While)):
+                self._scan_block(module, func, stmt.body, frames, bindings)
+                self._scan_block(module, func, stmt.orelse, frames, bindings)
+            elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+                self._scan_block(module, func, stmt.body, frames, bindings)
+            elif isinstance(stmt, ast.Try):
+                self._scan_block(module, func, stmt.body, frames, bindings)
+                for handler in stmt.handlers:
+                    self._scan_block(
+                        module, func, handler.body, frames, bindings
+                    )
+                self._scan_block(module, func, stmt.orelse, frames, bindings)
+                self._scan_block(module, func, stmt.finalbody, frames, bindings)
+
+    def _match_test(
+        self,
+        test: ast.expr,
+        frames: frozenset[str],
+        bindings: NameBindings,
+    ) -> tuple[str, str, tuple[str, ...], bool] | None:
+        """First discriminator comparison within ``test``, if any.
+
+        Returns ``(discriminator key, frame name, literals, negated)``.
+        """
+        for node in ast.walk(test):
+            if not isinstance(node, ast.Compare) or len(node.ops) != 1:
+                continue
+            source = self._discriminator_source(node.left, frames, bindings)
+            if source is None:
+                continue
+            key, frame = source
+            operator = node.ops[0]
+            comparator = node.comparators[0]
+            if isinstance(operator, (ast.Eq, ast.NotEq)):
+                if isinstance(comparator, ast.Constant) and isinstance(
+                    comparator.value, str
+                ):
+                    return (
+                        key,
+                        frame,
+                        (comparator.value,),
+                        isinstance(operator, ast.NotEq),
+                    )
+            elif isinstance(operator, (ast.In, ast.NotIn)):
+                if isinstance(comparator, (ast.Tuple, ast.List, ast.Set)):
+                    literals = tuple(
+                        element.value
+                        for element in comparator.elts
+                        if isinstance(element, ast.Constant)
+                        and isinstance(element.value, str)
+                    )
+                    if literals:
+                        return (
+                            key,
+                            frame,
+                            literals,
+                            isinstance(operator, ast.NotIn),
+                        )
+        return None
+
+    def _discriminator_source(
+        self,
+        expr: ast.expr,
+        frames: frozenset[str],
+        bindings: NameBindings,
+    ) -> tuple[str, str] | None:
+        """Is ``expr`` (or the sole binding of the name it is) a
+        ``frame.get(<discriminator>)`` read?  ``(key, frame name)``."""
+        candidate = expr
+        if isinstance(expr, ast.Name):
+            value = bindings.sole_value(expr.id)
+            if value is None:
+                return None
+            candidate = value
+        for key, node in self._read_nodes(candidate, frames):
+            if key in self.keys and node is candidate:
+                frame_name = (
+                    node.func.value.id
+                    if isinstance(node, ast.Call)
+                    else node.value.id  # type: ignore[union-attr]
+                )
+                return key, frame_name
+        return None
+
+    # -- per-op read attribution ----------------------------------------
+    def site_reads(self, site: DispatchSite) -> set[tuple[str, ast.AST]]:
+        """Keys read for ``site``'s op: direct reads on the dispatched
+        frame within the region, plus the transitive reads of callees
+        the region passes that frame to."""
+        reads: set[tuple[str, ast.AST]] = set()
+        only = frozenset({site.frame})
+        for stmt in site.region:
+            for key, node in self._read_nodes(stmt, only):
+                reads.add((key, node))
+            for call in (
+                n for n in ast.walk(stmt) if isinstance(n, ast.Call)
+            ):
+                callee = self.graph.callee_of(call)
+                if callee is None or callee.qualname not in self._reads:
+                    continue
+                if any(self._frame_params(call, callee, set(only))):
+                    for key in self._reads[callee.qualname]:
+                        reads.add((key, call))
+        return reads
+
+    def module_named(self, project: Project, dotted: str) -> ModuleInfo | None:
+        for module in project.modules:
+            if module.module == dotted:
+                return module
+        return None
+
+
+def _diverts_control(body: list[ast.stmt]) -> bool:
+    """Does this guard body leave the enclosing block (return/raise/...)?"""
+    return bool(body) and isinstance(
+        body[-1], (ast.Return, ast.Raise, ast.Continue, ast.Break)
+    )
+
+
+def _analysis(project: Project) -> _ProtocolAnalysis:
+    cached = getattr(project, "_protocol_analysis", None)
+    if cached is None:
+        cached = _ProtocolAnalysis(project)
+        project._protocol_analysis = cached  # type: ignore[attr-defined]
+    return cached
+
+
+@register
+class UnknownOpRule(Rule):
+    """Every discriminator literal on the wire is declared in the manifest.
+
+    Fires on send sites (dict frames) and dispatch comparisons alike:
+    an op only one side knows about is exactly the drift the manifest
+    exists to prevent.
+    """
+
+    name = "proto-unknown-op"
+    family = "protocol"
+    description = (
+        "frame sent or dispatched with an op/type literal the protocol "
+        "manifest does not declare"
+    )
+
+    def check(self, project: Project) -> Iterator[Violation]:
+        analysis = _analysis(project)
+        for site in analysis.send_sites:
+            if site.op not in analysis.ops.get(site.key, {}):
+                yield self.violation(
+                    site.module,
+                    site.node,
+                    f'frame {{"{site.key}": "{site.op}"}} is not in the '
+                    "protocol manifest; declare an OpSpec in "
+                    "repro/lint/protocol_manifest.py (or fix the literal)",
+                )
+        for site in analysis.dispatch_sites:
+            if site.op not in analysis.ops.get(site.key, {}):
+                yield self.violation(
+                    site.module,
+                    site.node,
+                    f'handler dispatches on {site.key} == "{site.op}", '
+                    "which the protocol manifest does not declare",
+                )
+
+
+@register
+class MissingHandlerRule(Rule):
+    """Every declared op has a sender and a handler, both where declared.
+
+    The handler direction is the load-bearing one: deleting a dispatch
+    branch from ``server.py``/``coordinator.py``/``worker.py`` while
+    the sender still emits the frame fails the lint, not a live run.
+    """
+
+    name = "proto-missing-handler"
+    family = "protocol"
+    description = (
+        "a manifest op has no send site in its sender modules or no "
+        "dispatch site in its handler modules"
+    )
+
+    def check(self, project: Project) -> Iterator[Violation]:
+        analysis = _analysis(project)
+        sent: dict[tuple[str, str], set[str]] = {}
+        for site in analysis.send_sites:
+            sent.setdefault((site.key, site.op), set()).add(site.module.module)
+        handled: dict[tuple[str, str], set[str]] = {}
+        for site in analysis.dispatch_sites:
+            handled.setdefault((site.key, site.op), set()).add(
+                site.module.module
+            )
+        linted = {module.module for module in project.modules}
+        for by_op in analysis.ops.values():
+            for spec in by_op.values():
+                # A direction is only checkable when at least one of its
+                # declared modules is in this run: a partial-tree lint
+                # (``lint src/repro/measure``) must not report every
+                # protocol module it was never asked to look at.
+                senders = sent.get((spec.key, spec.op), set())
+                if not senders & set(spec.senders) and linted & set(spec.senders):
+                    yield self._absence(
+                        project, analysis, spec, spec.senders,
+                        f'no send site builds {{"{spec.key}": "{spec.op}"}} '
+                        f"in {', '.join(spec.senders)} (manifest says it "
+                        "must); remove the OpSpec or restore the sender",
+                    )
+                handlers = handled.get((spec.key, spec.op), set())
+                if not handlers & set(spec.handlers) and linted & set(spec.handlers):
+                    yield self._absence(
+                        project, analysis, spec, spec.handlers,
+                        f'no handler dispatches on {spec.key} == '
+                        f'"{spec.op}" in {", ".join(spec.handlers)}; the '
+                        "frame would be sent and silently dropped (or "
+                        "rejected as unexpected)",
+                    )
+
+    def _absence(
+        self,
+        project: Project,
+        analysis: _ProtocolAnalysis,
+        spec: OpSpec,
+        modules: tuple[str, ...],
+        message: str,
+    ) -> Violation:
+        for dotted in modules:
+            module = analysis.module_named(project, dotted)
+            if module is not None:
+                return self.violation(module, 1, message)
+        # Module absent from the run entirely: report on its dotted name
+        # (never suppressible, which is the right default for a module
+        # the manifest promises exists).
+        return self.violation(modules[0].replace(".", "/") + ".py", 1, message)
+
+
+@register
+class FrameKeysRule(Rule):
+    """Sender and handler agree on each op's key vocabulary.
+
+    Three directions, all against the manifest: send sites must set
+    every required key and nothing undeclared; handler regions must not
+    read undeclared keys; every declared non-informational key must be
+    read by some handler (a written-but-never-read key is dead freight
+    on the wire — the ``register.slots`` drift this rule was built on).
+    """
+
+    name = "proto-frame-keys"
+    family = "protocol"
+    description = (
+        "frame keys drift from the manifest: missing/undeclared at the "
+        "send site, undeclared at a handler read, or declared but never "
+        "read by any handler"
+    )
+
+    def check(self, project: Project) -> Iterator[Violation]:
+        analysis = _analysis(project)
+        for site in analysis.send_sites:
+            spec = analysis.ops.get(site.key, {}).get(site.op)
+            if spec is None:
+                continue  # proto-unknown-op owns this
+            missing = spec.required - site.definite
+            if missing:
+                yield self.violation(
+                    site.module,
+                    site.node,
+                    f'"{site.op}" frame misses required key(s) '
+                    f"{_fmt(missing)} (manifest requires {_fmt(spec.required)})",
+                )
+            if not site.open_ended:
+                undeclared = site.possible - spec.allowed
+                if undeclared:
+                    yield self.violation(
+                        site.module,
+                        site.node,
+                        f'"{site.op}" frame sets undeclared key(s) '
+                        f"{_fmt(undeclared)}; declare them in the manifest "
+                        "or drop them",
+                    )
+        reads_by_op: dict[tuple[str, str], set[str]] = {}
+        sites_by_op: dict[tuple[str, str], DispatchSite] = {}
+        for site in analysis.dispatch_sites:
+            spec = analysis.ops.get(site.key, {}).get(site.op)
+            if spec is None:
+                continue
+            sites_by_op.setdefault((site.key, site.op), site)
+            for key, node in analysis.site_reads(site):
+                reads_by_op.setdefault((site.key, site.op), set()).add(key)
+                if key not in spec.allowed:
+                    yield self.violation(
+                        site.module,
+                        node,
+                        f'handler for "{site.op}" reads key "{key}", which '
+                        "no sender sets (manifest allows "
+                        f"{_fmt(spec.allowed)})",
+                    )
+        for by_op in analysis.ops.values():
+            for spec in by_op.values():
+                anchor = sites_by_op.get((spec.key, spec.op))
+                if anchor is None:
+                    continue  # proto-missing-handler owns this
+                needed = spec.required | spec.optional
+                needed -= spec.informational | {spec.key}
+                unread = needed - reads_by_op.get((spec.key, spec.op), set())
+                if unread:
+                    yield self.violation(
+                        anchor.module,
+                        anchor.node,
+                        f'"{spec.op}" key(s) {_fmt(unread)} are sent but no '
+                        "handler reads them; read them, or mark them "
+                        "informational in the manifest",
+                    )
+
+
+#: Constructors whose results json.dumps rejects.
+_UNSAFE_CALLS = {"set", "frozenset", "bytes", "bytearray", "complex"}
+
+
+@register
+class JsonUnsafeRule(Rule):
+    """Frame values must be statically JSON-serialisable.
+
+    Only flags what is *provably* unserialisable from the literal shape
+    (set displays/comprehensions, bytes, ``set()``-family calls, also
+    nested inside list/tuple/dict displays); opaque names and calls are
+    trusted — the rule exists for the easy-to-write, dies-at-runtime
+    cases like ``{"op": "submit", "tags": {"a", "b"}}``.
+    """
+
+    name = "proto-json-unsafe"
+    family = "protocol"
+    description = (
+        "protocol frame value is statically not JSON-serialisable "
+        "(set/bytes/...)"
+    )
+
+    def check(self, project: Project) -> Iterator[Violation]:
+        analysis = _analysis(project)
+        for site in analysis.send_sites:
+            for key, value in sorted(site.values.items()):
+                culprit = _json_unsafe(value)
+                if culprit is not None:
+                    yield self.violation(
+                        site.module,
+                        culprit,
+                        f'"{site.op}" frame key "{key}" carries a '
+                        f"{_describe(culprit)}, which json.dumps rejects at "
+                        "send time",
+                    )
+
+
+def _json_unsafe(value: ast.expr) -> ast.expr | None:
+    """The first statically-unserialisable node in a frame value, if any."""
+    if isinstance(value, (ast.Set, ast.SetComp)):
+        return value
+    if isinstance(value, ast.Constant) and isinstance(
+        value.value, (bytes, complex)
+    ):
+        return value
+    if (
+        isinstance(value, ast.Call)
+        and isinstance(value.func, ast.Name)
+        and value.func.id in _UNSAFE_CALLS
+    ):
+        return value
+    if isinstance(value, (ast.List, ast.Tuple)):
+        for element in value.elts:
+            culprit = _json_unsafe(element)
+            if culprit is not None:
+                return culprit
+    if isinstance(value, ast.Dict):
+        for child in value.values:
+            culprit = _json_unsafe(child)
+            if culprit is not None:
+                return culprit
+    return None
+
+
+def _describe(node: ast.expr) -> str:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return "set display"
+    if isinstance(node, ast.Constant):
+        return f"{type(node.value).__name__} literal"
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return f"{node.func.id}() value"
+    return "non-JSON value"  # pragma: no cover - exhaustive above
+
+
+def _fmt(keys) -> str:
+    return "{" + ", ".join(sorted(keys)) + "}"

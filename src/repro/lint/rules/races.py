@@ -1,0 +1,299 @@
+"""Asyncio race-shape rules (``race-*``) for the service/cluster layers.
+
+A single-threaded event loop removes data races between statements but
+not between *awaits*: any ``await`` is a scheduling point where every
+other coroutine may run, so instance state read before one and written
+after it is a lost-update/double-run hazard exactly like unlocked
+shared memory.  Three shapes, all detectable lexically:
+
+* ``race-await-shared-state`` — a read-modify-write of ``self.X`` (or a
+  ``global``) whose read and write straddle an ``await``.  Flagged only
+  with an actual dependence — the store's value derives from a
+  pre-await read of the same attribute, a governing ``if``/``while``
+  test read it before the await (check-then-act), or an ``x += await
+  ...`` — and never under ``async with <lock>``.  The sanctioned fixes
+  are a lock or the swap pattern (``task, self._task = self._task,
+  None`` *before* the first await);
+* ``race-dropped-task`` — ``create_task``/``ensure_future`` called as a
+  bare statement: nothing retains the task, so the event loop may
+  garbage-collect it mid-flight and its exception is silently lost.
+  Keep a reference (set + ``add_done_callback(set.discard)`` is the
+  house idiom) or await it;
+* ``race-unawaited-coroutine`` — a project ``async def`` called as a
+  bare statement: the coroutine object is created and dropped, the body
+  never runs ("coroutine ... was never awaited" at runtime, silence
+  until then).
+
+Scope is ``config.async_units`` (service, cluster).  The first rule
+audits ``async def`` bodies via :class:`repro.lint.dataflow.ForwardPass`;
+the third resolves callees through the project call graph, so only
+*provably* async targets fire.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator
+
+from repro.lint.callgraph import build_call_graph
+from repro.lint.core import (
+    ModuleInfo,
+    Project,
+    Rule,
+    Violation,
+    register,
+    walk_functions,
+)
+from repro.lint.dataflow import ForwardPass
+
+__all__ = [
+    "AwaitSharedStateRule",
+    "DroppedTaskRule",
+    "UnawaitedCoroutineRule",
+]
+
+_SPAWNERS = frozenset({"create_task", "ensure_future"})
+
+
+def _async_modules(project: Project) -> Iterator[ModuleInfo]:
+    units = frozenset(getattr(project.config, "async_units", ()))
+    for module in project.modules:
+        if module.unit in units:
+            yield module
+
+
+class _StatePass(ForwardPass):
+    """One :class:`ForwardPass` over one ``async def``, collecting
+    await-straddling read-modify-writes of shared state.
+
+    Shared state is ``self.X``/``cls.X`` (keyed ``"self.X"``) and names
+    the function declares ``global``.  The pass keeps the await count of
+    the most recent load of each key, plus a taint map from locals to
+    the shared keys (and load-time await counts) their values derive
+    from, so ``cur = self.n; await ...; self.n = cur + 1`` is caught
+    through the local just like the direct form.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.global_names: set[str] = set()
+        #: shared key -> await count at its most recent load.
+        self.last_load: dict[str, int] = {}
+        #: local name -> {(shared key, await count at the taint's load)}.
+        self.taint: dict[str, set[tuple[str, int]]] = {}
+        #: (store stmt, shared key, reason) triples.
+        self.hits: list[tuple[ast.stmt, str, str]] = []
+
+    def _key(self, node: ast.AST) -> str | None:
+        if (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id in ("self", "cls")
+        ):
+            return f"self.{node.attr}"
+        if isinstance(node, ast.Name) and node.id in self.global_names:
+            return node.id
+        return None
+
+    def _refs(
+        self, expr: ast.expr
+    ) -> tuple[set[str], set[tuple[str, int]]]:
+        """Shared keys an expression reads: directly, and via tainted locals."""
+        direct: set[str] = set()
+        via: set[tuple[str, int]] = set()
+        for node in ast.walk(expr):
+            key = self._key(node)
+            if key is not None:
+                direct.add(key)
+            elif isinstance(node, ast.Name) and node.id in self.taint:
+                via |= self.taint[node.id]
+        return direct, via
+
+    # -- hooks ----------------------------------------------------------
+    def on_global(self, names: Iterable[str]) -> None:
+        self.global_names.update(names)
+
+    def on_load(self, node: ast.expr) -> None:
+        key = self._key(node)
+        if key is not None:
+            self.last_load[key] = self.await_count
+
+    def on_store(
+        self, target: ast.expr, value: ast.expr | None, stmt: ast.stmt,
+        *, augmented: bool = False,
+    ) -> None:
+        if isinstance(target, ast.Name) and target.id not in self.global_names:
+            # Local rebinding: propagate or clear taint.
+            if value is None:
+                self.taint.pop(target.id, None)
+                return
+            direct, via = self._refs(value)
+            origins = {
+                (key, self.last_load.get(key, self.await_count))
+                for key in direct
+            } | via
+            if origins:
+                self.taint[target.id] = origins
+            else:
+                self.taint.pop(target.id, None)
+            return
+        key = self._key(target)
+        if key is None:
+            return  # not shared state (or a container mutation: out of scope)
+        if self.lock_depth > 0:
+            self.last_load[key] = self.await_count
+            return  # the sanctioned fix: a lock held across the RMW
+        reason = self._race_reason(key, value, augmented)
+        if reason is not None:
+            self.hits.append((stmt, key, reason))
+        self.last_load[key] = self.await_count
+
+    def _race_reason(
+        self, key: str, value: ast.expr | None, augmented: bool
+    ) -> str | None:
+        if (
+            augmented
+            and value is not None
+            and any(isinstance(n, ast.Await) for n in ast.walk(value))
+        ):
+            return "the augmented read-modify-write itself awaits"
+        if value is not None:
+            direct, via = self._refs(value)
+            if (
+                key in direct
+                and self.last_load.get(key, self.await_count)
+                < self.await_count
+            ):
+                return "its new value derives from a pre-await read"
+            for tainted_key, origin in via:
+                if tainted_key == key and origin < self.await_count:
+                    return (
+                        "its new value derives from a local captured "
+                        "before an await"
+                    )
+        for guard in self.guards:
+            direct, via = self._refs(guard.test)
+            governs = key in direct or any(k == key for k, _ in via)
+            if governs and guard.await_count < self.await_count:
+                return (
+                    f"the governing test at line {guard.test.lineno} read "
+                    "it before an await (check-then-act)"
+                )
+        return None
+
+
+@register
+class AwaitSharedStateRule(Rule):
+    """Read-modify-writes of shared state must not straddle an ``await``.
+
+    Between the read and the write every other coroutine may run; a
+    concurrent ``stop()``/``submit()`` sees stale state or clobbers the
+    update.  Hold a lock across the sequence (``async with
+    self._state_lock:``) or use the swap pattern — take ownership
+    synchronously, then await on the local.
+    """
+
+    name = "race-await-shared-state"
+    family = "races"
+    description = (
+        "shared instance/module state is read before an await and "
+        "written after it, without a lock"
+    )
+
+    def check(self, project: Project) -> Iterator[Violation]:
+        for module in _async_modules(project):
+            for func in walk_functions(module.tree):
+                if not isinstance(func, ast.AsyncFunctionDef):
+                    continue
+                state = _StatePass()
+                state.run(func)
+                for stmt, key, reason in state.hits:
+                    yield self.violation(
+                        module,
+                        stmt,
+                        f"{key} is written after an await but {reason}; "
+                        "take ownership before the first await (swap "
+                        "pattern) or hold a lock across the read-modify-"
+                        "write",
+                    )
+
+
+@register
+class DroppedTaskRule(Rule):
+    """Spawned tasks must be retained (or awaited), never fire-and-forgot.
+
+    ``asyncio`` keeps only a weak reference to running tasks: a bare
+    ``loop.create_task(...)`` statement can be garbage-collected before
+    it finishes, and any exception it raises is lost with it.  The
+    house idiom is a holder set plus
+    ``task.add_done_callback(holder.discard)``, with cancellation on
+    shutdown.
+    """
+
+    name = "race-dropped-task"
+    family = "races"
+    description = (
+        "create_task/ensure_future result dropped: no reference retains "
+        "the task and no path cancels it"
+    )
+
+    def check(self, project: Project) -> Iterator[Violation]:
+        for module in _async_modules(project):
+            for node in ast.walk(module.tree):
+                if not (
+                    isinstance(node, ast.Expr)
+                    and isinstance(node.value, ast.Call)
+                ):
+                    continue
+                func = node.value.func
+                name = (
+                    func.attr
+                    if isinstance(func, ast.Attribute)
+                    else func.id if isinstance(func, ast.Name) else None
+                )
+                if name in _SPAWNERS:
+                    yield self.violation(
+                        module,
+                        node,
+                        f"{name}(...) result is dropped; retain it (holder "
+                        "set + add_done_callback(holder.discard)) and "
+                        "cancel it on shutdown, or await it",
+                    )
+
+
+@register
+class UnawaitedCoroutineRule(Rule):
+    """Calling an ``async def`` without ``await`` runs nothing.
+
+    The bare call builds a coroutine object and throws it away; the body
+    never executes and Python only complains ("never awaited") at
+    garbage-collection time, on stderr, after the damage.  Resolved
+    through the call graph, so only calls that provably target a
+    project ``async def`` fire.
+    """
+
+    name = "race-unawaited-coroutine"
+    family = "races"
+    description = (
+        "a project coroutine function is called as a bare statement and "
+        "never awaited"
+    )
+
+    def check(self, project: Project) -> Iterator[Violation]:
+        graph = build_call_graph(project)
+        for module in _async_modules(project):
+            for node in ast.walk(module.tree):
+                if not (
+                    isinstance(node, ast.Expr)
+                    and isinstance(node.value, ast.Call)
+                ):
+                    continue
+                callee = graph.callee_of(node.value)
+                if callee is not None and callee.is_async:
+                    yield self.violation(
+                        module,
+                        node,
+                        f"{callee.qualname} is async but the call is "
+                        "neither awaited nor scheduled; the coroutine "
+                        "body never runs",
+                    )

@@ -18,6 +18,7 @@ Warnings never fail a run unless ``strict`` is set.
 
 from __future__ import annotations
 
+import subprocess
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterable, Sequence
@@ -27,7 +28,13 @@ from repro.lint.baseline import Baseline
 from repro.lint.config import LintConfig, default_config
 from repro.lint.core import Project, Severity, Violation, all_rules
 
-__all__ = ["Finding", "LintReport", "discover_files", "run_lint"]
+__all__ = [
+    "Finding",
+    "LintReport",
+    "changed_files",
+    "discover_files",
+    "run_lint",
+]
 
 
 @dataclass(frozen=True)
@@ -104,6 +111,40 @@ def discover_files(
     return files
 
 
+def changed_files(root: Path, ref: str = "HEAD") -> frozenset[str] | None:
+    """Repo-relative paths changed vs ``ref``, plus untracked files.
+
+    Returns ``None`` when git is unavailable (no binary, not a repo, or
+    the ref does not resolve) — the caller falls back to a full run
+    rather than silently linting nothing.
+    """
+
+    def _git(*args: str) -> list[str] | None:
+        try:
+            completed = subprocess.run(
+                ["git", "-C", str(root), *args],
+                capture_output=True,
+                timeout=30,
+            )
+        except (OSError, subprocess.TimeoutExpired):
+            return None
+        if completed.returncode != 0:
+            return None
+        return [
+            part.decode("utf-8", "replace")
+            for part in completed.stdout.split(b"\0")
+            if part
+        ]
+
+    diffed = _git("diff", "--name-only", "-z", ref, "--")
+    if diffed is None:
+        return None
+    untracked = _git("ls-files", "--others", "--exclude-standard", "-z")
+    if untracked is None:
+        return None
+    return frozenset(diffed) | frozenset(untracked)
+
+
 def run_lint(
     root: str | Path,
     *,
@@ -112,13 +153,25 @@ def run_lint(
     baseline: Baseline | None = None,
     strict: bool = False,
     rules: Iterable[type] | None = None,
+    changed_only: str | None = None,
 ) -> LintReport:
-    """Run the linter once; see module docstring for the pipeline."""
+    """Run the linter once; see module docstring for the pipeline.
+
+    ``changed_only`` names a git ref: the *whole* project is still
+    parsed and analysed (the cross-file rules need every module), but
+    findings are reported only for files changed vs that ref (plus
+    untracked files).  When git cannot answer, the run silently covers
+    the full tree — scoping is an ergonomic filter, never a correctness
+    gate.
+    """
     root = Path(root).resolve()
     config = config if config is not None else default_config()
     baseline = baseline if baseline is not None else Baseline()
     files = discover_files(root, config, paths)
     project = Project.load(root, files, config=config)
+    changed: frozenset[str] | None = None
+    if changed_only is not None:
+        changed = changed_files(root, changed_only)
 
     report = LintReport(parse_errors=list(project.parse_errors),
                         files=len(project.modules), strict=strict)
@@ -132,6 +185,8 @@ def run_lint(
         violations.extend(rule.check(project))
 
     violations.sort(key=lambda v: (v.path, v.line, v.col, v.rule))
+    if changed is not None:
+        violations = [v for v in violations if v.path in changed]
     modules_by_path = {module.rel_path: module for module in project.modules}
     for violation in violations:
         module = modules_by_path.get(violation.path)

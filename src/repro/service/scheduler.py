@@ -112,13 +112,15 @@ class Scheduler:
             )
 
     async def stop(self) -> None:
-        if self._task is not None:
-            self._task.cancel()
+        # Swap before awaiting: a second concurrent stop() (or a
+        # start() racing it) must never observe the half-cancelled task.
+        task, self._task = self._task, None
+        if task is not None:
+            task.cancel()
             try:
-                await self._task
+                await task
             except asyncio.CancelledError:
                 pass
-            self._task = None
 
     # ------------------------------------------------------------------
     # claiming

@@ -95,12 +95,15 @@ class SweepServer:
             )
 
     async def stop(self) -> None:
-        for server in (self._server, self._tcp_server):
+        # Detach both listeners before the first await so a concurrent
+        # stop() (or a serve_forever() waking up) sees them gone at once.
+        servers = (self._server, self._tcp_server)
+        self._server = None
+        self._tcp_server = None
+        for server in servers:
             if server is not None:
                 server.close()
                 await server.wait_closed()
-        self._server = None
-        self._tcp_server = None
         await self.service.stop()
         await asyncio.to_thread(self.socket_path.unlink, missing_ok=True)
 

@@ -123,18 +123,20 @@ class SweepService:
 
     async def stop(self) -> None:
         """Cancel workers and the scheduler; close subscriber streams."""
-        for task in self._worker_tasks:
+        # Take ownership of both lists before the first await: a second
+        # stop() racing this one must not cancel/close anything twice.
+        tasks, self._worker_tasks = self._worker_tasks, []
+        for task in tasks:
             task.cancel()
-        for task in self._worker_tasks:
+        for task in tasks:
             try:
                 await task
             except asyncio.CancelledError:
                 pass
-        self._worker_tasks = []
         await self.scheduler.stop()
-        for queue in self._subscribers:
+        subscribers, self._subscribers = self._subscribers, []
+        for queue in subscribers:
             queue.put_nowait(None)
-        self._subscribers = []
 
     # ------------------------------------------------------------------
     # client API

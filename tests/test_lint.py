@@ -745,7 +745,14 @@ class TestRepoIsClean:
 
     def test_every_rule_family_is_registered(self):
         families = {rule_cls.family for rule_cls in all_rules()}
-        assert families == {"determinism", "layering", "concurrency", "fidelity"}
+        assert families == {
+            "determinism",
+            "layering",
+            "concurrency",
+            "fidelity",
+            "protocol",
+            "races",
+        }
 
     def test_suppression_inventory_is_audited(self):
         """Every lint-disable marker in the tree is individually accounted
