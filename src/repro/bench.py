@@ -55,10 +55,12 @@ from repro.sweep import ParameterSweep, SweepPoint
 __all__ = [
     "SUITE_NAME",
     "LINT_SUITE_NAME",
+    "SYNTH_SUITE_NAME",
     "VECTORIZED_SPEEDUP_FLOOR",
     "pinned_suite",
     "run_bench",
     "run_lint_bench",
+    "run_synth_bench",
     "check_floor",
     "write_bench",
 ]
@@ -66,6 +68,8 @@ __all__ = [
 SUITE_NAME = "frontend-micro-v1"
 
 LINT_SUITE_NAME = "lint-full-tree-v1"
+
+SYNTH_SUITE_NAME = "synth-micro-v1"
 
 #: Committed contract: vectorized serial points/sec >= floor * reference.
 VECTORIZED_SPEEDUP_FLOOR = 5.0
@@ -310,6 +314,140 @@ def run_lint_bench(root: str | Path = ".", loops: int = 3) -> dict:
             name: round(_median_of(samples), 4)
             for name, samples in sorted(family_samples.items())
         },
+    }
+
+
+#: The pinned synth-bench campaign (a real discovery run, kept small).
+_SYNTH_SEED = 7
+_SYNTH_BUDGET = 16
+_SYNTH_BITS = 24
+
+#: The campaign's first finding as discovered (pre-shrink) — the
+#: minimizer bench re-shrinks it so step counts stay comparable.
+_SYNTH_WINNER = {
+    "decoy_stride": 19,
+    "encode": [
+        {
+            "count": 4,
+            "dsb_set": 28,
+            "kind": "std",
+            "lcp_sets": 5,
+            "misaligned": False,
+        }
+    ],
+    "iterations": 6,
+    "probe": [
+        {
+            "count": 7,
+            "dsb_set": 28,
+            "kind": "std",
+            "lcp_sets": 2,
+            "misaligned": False,
+        }
+    ],
+}
+
+
+def run_synth_bench(
+    loops: int = 5,
+    jobs: int = 2,
+    backends: tuple[str, ...] = ("reference", "vectorized"),
+) -> dict:
+    """Time the synthesis pipeline on a pinned campaign (``--suite synth``).
+
+    Three costs matter for campaign planning: how long one oracle
+    evaluation takes (median of ``loops`` scores of the pinned winner),
+    how many candidates/sec a campaign sustains under the serial vs
+    parallel executors, and how many oracle evaluations the minimizer
+    spends shrinking the pinned winner.  Before any timing, the pinned
+    campaign's canonical report is checked byte-identical across
+    ``backends`` — the synthesis twin of the frontend suite's
+    equivalence gate.
+    """
+    # Local imports: bench sits above synth in the layering table for
+    # exactly this suite (synth itself must stay wall-clock-free).
+    from repro.frontend.backends import set_default_backend
+    from repro.synth import (
+        CandidateProgram,
+        LeakageOracle,
+        SearchConfig,
+        SynthSearch,
+        shrink,
+    )
+
+    loops = max(1, loops)
+    config = SearchConfig(
+        seed=_SYNTH_SEED,
+        budget=_SYNTH_BUDGET,
+        bits=_SYNTH_BITS,
+    )
+    registry = MetricsRegistry()
+    with use_registry(registry):
+        reports = {}
+        for backend in backends:
+            previous = set_default_backend(backend)
+            try:
+                reports[backend] = SynthSearch(config).run().to_json()
+            finally:
+                set_default_backend(previous)
+        for backend in backends:
+            if reports[backend] != reports[backends[0]]:
+                raise ExecutionError(
+                    f"backend {backend!r} diverges from {backends[0]!r} "
+                    f"on the pinned synth campaign; fix equivalence "
+                    "before benchmarking"
+                )
+
+        oracle = LeakageOracle(config.oracle_config())
+        winner = CandidateProgram.from_dict(_SYNTH_WINNER)
+        samples = []
+        for _ in range(loops):
+            start = time.perf_counter()
+            oracle.score(winner, seed=_SYNTH_SEED)
+            samples.append(time.perf_counter() - start)
+        oracle_ms = _median_of(samples) * 1e3
+
+        candidates_per_sec = {}
+        for label, executor in (
+            ("serial", SerialExecutor()),
+            ("parallel", ParallelExecutor(jobs=jobs)),
+        ):
+            campaign_samples = []
+            for _ in range(loops):
+                start = time.perf_counter()
+                report = SynthSearch(config).run(executor=executor)
+                campaign_samples.append(
+                    (time.perf_counter() - start) / report.evaluated
+                )
+            candidates_per_sec[label] = 1.0 / _median_of(campaign_samples)
+
+        start = time.perf_counter()
+        minimized, steps = shrink(
+            winner, oracle, _SYNTH_SEED, config.shrink_budget
+        )
+        shrink_s = time.perf_counter() - start
+
+    return {
+        "suite": SYNTH_SUITE_NAME,
+        "loops": loops,
+        "jobs": jobs,
+        "campaign": {
+            "seed": _SYNTH_SEED,
+            "budget": _SYNTH_BUDGET,
+            "bits": _SYNTH_BITS,
+        },
+        "oracle_ms": round(oracle_ms, 3),
+        "candidates_per_sec": {
+            label: round(rate, 2)
+            for label, rate in candidates_per_sec.items()
+        },
+        "minimizer": {
+            "steps": steps,
+            "cost_before": winner.cost,
+            "cost_after": minimized.cost,
+            "seconds": round(shrink_s, 3),
+        },
+        "metrics": registry.snapshot(),
     }
 
 

@@ -11,6 +11,10 @@ Gives each of the library's headline capabilities a one-line invocation:
 * ``defense``     — print the mitigation/attack matrix;
 * ``scenario``    — list/describe/run/submit declarative attack
   scenarios (the ``repro.scenarios`` registry, see ``docs/scenarios.md``);
+* ``synth``       — run/minimize/report automated attack-program
+  synthesis against the defense layer (``repro.synth``, see
+  ``docs/synthesis.md``; ``--workers N`` shards candidate batches
+  across the cluster fabric);
 * ``sweep``       — grid-sweep channel parameters (parallel + cached;
   ``--workers N`` shards it across the distributed fabric);
 * ``serve``       — run the sweep service on a Unix socket (and,
@@ -210,6 +214,113 @@ def build_parser() -> argparse.ArgumentParser:
         "--label", default=None, help="job label for the event log"
     )
 
+    synth = sub.add_parser(
+        "synth",
+        help="synthesise attack programs against the defenses "
+        "(docs/synthesis.md)",
+    )
+    synth_sub = synth.add_subparsers(dest="synth_command", required=True)
+    synth_run = synth_sub.add_parser(
+        "run", help="run a search campaign and print its findings"
+    )
+    synth_run.add_argument("--seed", type=int, default=0, help="campaign seed")
+    synth_run.add_argument(
+        "--budget", type=int, default=64, help="oracle evaluations to spend"
+    )
+    synth_run.add_argument(
+        "--batch-size", type=int, default=8, help="candidates per round"
+    )
+    synth_run.add_argument("--machine", default="Gold 6226")
+    synth_run.add_argument(
+        "--bits", type=int, default=32, help="message bits per oracle run"
+    )
+    synth_run.add_argument("--training-bits", type=int, default=12)
+    synth_run.add_argument(
+        "--max-findings", type=int, default=4, help="stop after N findings"
+    )
+    synth_run.add_argument(
+        "--shrink-budget",
+        type=int,
+        default=96,
+        help="oracle evaluations the minimizer may spend per finding",
+    )
+    synth_run.add_argument(
+        "--defense",
+        action="append",
+        default=None,
+        metavar="M1+M2",
+        help="mitigation stack findings are re-scored against, as "
+        "'+'-joined names from repro.defense (repeat for several "
+        "stacks; default: uniform-path-timing)",
+    )
+    synth_run.add_argument(
+        "--jobs", type=int, default=1, help="worker processes (1 = serial)"
+    )
+    synth_run.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="shard candidate batches across N cluster workers "
+        "(0 = local execution); combines with --jobs",
+    )
+    synth_run.add_argument(
+        "--bind",
+        default=_DEFAULT_BIND,
+        help="coordinator endpoint for cluster runs (see 'sweep --bind')",
+    )
+    synth_run.add_argument(
+        "--shard-size", type=int, default=4, help="max points per shard"
+    )
+    synth_run.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="on-disk oracle-result cache (resumed campaigns replay "
+        "cached candidates; default: no cache)",
+    )
+    synth_run.add_argument(
+        "--json",
+        action="store_true",
+        help="print the full report as canonical JSON instead of the "
+        "summary table",
+    )
+    synth_run.add_argument(
+        "--out",
+        default=None,
+        metavar="FILE",
+        help="also write the canonical JSON report to FILE",
+    )
+    synth_run.add_argument(
+        "--scenarios-out",
+        default=None,
+        metavar="FILE",
+        help="also write ScenarioSpec payloads for every finding "
+        "(registrable via repro.scenarios)",
+    )
+    _add_backend_argument(synth_run)
+    synth_minimize = synth_sub.add_parser(
+        "minimize", help="shrink one candidate genome to its minimal "
+        "still-leaking form"
+    )
+    synth_minimize.add_argument(
+        "candidate",
+        help="candidate genome as a JSON file path, or '-' for stdin",
+    )
+    synth_minimize.add_argument("--seed", type=int, default=0)
+    synth_minimize.add_argument("--machine", default="Gold 6226")
+    synth_minimize.add_argument("--bits", type=int, default=32)
+    synth_minimize.add_argument("--training-bits", type=int, default=12)
+    synth_minimize.add_argument(
+        "--budget", type=int, default=96, help="oracle evaluations to spend"
+    )
+    _add_backend_argument(synth_minimize)
+    synth_report = synth_sub.add_parser(
+        "report", help="summarise a saved campaign report"
+    )
+    synth_report.add_argument(
+        "input", help="report JSON written by 'synth run --out'"
+    )
+
     sweep = sub.add_parser(
         "sweep",
         help="grid-sweep channel parameters (parallel + cached)",
@@ -391,10 +502,11 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "--suite",
         default="frontend",
-        choices=["frontend", "scenarios", "lint"],
+        choices=["frontend", "scenarios", "lint", "synth"],
         help="frontend: raw run_loop dispatch (BENCH_frontend.json); "
         "scenarios: whole scenario trials (BENCH_scenarios.json); "
-        "lint: full-tree analysis timing (BENCH_lint.json)",
+        "lint: full-tree analysis timing (BENCH_lint.json); "
+        "synth: pinned search campaign (BENCH_synth.json)",
     )
     bench.add_argument(
         "--output",
@@ -1014,6 +1126,185 @@ def _cmd_scenario(args) -> int:
     return 0
 
 
+def _parse_defense_stacks(values) -> tuple[dict, ...]:
+    """``--defense a+b`` flags into defense-config dicts, names checked."""
+    from repro.defense import MITIGATIONS_BY_NAME
+    from repro.errors import ConfigurationError
+
+    stacks = []
+    for value in values:
+        names = [name for name in value.split("+") if name]
+        if value in ("none", "baseline"):
+            names = []
+        unknown = sorted(set(names) - set(MITIGATIONS_BY_NAME))
+        if unknown:
+            raise ConfigurationError(
+                f"unknown mitigation(s) {unknown}; choose from "
+                f"{sorted(MITIGATIONS_BY_NAME)}"
+            )
+        stacks.append({"mitigations": names})
+    return tuple(stacks)
+
+
+def _synth_executor(args):
+    """Executor for a synth campaign (mirrors the sweep verb's choices)."""
+    from repro.errors import ConfigurationError
+    from repro.exec import ParallelExecutor, SerialExecutor
+
+    if args.jobs < 1:
+        raise ConfigurationError(f"--jobs must be >= 1, got {args.jobs}")
+    if args.workers < 0:
+        raise ConfigurationError(f"--workers must be >= 0, got {args.workers}")
+    if args.workers > 0 or args.bind != _DEFAULT_BIND:
+        from repro.cluster import DistributedExecutor
+
+        return DistributedExecutor(
+            workers=args.workers,
+            bind=args.bind,
+            jobs=args.jobs,
+            shard_size=args.shard_size,
+        )
+    return ParallelExecutor(jobs=args.jobs) if args.jobs > 1 else SerialExecutor()
+
+
+def _render_synth_findings(report) -> None:
+    """The human summary 'synth run' prints (timing-free: byte-stable)."""
+    print(
+        f"synth campaign on {report.config.machine} — seed "
+        f"{report.config.seed}, {report.evaluated} candidate(s) over "
+        f"{report.rounds} round(s), corpus {len(report.corpus)}, "
+        f"{len(report.findings)} finding(s)"
+    )
+    for index, finding in enumerate(report.findings):
+        undefended = finding.undefended
+        print(f"finding {index}: {finding.fingerprint}")
+        print(
+            f"  undefended : {undefended['status']:9s} "
+            f"{float(undefended['kbps']):9.1f} Kbps, "
+            f"err {float(undefended['error_rate']) * 100:5.1f}%"
+        )
+        for label, metrics in finding.defenses.items():
+            print(
+                f"  {label:11s}: {metrics['status']:9s} "
+                f"{float(metrics['kbps']):9.1f} Kbps, "
+                f"err {float(metrics['error_rate']) * 100:5.1f}%"
+            )
+        print(
+            f"  minimized  : {finding.minimized.total_blocks} block(s) x "
+            f"{finding.minimized.iterations} iteration(s) "
+            f"({finding.shrink_steps} shrink step(s))"
+        )
+
+
+def _cmd_synth(args) -> int:
+    import json as _json
+
+    from repro.synth import (
+        CandidateProgram,
+        LeakageOracle,
+        OracleConfig,
+        SearchConfig,
+        SynthSearch,
+        shrink,
+    )
+
+    if args.synth_command == "report":
+        with open(args.input, encoding="utf-8") as handle:
+            payload = _json.load(handle)
+        config = payload["config"]
+        print(
+            f"synth campaign on {config['machine']} — seed {config['seed']}, "
+            f"{payload['evaluated']} candidate(s) over {payload['rounds']} "
+            f"round(s), corpus {len(payload['corpus'])}, "
+            f"{len(payload['findings'])} finding(s)"
+        )
+        for index, finding in enumerate(payload["findings"]):
+            undefended = finding["undefended"]
+            print(f"finding {index}: {finding['fingerprint']}")
+            print(
+                f"  undefended : {undefended['status']:9s} "
+                f"{float(undefended['kbps']):9.1f} Kbps, "
+                f"err {float(undefended['error_rate']) * 100:5.1f}%"
+            )
+            for label in sorted(finding["defenses"]):
+                metrics = finding["defenses"][label]
+                print(
+                    f"  {label:11s}: {metrics['status']:9s} "
+                    f"{float(metrics['kbps']):9.1f} Kbps, "
+                    f"err {float(metrics['error_rate']) * 100:5.1f}%"
+                )
+        return 0
+
+    _apply_backend(args)
+    if args.synth_command == "minimize":
+        if args.candidate == "-":
+            text = sys.stdin.read()
+        else:
+            with open(args.candidate, encoding="utf-8") as handle:
+                text = handle.read()
+        candidate = CandidateProgram.from_json(text)
+        oracle = LeakageOracle(
+            OracleConfig(
+                machine=args.machine,
+                bits=args.bits,
+                training_bits=args.training_bits,
+            )
+        )
+        minimized, steps = shrink(candidate, oracle, args.seed, args.budget)
+        print(minimized.to_json())
+        print(
+            f"minimize: cost {candidate.cost} -> {minimized.cost} in "
+            f"{steps} oracle evaluation(s)",
+            file=sys.stderr,
+        )
+        return 0
+
+    # run
+    from repro.exec import ResultCache
+    from repro.reporting import format_execution_stats
+
+    kwargs = {}
+    if args.defense is not None:
+        kwargs["defenses"] = _parse_defense_stacks(args.defense)
+    config = SearchConfig(
+        seed=args.seed,
+        budget=args.budget,
+        batch_size=args.batch_size,
+        machine=args.machine,
+        bits=args.bits,
+        training_bits=args.training_bits,
+        max_findings=args.max_findings,
+        shrink_budget=args.shrink_budget,
+        **kwargs,
+    )
+    cache = ResultCache(args.cache_dir) if args.cache_dir else None
+    report = SynthSearch(config).run(
+        executor=_synth_executor(args), cache=cache
+    )
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(report.to_json() + "\n")
+    if args.scenarios_out:
+        with open(args.scenarios_out, "w", encoding="utf-8") as handle:
+            handle.write(
+                _json.dumps(
+                    report.scenario_payloads(),
+                    sort_keys=True,
+                    separators=(",", ":"),
+                )
+                + "\n"
+            )
+    if args.json:
+        print(report.to_json())
+    else:
+        _render_synth_findings(report)
+    # Timing-dependent accounting stays off stdout so two equal-seed
+    # runs produce byte-identical result streams.
+    if report.stats is not None:
+        print(format_execution_stats(report.stats), file=sys.stderr)
+    return 0
+
+
 def _cmd_bench(args) -> int:
     from repro.bench import check_floor, run_bench, write_bench
 
@@ -1037,6 +1328,30 @@ def _cmd_bench(args) -> int:
             print(f"lint        {phase:16s} {seconds:9.3f} s")
         for family, seconds in sorted(result["families_s"].items()):
             print(f"lint        family:{family:9s} {seconds:9.3f} s")
+        print(f"wrote {target}", file=sys.stderr)
+        return 0
+    if args.suite == "synth":
+        from repro.bench import run_synth_bench
+        from repro.errors import ConfigurationError
+
+        if args.check:
+            raise ConfigurationError(
+                "--check applies to the frontend suite only"
+            )
+        result = run_synth_bench(
+            loops=args.loops if args.loops is not None else 5,
+            jobs=args.jobs,
+        )
+        target = write_bench(result, args.output or "BENCH_synth.json")
+        print(f"synth       oracle          {result['oracle_ms']:9.2f} ms/eval")
+        for label, rate in sorted(result["candidates_per_sec"].items()):
+            print(f"synth       {label:15s} {rate:9.2f} candidates/s")
+        minimizer = result["minimizer"]
+        print(
+            f"synth       minimizer       {minimizer['steps']:9d} steps "
+            f"(cost {minimizer['cost_before']} -> {minimizer['cost_after']}, "
+            f"{minimizer['seconds']:.3f} s)"
+        )
         print(f"wrote {target}", file=sys.stderr)
         return 0
     if args.suite == "scenarios":
@@ -1096,6 +1411,7 @@ _COMMANDS = {
     "sgx": _cmd_sgx,
     "defense": _cmd_defense,
     "scenario": _cmd_scenario,
+    "synth": _cmd_synth,
     "sweep": _cmd_sweep,
     "serve": _cmd_serve,
     "submit": _cmd_submit,

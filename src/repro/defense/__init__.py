@@ -30,12 +30,16 @@ from repro.defense.mitigations import (
     DisableLsd,
     IsolateDsbPerThread,
     UniformPathTiming,
+    MitigationStack,
     ALL_MITIGATIONS,
+    MITIGATIONS_BY_NAME,
+    mitigation_from_dict,
 )
 from repro.defense.evaluation import (
     DefenseEvaluator,
     ChannelOutcome,
     MitigationReport,
+    defended_machine,
     evaluate_spectre_v2,
 )
 from repro.defense.detector import (
@@ -50,10 +54,14 @@ __all__ = [
     "DisableLsd",
     "IsolateDsbPerThread",
     "UniformPathTiming",
+    "MitigationStack",
     "ALL_MITIGATIONS",
+    "MITIGATIONS_BY_NAME",
+    "mitigation_from_dict",
     "DefenseEvaluator",
     "ChannelOutcome",
     "MitigationReport",
+    "defended_machine",
     "evaluate_spectre_v2",
     "CounterSignature",
     "DetectionResult",

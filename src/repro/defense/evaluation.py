@@ -13,6 +13,7 @@ defended machine and a benign workload for the performance cost:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Mapping, Sequence
 
 from repro.analysis.bits import alternating_bits
 from repro.channels.base import ChannelConfig, CovertChannel
@@ -22,7 +23,7 @@ from repro.channels.misalignment import (
     NonMtMisalignmentChannel,
 )
 from repro.channels.slow_switch import SlowSwitchChannel
-from repro.defense.mitigations import Mitigation
+from repro.defense.mitigations import Mitigation, mitigation_from_dict
 from repro.errors import ChannelError, ReproError
 from repro.frontend.params import FrontendParams
 from repro.isa.program import LoopProgram
@@ -35,6 +36,7 @@ __all__ = [
     "ChannelOutcome",
     "MitigationReport",
     "DefenseEvaluator",
+    "defended_machine",
     "evaluate_spectre_v2",
 ]
 
@@ -84,11 +86,39 @@ class MitigationReport:
         ]
 
 
+def defended_machine(
+    spec: MachineSpec,
+    seed: int,
+    defense: "Mitigation | Mapping[str, object] | None",
+) -> Machine:
+    """Build the machine a defense configuration describes.
+
+    ``defense`` may be a :class:`Mitigation` instance or the JSON-safe
+    dict form ``{"mitigations": [...]}`` (see
+    :func:`~repro.defense.mitigations.mitigation_from_dict`); ``None``
+    builds the undefended baseline.
+    """
+    mitigation = _coerce_mitigation(defense)
+    params = FrontendParams()
+    if mitigation is not None:
+        spec = mitigation.apply_spec(spec)
+        params = mitigation.apply_params(params)
+    return Machine(spec, seed=seed, params=params)
+
+
+def _coerce_mitigation(
+    defense: "Mitigation | Mapping[str, object] | None",
+) -> Mitigation | None:
+    if defense is None or isinstance(defense, Mitigation):
+        return defense
+    return mitigation_from_dict(defense)
+
+
 def evaluate_spectre_v2(
     spec: MachineSpec = GOLD_6226,
     seed: int = 4242,
     secret: bytes = b"btb!",
-    defenses: tuple[str | None, ...] = V2_DEFENSES,
+    defenses: Sequence[str | None] = V2_DEFENSES,
     attempts_per_chunk: int = 3,
     channel_factory=None,
 ) -> list[ChannelOutcome]:
@@ -100,9 +130,19 @@ def evaluate_spectre_v2(
     ``broken`` retpoline/IBPB runs is the expected report.  The channel
     defaults to the paper's frontend DSB medium; pass
     ``channel_factory(machine)`` to evaluate another.
+
+    ``defenses`` accepts any sequence — including a list deserialised
+    from JSON, where ``null`` stands for the undefended run — so
+    declarative service submissions can pass their payload through
+    unmodified.
     """
+    if isinstance(defenses, (str, bytes)):
+        raise ReproError(
+            "defenses must be a sequence of defense names, not a single "
+            f"string: {defenses!r}"
+        )
     outcomes: list[ChannelOutcome] = []
-    for defense in defenses:
+    for defense in tuple(defenses):
         if defense not in V2_DEFENSES:
             raise ReproError(
                 f"unknown defense {defense!r}; expected one of {V2_DEFENSES}"
@@ -153,13 +193,10 @@ class DefenseEvaluator:
         self.message_bits = message_bits
 
     # ------------------------------------------------------------------
-    def _machine(self, mitigation: Mitigation | None) -> Machine:
-        spec = self.spec
-        params = FrontendParams()
-        if mitigation is not None:
-            spec = mitigation.apply_spec(spec)
-            params = mitigation.apply_params(params)
-        return Machine(spec, seed=self.seed, params=params)
+    def _machine(
+        self, mitigation: "Mitigation | Mapping[str, object] | None"
+    ) -> Machine:
+        return defended_machine(self.spec, self.seed, mitigation)
 
     def _channel_suite(self, machine: Machine) -> list[tuple[str, callable]]:
         """Channel constructors; construction itself may raise (blocked)."""
@@ -240,8 +277,16 @@ class DefenseEvaluator:
         return correct / trials
 
     # ------------------------------------------------------------------
-    def evaluate(self, mitigation: Mitigation | None) -> MitigationReport:
-        """Run the suite against one mitigation (None = baseline)."""
+    def evaluate(
+        self, mitigation: "Mitigation | Mapping[str, object] | None"
+    ) -> MitigationReport:
+        """Run the suite against one mitigation (None = baseline).
+
+        ``mitigation`` may also be the JSON-safe dict form
+        ``{"mitigations": [...]}`` — declarative defense configs from
+        the synthesiser or service submissions evaluate directly.
+        """
+        mitigation = _coerce_mitigation(mitigation)
         machine = self._machine(mitigation)
         report = MitigationReport(
             mitigation_name=mitigation.name if mitigation else "baseline",

@@ -9,7 +9,9 @@ from __future__ import annotations
 
 import abc
 import dataclasses
+from typing import Mapping, Sequence
 
+from repro.errors import ConfigurationError
 from repro.frontend.params import FrontendParams
 from repro.machine.specs import MachineSpec
 
@@ -19,7 +21,10 @@ __all__ = [
     "DisableLsd",
     "IsolateDsbPerThread",
     "UniformPathTiming",
+    "MitigationStack",
     "ALL_MITIGATIONS",
+    "MITIGATIONS_BY_NAME",
+    "mitigation_from_dict",
 ]
 
 
@@ -116,6 +121,48 @@ class UniformPathTiming(Mitigation):
         )
 
 
+class MitigationStack(Mitigation):
+    """Several mitigations deployed together, applied in order.
+
+    The stack composes as deployment would: every member's spec
+    transform runs, then every member's parameter transform.  The name
+    is the ``+``-joined member list (``""`` for the empty stack, which
+    is the undefended baseline) and the deployment is the hardest
+    member's tier.
+    """
+
+    _DEPLOYMENT_ORDER = ("bios", "microcode", "hardware")
+
+    def __init__(self, mitigations: Sequence[Mitigation] = ()) -> None:
+        self.mitigations = tuple(mitigations)
+        for mitigation in self.mitigations:
+            if not isinstance(mitigation, Mitigation):
+                raise ConfigurationError(
+                    f"stack members must be Mitigation instances, "
+                    f"got {mitigation!r}"
+                )
+        self.name = "+".join(m.name for m in self.mitigations)
+        tiers = [
+            self._DEPLOYMENT_ORDER.index(m.deployment)
+            for m in self.mitigations
+            if m.deployment in self._DEPLOYMENT_ORDER
+        ]
+        self.deployment = self._DEPLOYMENT_ORDER[max(tiers)] if tiers else "-"
+
+    def apply_spec(self, spec: MachineSpec) -> MachineSpec:
+        for mitigation in self.mitigations:
+            spec = mitigation.apply_spec(spec)
+        return spec
+
+    def apply_params(self, params: FrontendParams) -> FrontendParams:
+        for mitigation in self.mitigations:
+            params = mitigation.apply_params(params)
+        return params
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"MitigationStack({list(self.mitigations)!r})"
+
+
 #: The full catalogue, in deployment-difficulty order.
 ALL_MITIGATIONS: tuple[Mitigation, ...] = (
     DisableSmt(),
@@ -123,3 +170,46 @@ ALL_MITIGATIONS: tuple[Mitigation, ...] = (
     IsolateDsbPerThread(),
     UniformPathTiming(),
 )
+
+#: Name -> singleton lookup for declarative (JSON) defense configs.
+MITIGATIONS_BY_NAME: Mapping[str, Mitigation] = {
+    mitigation.name: mitigation for mitigation in ALL_MITIGATIONS
+}
+
+
+def mitigation_from_dict(payload: Mapping[str, object] | None) -> Mitigation | None:
+    """Build a mitigation stack from a plain JSON-safe dict.
+
+    The wire form is ``{"mitigations": ["disable-lsd", ...]}`` — the
+    same unknown-field-rejection conventions as ``service/spec.py``.
+    ``None`` and ``{"mitigations": []}`` both mean "undefended" and
+    return ``None``, so callers can pass a config straight through to
+    :meth:`DefenseEvaluator.evaluate`.
+    """
+    if payload is None:
+        return None
+    if not isinstance(payload, Mapping):
+        raise ConfigurationError(
+            f"defense config must be an object: {payload!r}"
+        )
+    unknown = sorted(set(payload) - {"mitigations"})
+    if unknown:
+        raise ConfigurationError(f"unknown defense config field(s) {unknown}")
+    names = payload.get("mitigations", [])
+    if isinstance(names, str) or not isinstance(names, Sequence):
+        raise ConfigurationError(
+            "defense 'mitigations' must be an array of mitigation names"
+        )
+    members = []
+    for name in names:
+        if name not in MITIGATIONS_BY_NAME:
+            raise ConfigurationError(
+                f"unknown mitigation {name!r}; choose from "
+                f"{sorted(MITIGATIONS_BY_NAME)}"
+            )
+        members.append(MITIGATIONS_BY_NAME[name])
+    if not members:
+        return None
+    if len(members) == 1:
+        return members[0]
+    return MitigationStack(members)

@@ -63,6 +63,27 @@ DEFAULT_LAYERS: Mapping[str, frozenset[str]] = {
     "defense": frozenset(
         {"analysis", "channels", "errors", "frontend", "isa", "machine", "spectre"}
     ),
+    # -- attack synthesis -------------------------------------------------
+    # The synthesiser generates candidate programs (isa), scores them as
+    # covert channels on defended machines (channels/defense/machine),
+    # and fans batches out through the executor contract (exec/sweep) —
+    # but never reaches service/cluster: those drive *it*, not the
+    # reverse, exactly like sweeps.
+    "synth": frozenset(
+        {
+            "analysis",
+            "channels",
+            "defense",
+            "errors",
+            "exec",
+            "frontend",
+            "isa",
+            "machine",
+            "obs",
+            "rng",
+            "sweep",
+        }
+    ),
     # -- experiment plumbing --------------------------------------------
     "workloads": frozenset({"errors", "isa"}),
     "configio": frozenset({"channels", "errors", "frontend", "machine"}),
@@ -96,6 +117,7 @@ DEFAULT_LAYERS: Mapping[str, frozenset[str]] = {
             "sgx",
             "spectre",
             "sweep",
+            "synth",
         }
     ),
     # -- service layer ---------------------------------------------------
@@ -119,10 +141,10 @@ DEFAULT_LAYERS: Mapping[str, frozenset[str]] = {
     # The linter inspects everything but imports only foundations.
     "lint": frozenset({"errors"}),
     # The backend benchmark harness builds machines and drives sweeps to
-    # time them; it also times the linter itself (``--suite lint``),
-    # which is the one sanctioned bench -> lint edge.  Like
-    # ``benchmarks`` it is a subject of tooling, not a driver, so it
-    # never reaches cli/__main__.
+    # time them; it also times the linter itself (``--suite lint``) and
+    # the synthesis pipeline (``--suite synth``) — the sanctioned
+    # bench -> lint / bench -> synth edges.  Like ``benchmarks`` it is a
+    # subject of tooling, not a driver, so it never reaches cli/__main__.
     "bench": frozenset(
         {
             "errors",
@@ -133,6 +155,7 @@ DEFAULT_LAYERS: Mapping[str, frozenset[str]] = {
             "machine",
             "obs",
             "sweep",
+            "synth",
             "workloads",
         }
     ),
@@ -159,6 +182,7 @@ DEFAULT_LAYERS: Mapping[str, frozenset[str]] = {
             "sgx",
             "spectre",
             "sweep",
+            "synth",
             "validate",
             "workloads",
         }
@@ -190,6 +214,7 @@ DEFAULT_LAYERS: Mapping[str, frozenset[str]] = {
             "sidechannel",
             "spectre",
             "sweep",
+            "synth",
             "validate",
             "workloads",
         }
@@ -219,6 +244,7 @@ class LintConfig:
         "channels",
         "measure",
         "obs",
+        "synth",
     )
     #: Packages whose ``async def`` bodies must never block the loop,
     #: and whose shared state the ``race-*`` family audits for

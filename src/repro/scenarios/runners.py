@@ -31,6 +31,8 @@ from repro.service.spec import build_channel, sweep_config
 from repro.sgx.frontal import FrontalAttack, FrontalParams
 from repro.spectre.btb import SpectreV2Attack
 from repro.spectre.channels import ALL_SPECTRE_CHANNELS
+from repro.synth.candidate import CandidateProgram
+from repro.synth.oracle import LeakageOracle, OracleConfig
 
 __all__ = ["ScenarioResult", "run_scenario", "run_trial"]
 
@@ -169,10 +171,58 @@ def _run_spectre_v2(spec: ScenarioSpec, seed: int) -> ScenarioOutcome:
     return dataclasses.replace(outcome, label=spec.name)
 
 
+def _run_synth(spec: ScenarioSpec, seed: int) -> ScenarioOutcome:
+    """Replay a synthesised candidate through the leakage oracle.
+
+    ``defense`` (the JSON form ``{"mitigations": [...]}``) turns the
+    scenario into a defense regression: a candidate registered as
+    defeating a stack keeps proving it on every CI run.
+    """
+    params = dict(spec.params)
+    allowed = {"candidate", "defense", "bits", "training_bits"}
+    _reject_unknown(params, allowed, "synth")
+    if "candidate" not in params:
+        raise ConfigurationError(
+            "synth scenario needs a 'candidate' parameter (the genome "
+            "dict a SearchReport finding exports)"
+        )
+    candidate = CandidateProgram.from_dict(params["candidate"])
+    defense = params.get("defense")
+    if defense is not None and not isinstance(defense, dict):
+        raise ConfigurationError(
+            "synth scenario 'defense' must be a defense-config object "
+            "or null"
+        )
+    oracle = LeakageOracle(
+        OracleConfig(
+            machine=spec.machine,
+            bits=int(params.get("bits", 32)),
+            training_bits=int(params.get("training_bits", 12)),
+        )
+    )
+    verdict = oracle.score(candidate, seed, defense=defense)
+    if verdict.outcome is None:
+        # Blocked/broken before any bit crossed: an empty outcome whose
+        # error rate still reflects the (failed) transmission.
+        return ScenarioOutcome(
+            label=spec.name,
+            machine=spec.machine,
+            units_total=0,
+            units_correct=0,
+            bits=0,
+            cycles=0.0,
+            frequency_hz=0.0,
+            error_rate=1.0,
+            details={},
+        )
+    return dataclasses.replace(verdict.outcome, label=spec.name)
+
+
 _RUNNERS = {
     "frontal": _run_frontal,
     "channel": _run_channel,
     "spectre-v2": _run_spectre_v2,
+    "synth": _run_synth,
 }
 
 

@@ -18,7 +18,11 @@ kinds exist today:
 * ``channel`` — a covert-channel transmission through any channel
   ``repro.service.spec.build_channel`` knows;
 * ``spectre-v2`` — branch-target injection
-  (:class:`repro.spectre.btb.SpectreV2Attack`).
+  (:class:`repro.spectre.btb.SpectreV2Attack`);
+* ``synth`` — a synthesised candidate program
+  (:class:`repro.synth.CandidateProgram`) replayed through the leakage
+  oracle, optionally under a declarative defense stack — how the
+  synthesiser's discoveries become permanent regression scenarios.
 """
 
 from __future__ import annotations
@@ -34,7 +38,7 @@ from repro.errors import ConfigurationError
 __all__ = ["SCENARIO_KINDS", "ScenarioSpec"]
 
 #: Runner families ``repro.scenarios.runners`` can execute.
-SCENARIO_KINDS = ("frontal", "channel", "spectre-v2")
+SCENARIO_KINDS = ("frontal", "channel", "spectre-v2", "synth")
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,70 @@
+"""Automated attack-program synthesis against the defense layer.
+
+AMuLeT-style (arXiv 2503.00145) design-time fuzzing of the frontend:
+a seeded grammar over ``repro.isa`` blocks generates candidate
+sender/receiver programs, a leakage oracle scores each one as a covert
+channel under a declarative mitigation stack, and a coverage-guided
+mutational search — novelty keyed on frontend-path fingerprints —
+hunts for programs that leak *despite* the defense.  Winning finds are
+shrunk to their minimal leaking form and exported as scenario-spec
+payloads so discoveries become permanent regression scenarios.
+
+Layering: sits on isa/frontend/machine/channels/defense/analysis/exec —
+never on ``service`` or ``cluster`` (those drive *it*, via the executor
+contract).  Everything is deterministic: same seed + config ⇒
+byte-identical corpus, findings, and report.  See ``docs/synthesis.md``.
+"""
+
+from repro.synth.candidate import (
+    DSB_SETS,
+    MAX_ITERATIONS,
+    MAX_SEGMENT_BLOCKS,
+    MAX_SEGMENTS,
+    SEGMENT_KINDS,
+    CandidateProgram,
+    Segment,
+)
+from repro.synth.generator import (
+    MUTATION_NAMES,
+    GeneratorConfig,
+    ProgramGenerator,
+)
+from repro.synth.oracle import (
+    LeakageOracle,
+    OracleConfig,
+    OracleVerdict,
+    SynthChannel,
+    path_fingerprint,
+)
+from repro.synth.search import (
+    Finding,
+    SearchConfig,
+    SearchReport,
+    SynthSearch,
+    shrink,
+    synth_point_metrics,
+)
+
+__all__ = [
+    "SEGMENT_KINDS",
+    "DSB_SETS",
+    "MAX_SEGMENTS",
+    "MAX_SEGMENT_BLOCKS",
+    "MAX_ITERATIONS",
+    "Segment",
+    "CandidateProgram",
+    "GeneratorConfig",
+    "ProgramGenerator",
+    "MUTATION_NAMES",
+    "OracleConfig",
+    "OracleVerdict",
+    "SynthChannel",
+    "LeakageOracle",
+    "path_fingerprint",
+    "SearchConfig",
+    "Finding",
+    "SearchReport",
+    "SynthSearch",
+    "shrink",
+    "synth_point_metrics",
+]

@@ -180,7 +180,12 @@ class TestSpec:
 
 class TestRegistry:
     def test_builtins_are_registered(self):
-        assert names() == ("frontal", "retirement-channel", "spectre-v2")
+        assert names() == (
+            "frontal",
+            "retirement-channel",
+            "spectre-v2",
+            "synth-dsb-contention",
+        )
         assert tuple(spec.name for spec in all_specs()) == names()
 
     def test_unknown_name_lists_registered(self):
@@ -276,6 +281,7 @@ _REPLAY_GRIDS = {
     "frontal": {"steps_per_branch": [3]},
     "retirement-channel": {"bits": [64]},
     "spectre-v2": {"attempts_per_chunk": [1]},
+    "synth-dsb-contention": {"bits": [16]},
 }
 
 

@@ -1,0 +1,142 @@
+"""Property tests for the synthesiser's determinism contract.
+
+Two invariances carry the whole ``repro.synth`` design:
+
+* **hash seed** — generator and mutator draws must be byte-identical
+  across interpreter runs with different ``PYTHONHASHSEED`` values
+  (numpy streams named by ``derive_seed`` erase hash ordering, but a
+  single stray ``set`` iteration in the grammar would break replay);
+* **executor** — a campaign must produce the same report through the
+  serial executor and the distributed cluster fabric, because batch
+  scoring is the one stage that fans out.
+
+Plus the grammar-level properties Hypothesis is good at: every genome
+the generator can draw round-trips through JSON, stays inside the
+grammar bounds, and builds work-balanced bit bodies.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.isa.layout import BlockChainLayout
+from repro.synth import CandidateProgram, ProgramGenerator, Segment
+
+_segments = st.builds(
+    Segment,
+    kind=st.sampled_from(["std", "lcp"]),
+    dsb_set=st.integers(0, 31),
+    count=st.integers(1, 12),
+    misaligned=st.booleans(),
+    lcp_sets=st.integers(1, 8),
+)
+
+_candidates = st.builds(
+    CandidateProgram,
+    probe=st.lists(_segments, min_size=1, max_size=4).map(tuple),
+    encode=st.lists(_segments, min_size=1, max_size=4).map(tuple),
+    decoy_stride=st.integers(1, 31),
+    iterations=st.integers(1, 200),
+)
+
+
+class TestGenomeProperties:
+    @given(candidate=_candidates)
+    @settings(max_examples=100, deadline=None)
+    def test_json_round_trip_is_identity(self, candidate):
+        assert CandidateProgram.from_json(candidate.to_json()) == candidate
+        # Canonical form: equal genomes are equal bytes.
+        assert (
+            CandidateProgram.from_json(candidate.to_json()).to_json()
+            == candidate.to_json()
+        )
+
+    @given(candidate=_candidates)
+    @settings(max_examples=50, deadline=None)
+    def test_bit_bodies_are_always_work_balanced(self, candidate):
+        zero, one = candidate.bodies(BlockChainLayout())
+        assert len(zero) == len(one) == candidate.total_blocks
+        assert sorted(len(b.instructions) for b in zero) == sorted(
+            len(b.instructions) for b in one
+        )
+
+    @given(seed=st.integers(0, 2**31), index=st.integers(0, 64))
+    @settings(max_examples=50, deadline=None)
+    def test_every_fresh_draw_is_inside_the_grammar(self, seed, index):
+        # CandidateProgram/Segment validate on construction, so drawing
+        # without an exception IS the property; key() must be canonical.
+        candidate = ProgramGenerator(seed).generate(index)
+        assert CandidateProgram.from_json(candidate.key()) == candidate
+
+    @given(seed=st.integers(0, 2**31))
+    @settings(max_examples=25, deadline=None)
+    def test_mutations_stay_inside_the_grammar(self, seed):
+        generator = ProgramGenerator(seed)
+        a, b = generator.generate(0), generator.generate(1)
+        for index in range(8):
+            mutated = generator.mutate(a, b, index)
+            assert CandidateProgram.from_json(mutated.key()) == mutated
+
+
+# The subprocess probe: fresh draws AND mutations, serialized
+# canonically.  Any hash-ordered container leaking into a draw would
+# shift values between interpreter runs with different hash seeds.
+_HASH_PROBE = """
+import json
+from repro.synth import ProgramGenerator
+
+generator = ProgramGenerator(11)
+draws = generator.fingerprint_inputs(range(6))
+a, b = generator.generate(0), generator.generate(1)
+mutations = json.dumps(
+    [generator.mutate(a, b, i).to_dict() for i in range(6)],
+    sort_keys=True,
+    separators=(",", ":"),
+)
+print(json.dumps([draws, mutations]))
+"""
+
+
+class TestHashSeedInvariance:
+    def test_generator_identical_across_pythonhashseed(self):
+        repo_src = str(Path(__file__).resolve().parent.parent / "src")
+        outputs = []
+        for hash_seed in ("0", "1", "4242", "random"):
+            env = dict(os.environ)
+            env["PYTHONHASHSEED"] = hash_seed
+            env["PYTHONPATH"] = repo_src + (
+                os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+            )
+            result = subprocess.run(
+                [sys.executable, "-c", _HASH_PROBE],
+                capture_output=True,
+                text=True,
+                env=env,
+                check=True,
+            )
+            outputs.append(json.loads(result.stdout))
+        assert all(out == outputs[0] for out in outputs[1:]), (
+            "generator drifted across PYTHONHASHSEED values"
+        )
+
+
+class TestDistributedEquivalence:
+    def test_cluster_campaign_is_byte_identical_to_serial(self):
+        from repro.cluster import DistributedExecutor
+        from repro.synth import SearchConfig, SynthSearch
+
+        config = SearchConfig(
+            seed=7, budget=8, bits=24, max_findings=1, shrink_budget=16
+        )
+        serial = SynthSearch(config).run()
+        distributed = SynthSearch(config).run(
+            executor=DistributedExecutor(workers=2, shard_size=2)
+        )
+        assert serial.to_json() == distributed.to_json()
