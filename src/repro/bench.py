@@ -56,11 +56,13 @@ __all__ = [
     "SUITE_NAME",
     "LINT_SUITE_NAME",
     "SYNTH_SUITE_NAME",
+    "SERVICE_SUITE_NAME",
     "VECTORIZED_SPEEDUP_FLOOR",
     "pinned_suite",
     "run_bench",
     "run_lint_bench",
     "run_synth_bench",
+    "run_service_bench",
     "check_floor",
     "write_bench",
 ]
@@ -70,6 +72,16 @@ SUITE_NAME = "frontend-micro-v1"
 LINT_SUITE_NAME = "lint-full-tree-v1"
 
 SYNTH_SUITE_NAME = "synth-micro-v1"
+
+SERVICE_SUITE_NAME = "service-micro-v1"
+
+#: Fixed work for the multi-tenant throughput view: the same 32 tiny
+#: jobs every run, only the tenant spread changes — so the three rates
+#: are comparable to each other and over time.
+_SERVICE_BATCH_JOBS = 32
+
+#: WAL size for the restart-recovery view (pending jobs replayed).
+_SERVICE_RECOVERY_JOBS = 32
 
 #: Committed contract: vectorized serial points/sec >= floor * reference.
 VECTORIZED_SPEEDUP_FLOOR = 5.0
@@ -446,6 +458,107 @@ def run_synth_bench(
             "cost_before": winner.cost,
             "cost_after": minimized.cost,
             "seconds": round(shrink_s, 3),
+        },
+        "metrics": registry.snapshot(),
+    }
+
+
+def run_service_bench(loops: int = 30) -> dict:
+    """Time the sweep service's hot paths (``--suite service``).
+
+    Three costs decide how the crash-safe, multi-tenant service feels
+    in practice: **submit latency** (one WAL-backed ``submit`` call —
+    the append is in the caller's path by design), **jobs/sec** for a
+    fixed batch of tiny jobs spread over 1, 4 and 16 tenants (the
+    fair-share queue must not tax the single-tenant case), and
+    **restart recovery** (replaying a WAL of pending jobs and
+    resubmitting them into a fresh service — the outage window a crash
+    adds).  All three run on temporary state directories under a
+    private registry; nothing leaks into the process metrics.
+    """
+    import asyncio
+    import tempfile
+
+    # Local imports: the layering table grants bench the ``service``
+    # edge for exactly this suite.
+    from repro.exec import ResultCache
+    from repro.service import JobStore, SweepService
+    from repro.service.spec import SweepSpec
+
+    loops = max(1, loops)
+    spec = SweepSpec(
+        grid={"d": [2]}, channel="eviction", variant="fast", bits=8
+    )
+    payload = spec.to_dict()
+
+    registry = MetricsRegistry()
+    with use_registry(registry):
+        with tempfile.TemporaryDirectory() as state_dir:
+            # -- submit latency: queue + WAL append, no workers running.
+            service = SweepService(store=JobStore(state_dir))
+            samples = []
+            for _ in range(loops):
+                sweep = spec.build_sweep()
+                start = time.perf_counter()
+                service.submit(sweep, spec_payload=dict(payload))
+                samples.append(time.perf_counter() - start)
+            submit_ms = _median_of(samples) * 1e3
+
+        # -- throughput: the same fixed batch, fanned over more tenants.
+        async def _drain(tenants: int, cache_dir: str) -> float:
+            service = SweepService(
+                cache=ResultCache(cache_dir), batch_size=8, workers=2
+            )
+            service.start()
+            try:
+                start = time.perf_counter()
+                jobs = [
+                    service.submit(
+                        spec.build_sweep(), client=f"tenant-{i % tenants}"
+                    )
+                    for i in range(_SERVICE_BATCH_JOBS)
+                ]
+                await asyncio.gather(*(job.wait() for job in jobs))
+                return time.perf_counter() - start
+            finally:
+                await service.stop()
+
+        jobs_per_sec = {}
+        for tenants in (1, 4, 16):
+            with tempfile.TemporaryDirectory() as cache_dir:
+                elapsed = asyncio.run(_drain(tenants, cache_dir))
+            jobs_per_sec[str(tenants)] = round(
+                _SERVICE_BATCH_JOBS / elapsed, 1
+            )
+
+        # -- recovery: replay a WAL of pending jobs into a fresh service.
+        with tempfile.TemporaryDirectory() as state_dir:
+            seeded = SweepService(store=JobStore(state_dir))
+            for _ in range(_SERVICE_RECOVERY_JOBS):
+                seeded.submit(spec.build_sweep(), spec_payload=dict(payload))
+            seeded.store.close()
+            recovery_samples = []
+            state = None
+            for _ in range(max(3, loops // 10)):
+                store = JobStore(state_dir)
+                fresh = SweepService()
+                start = time.perf_counter()
+                state = store.replay()
+                fresh.restore(state)
+                recovery_samples.append(time.perf_counter() - start)
+                store.close()
+        assert state is not None
+
+    return {
+        "suite": SERVICE_SUITE_NAME,
+        "loops": loops,
+        "submit_ms": round(submit_ms, 3),
+        "jobs": _SERVICE_BATCH_JOBS,
+        "jobs_per_sec": jobs_per_sec,
+        "recovery": {
+            "ms": round(_median_of(recovery_samples) * 1e3, 3),
+            "jobs": _SERVICE_RECOVERY_JOBS,
+            "wal_records": state.records,
         },
         "metrics": registry.snapshot(),
     }

@@ -18,14 +18,16 @@ Gives each of the library's headline capabilities a one-line invocation:
 * ``sweep``       — grid-sweep channel parameters (parallel + cached;
   ``--workers N`` shards it across the distributed fabric);
 * ``serve``       — run the sweep service on a Unix socket (and,
-  optionally, a TCP listener via ``--tcp``);
+  optionally, a TCP listener via ``--tcp``); ``--state-dir`` makes the
+  queue crash-safe, ``--auth`` gates clients by token and quota;
 * ``submit``      — submit a grid to a running service, stream progress;
 * ``watch``       — mirror a running service's event feed as JSONL;
 * ``metrics``     — fetch a running service's metrics snapshot;
 * ``worker``      — join a cluster coordinator as a compute node;
 * ``bench``       — benchmark a pinned micro suite (``--suite frontend``
   writes ``BENCH_frontend.json``, ``--suite scenarios`` writes
-  ``BENCH_scenarios.json``);
+  ``BENCH_scenarios.json``, ``--suite service`` writes
+  ``BENCH_service.json``);
 * ``validate``    — run the 10-point model-invariant checklist;
 * ``report``      — assemble benchmark results into REPORT.md.
 
@@ -35,7 +37,10 @@ additionally takes ``--jobs N`` (worker processes), ``--cache-dir``
 ``sweep --progress`` and ``submit`` stream JSONL events (the service's
 event format, see ``docs/service.md``) to **stderr**; stdout carries
 only results, so piping stays clean (``watch`` is the exception: its
-event stream *is* the result, so it goes to stdout).
+event stream *is* the result, so it goes to stdout).  Verbs that dial
+a service (``submit``, ``watch``, ``metrics``, ``scenario submit``)
+take ``--token`` (default ``$REPRO_SERVICE_TOKEN``) for servers
+started with ``--auth``, and ``--timeout`` for a per-read deadline.
 
 ``sweep``, ``serve`` and ``worker`` accept ``--backend`` to pick the
 frontend simulation backend (see ``docs/backends.md``).  The flag is
@@ -213,6 +218,7 @@ def build_parser() -> argparse.ArgumentParser:
     scenario_submit.add_argument(
         "--label", default=None, help="job label for the event log"
     )
+    _add_client_auth_arguments(scenario_submit)
 
     synth = sub.add_parser(
         "synth",
@@ -405,6 +411,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="evict terminal jobs (and their event logs) after this many "
         "seconds; <= 0 keeps jobs forever (default: 3600)",
     )
+    serve.add_argument(
+        "--state-dir",
+        default=None,
+        metavar="DIR",
+        help="persist submitted jobs to a write-ahead log in DIR; a "
+        "restarted service reloads the queue and resumes unfinished "
+        "jobs (docs/service.md)",
+    )
+    serve.add_argument(
+        "--auth",
+        default=None,
+        metavar="FILE",
+        help="JSON account file: per-client tokens plus quota and "
+        "rate limits; unknown tokens get a typed deny frame "
+        "(docs/service.md)",
+    )
     _add_backend_argument(serve)
 
     submit = sub.add_parser(
@@ -418,6 +440,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_grid_arguments(submit)
     submit.add_argument("--priority", type=int, default=0)
     submit.add_argument("--label", default=None, help="job label for the event log")
+    _add_client_auth_arguments(submit)
 
     watch = sub.add_parser(
         "watch",
@@ -442,6 +465,7 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="exit after N events (default: stream until service stops)",
     )
+    _add_client_auth_arguments(watch)
 
     metrics = sub.add_parser(
         "metrics",
@@ -460,6 +484,7 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["text", "json"],
         help="human table (default) or canonical JSON",
     )
+    _add_client_auth_arguments(metrics)
 
     worker = sub.add_parser(
         "worker",
@@ -496,17 +521,20 @@ def build_parser() -> argparse.ArgumentParser:
 
     bench = sub.add_parser(
         "bench",
-        help="benchmark a pinned micro suite (frontend or scenarios)",
+        help="benchmark a pinned micro suite (frontend, scenarios, lint, "
+        "synth or service)",
         parents=[common],
     )
     bench.add_argument(
         "--suite",
         default="frontend",
-        choices=["frontend", "scenarios", "lint", "synth"],
+        choices=["frontend", "scenarios", "lint", "synth", "service"],
         help="frontend: raw run_loop dispatch (BENCH_frontend.json); "
         "scenarios: whole scenario trials (BENCH_scenarios.json); "
         "lint: full-tree analysis timing (BENCH_lint.json); "
-        "synth: pinned search campaign (BENCH_synth.json)",
+        "synth: pinned search campaign (BENCH_synth.json); "
+        "service: submit latency, multi-tenant throughput and "
+        "restart recovery (BENCH_service.json)",
     )
     bench.add_argument(
         "--output",
@@ -629,6 +657,31 @@ def _apply_backend(args) -> None:
     if getattr(args, "backend", None):
         set_default_backend(args.backend)
         os.environ[ENV_VAR] = args.backend
+
+
+def _add_client_auth_arguments(parser: argparse.ArgumentParser) -> None:
+    """The service-client options shared by every verb that dials one."""
+    parser.add_argument(
+        "--token",
+        default=None,
+        help="client token for a service started with --auth "
+        "(default: $REPRO_SERVICE_TOKEN)",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-read timeout on the service connection (default: none)",
+    )
+
+
+def _client_auth(args) -> dict:
+    """``token=``/``timeout_s=`` keyword arguments for the client helpers."""
+    token = args.token if args.token is not None else os.environ.get(
+        "REPRO_SERVICE_TOKEN"
+    )
+    return {"token": token, "timeout_s": args.timeout}
 
 
 def _add_grid_arguments(parser: argparse.ArgumentParser) -> None:
@@ -876,7 +929,7 @@ def _cmd_serve(args) -> int:
 
     from repro.errors import ConfigurationError
     from repro.exec import ParallelExecutor, ResultCache, SerialExecutor
-    from repro.service import SweepServer, SweepService
+    from repro.service import AuthPolicy, JobStore, SweepServer, SweepService
 
     _apply_backend(args)
     if args.jobs < 1:
@@ -885,14 +938,19 @@ def _cmd_serve(args) -> int:
         ParallelExecutor(jobs=args.jobs) if args.jobs > 1 else SerialExecutor()
     )
     cache = None if args.no_cache else ResultCache(args.cache_dir)
+    store = JobStore(args.state_dir) if args.state_dir else None
+    auth = AuthPolicy.from_file(args.auth) if args.auth else None
     service = SweepService(
         executor=executor,
         cache=cache,
         batch_size=args.batch_size,
         workers=args.workers,
         job_ttl_s=args.job_ttl if args.job_ttl > 0 else None,
+        store=store,
     )
-    server = SweepServer(service, args.socket, tcp=args.tcp)
+    server = SweepServer(service, args.socket, tcp=args.tcp, auth=auth)
+    if store is not None:
+        print(f"persisting jobs to {args.state_dir}", file=sys.stderr)
     print(f"sweep service listening on {args.socket}", file=sys.stderr)
     if args.tcp:
         print(f"sweep service also listening on tcp://{args.tcp} "
@@ -921,7 +979,7 @@ def _cmd_submit(args) -> int:
         priority=args.priority,
         label=args.label,
     )
-    final = submit_and_stream(args.socket, spec)
+    final = submit_and_stream(args.socket, spec, **_client_auth(args))
     if final.kind != "job-done":
         print(f"error: {final.get('message')}", file=sys.stderr)
         return 1
@@ -954,7 +1012,9 @@ def _cmd_watch(args) -> int:
 
     kinds = args.kinds.split(",") if args.kinds else None
     try:
-        seen = watch_and_stream(args.socket, kinds=kinds, limit=args.limit)
+        seen = watch_and_stream(
+            args.socket, kinds=kinds, limit=args.limit, **_client_auth(args)
+        )
     except KeyboardInterrupt:
         return 0
     print(f"service stream ended after {seen} event(s)", file=sys.stderr)
@@ -967,7 +1027,7 @@ def _cmd_metrics(args) -> int:
     from repro.obs import render_text
     from repro.service.client import fetch_metrics
 
-    snapshot = fetch_metrics(args.socket)
+    snapshot = fetch_metrics(args.socket, **_client_auth(args))
     if args.fmt == "json":
         print(_json.dumps(snapshot, sort_keys=True, separators=(",", ":")))
     else:
@@ -990,6 +1050,9 @@ def _cmd_worker(args) -> int:
             jobs=args.jobs,
             cache_dir=args.cache_dir,
             heartbeat_interval=args.heartbeat,
+            # A CLI worker's process registry is its own; ship snapshots
+            # so the coordinator's fleet merge sees this node's tallies.
+            ship_metrics=True,
         )
     except KeyboardInterrupt:
         pass
@@ -1098,7 +1161,7 @@ def _cmd_scenario(args) -> int:
         priority=args.priority,
         label=args.label,
     )
-    final = submit_and_stream(args.socket, sweep_spec)
+    final = submit_and_stream(args.socket, sweep_spec, **_client_auth(args))
     if final.kind != "job-done":
         print(f"error: {final.get('message')}", file=sys.stderr)
         return 1
@@ -1351,6 +1414,35 @@ def _cmd_bench(args) -> int:
             f"synth       minimizer       {minimizer['steps']:9d} steps "
             f"(cost {minimizer['cost_before']} -> {minimizer['cost_after']}, "
             f"{minimizer['seconds']:.3f} s)"
+        )
+        print(f"wrote {target}", file=sys.stderr)
+        return 0
+    if args.suite == "service":
+        from repro.bench import run_service_bench
+        from repro.errors import ConfigurationError
+
+        if args.check:
+            raise ConfigurationError(
+                "--check applies to the frontend suite only"
+            )
+        result = run_service_bench(
+            loops=args.loops if args.loops is not None else 30
+        )
+        target = write_bench(result, args.output or "BENCH_service.json")
+        print(
+            f"service     submit latency  {result['submit_ms']:9.2f} ms/job"
+        )
+        for tenants, rate in sorted(
+            result["jobs_per_sec"].items(), key=lambda kv: int(kv[0])
+        ):
+            print(
+                f"service     {tenants:>2s} tenant(s)    {rate:9.1f} jobs/s"
+            )
+        recovery = result["recovery"]
+        print(
+            f"service     recovery        {recovery['ms']:9.2f} ms "
+            f"({recovery['jobs']} jobs, {recovery['wal_records']} WAL "
+            "records)"
         )
         print(f"wrote {target}", file=sys.stderr)
         return 0

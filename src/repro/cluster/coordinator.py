@@ -45,7 +45,7 @@ from repro.cluster.protocol import (
 )
 from repro.cluster.shards import Shard, plan_shards
 from repro.errors import ConfigurationError
-from repro.obs import MetricsRegistry, Span, get_registry
+from repro.obs import MetricsRegistry, Span, get_registry, merge_snapshot
 from repro.service.endpoints import Endpoint, parse_endpoint, start_endpoint_server
 from repro.service.events import Event
 from repro.sweep import SweepPoint
@@ -204,6 +204,10 @@ class Coordinator:
         self._base_remote_hits = self._c_remote_hits.value
         #: Open dispatch→completion spans, keyed (shard id, worker name).
         self._dispatch_spans: dict[tuple[int, str], Span] = {}
+        #: Per-worker merge baselines for shipped registry snapshots
+        #: (workers re-ship cumulative state; the baseline keeps the
+        #: fleet merge delta-based).  Keyed by worker name.
+        self._metric_baselines: dict[str, dict] = {}
 
         if self.total_points == 0:
             self._finished.set()
@@ -282,14 +286,16 @@ class Coordinator:
                 pass
         for worker in list(self._workers.values()):
             await self._send_safe(worker, {"type": "shutdown", "reason": reason})
-            worker.writer.close()
         server, self._server = self._server, None
         if server is not None:
             server.close()
             await server.wait_closed()
-        # Connections are closed, so handlers drain to EOF on their own;
-        # cancellation is a last resort (it trips a noisy wart in
-        # asyncio.streams' connection_made callback on 3.11).
+        # Leave the connections open: a worker honouring ``shutdown``
+        # still owes us its final frames (``shard-done``/``goodbye``
+        # snapshots for the fleet metrics merge) and closes its end when
+        # done, so handlers drain to EOF on their own.  Cancellation is
+        # a last resort for unresponsive peers (it also trips a noisy
+        # wart in asyncio.streams' connection_made callback on 3.11).
         if self._handlers:
             _, stragglers = await asyncio.wait(set(self._handlers), timeout=2.0)
             for task in stragglers:
@@ -299,6 +305,8 @@ class Coordinator:
                     await task
                 except asyncio.CancelledError:
                     pass
+        for worker in list(self._workers.values()):
+            worker.writer.close()
         self._handlers.clear()
         self._workers.clear()
 
@@ -425,6 +433,8 @@ class Coordinator:
             self._on_shard_done(worker, message)
         elif kind == "shard-error":
             self._on_shard_error(worker, message)
+        elif kind == "goodbye":
+            self._on_goodbye(worker, message)
         else:
             raise ClusterProtocolError(f"unexpected worker message {kind!r}")
 
@@ -459,6 +469,7 @@ class Coordinator:
             self._finished.set()
 
     def _on_shard_done(self, worker: WorkerHandle, message: dict) -> None:
+        self._merge_worker_metrics(worker, message.get("snapshot"))
         state = self._states_by_id.get(int(message.get("shard", -1)))
         if state is None:
             raise ClusterProtocolError(f"shard-done for unknown shard: {message}")
@@ -484,6 +495,25 @@ class Coordinator:
                 reason=f"worker {worker.name} failed: {message.get('message')}",
             )
         self._assign(worker)
+
+    def _on_goodbye(self, worker: WorkerHandle, message: dict) -> None:
+        """A worker honouring ``shutdown``: take its parting snapshot."""
+        self._merge_worker_metrics(worker, message.get("snapshot"))
+
+    def _merge_worker_metrics(self, worker: WorkerHandle, snapshot: object) -> None:
+        """Fold one shipped registry snapshot into the fleet registry.
+
+        Delta-based against the worker's previous shipment, so the
+        cumulative snapshots in successive ``shard-done`` frames (and
+        the final ``goodbye``) never double-count; a worker that
+        reconnects under a new name simply starts a fresh baseline.
+        """
+        if not isinstance(snapshot, dict):
+            return
+        self._metric_baselines[worker.name] = merge_snapshot(
+            self.registry, snapshot, self._metric_baselines.get(worker.name)
+        )
+        self.registry.counter("cluster.snapshots_merged").inc()
 
     # ------------------------------------------------------------------
     # dispatch / retry / steal

@@ -33,6 +33,7 @@ from repro.errors import ConfigurationError
 from repro.exec.base import Executor
 from repro.exec.parallel import ParallelExecutor
 from repro.exec.serial import SerialExecutor
+from repro.obs import MetricsRegistry
 from repro.service.endpoints import Endpoint, parse_endpoint
 from repro.service.events import Event
 from repro.sweep import SweepPoint
@@ -171,6 +172,12 @@ class DistributedExecutor(Executor):
                     jobs=self.worker_jobs,
                     cache_dir=self.cache_dir,
                     heartbeat_interval=self.heartbeat_interval,
+                    # Each in-process worker tallies on its own registry
+                    # and ships snapshots over the wire, exactly like an
+                    # external worker — the coordinator's fleet merge
+                    # lands the totals back on the process registry.
+                    registry=MetricsRegistry(),
+                    ship_metrics=True,
                 ).run(),
                 name=f"cluster-worker-{i + 1}",
             )

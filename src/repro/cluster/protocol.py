@@ -62,7 +62,9 @@ __all__ = [
 
 #: Bump when the message vocabulary changes incompatibly; register /
 #: welcome carry it so mismatched peers fail fast instead of mid-run.
-PROTOCOL_VERSION = 1
+#: v2: workers answer ``shutdown`` with a ``goodbye`` frame (optionally
+#: carrying a metrics snapshot, as ``shard-done`` now may too).
+PROTOCOL_VERSION = 2
 
 
 class ClusterError(ReproError):

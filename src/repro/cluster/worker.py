@@ -38,7 +38,7 @@ from repro.exec.cache import ResultCache
 from repro.exec.canonical import callable_fingerprint
 from repro.exec.parallel import ParallelExecutor
 from repro.exec.serial import SerialExecutor
-from repro.obs import Counter, get_registry
+from repro.obs import Counter, MetricsRegistry, get_registry
 from repro.service.endpoints import Endpoint, open_endpoint, parse_endpoint
 from repro.sweep import SweepPoint
 
@@ -66,6 +66,15 @@ class ClusterWorker:
         coordinator's ``heartbeat_timeout``.
     connect_attempts / connect_delay_s:
         Dial retries — workers often start before their coordinator.
+    registry:
+        The :class:`~repro.obs.MetricsRegistry` this worker's tallies
+        live on; defaults to the process registry.  Give each in-process
+        worker of a test or executor its own so shipped snapshots stay
+        per-worker.
+    ship_metrics:
+        Ship this registry's snapshot in every ``shard-done`` and in the
+        ``goodbye`` sent on shutdown, for the coordinator's fleet-wide
+        metrics merge.
     """
 
     def __init__(
@@ -78,6 +87,8 @@ class ClusterWorker:
         heartbeat_interval: float = 2.0,
         connect_attempts: int = 25,
         connect_delay_s: float = 0.2,
+        registry: MetricsRegistry | None = None,
+        ship_metrics: bool = False,
     ) -> None:
         if jobs < 1:
             raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
@@ -102,7 +113,8 @@ class ClusterWorker:
         # worker name — which the coordinator only confirms at welcome,
         # so the instruments bind then.  The public attributes are views
         # (deltas since binding) and read 0 until registration.
-        self._registry = get_registry()
+        self._registry = registry if registry is not None else get_registry()
+        self.ship_metrics = bool(ship_metrics)
         self._c_shards: Counter | None = None
         self._c_points: Counter | None = None
         self._c_hits: Counter | None = None
@@ -186,6 +198,7 @@ class ClusterWorker:
                 if kind == "shard":
                     await self._run_shard(writer, message)
                 elif kind == "shutdown":
+                    await self._send_goodbye(writer)
                     break
                 else:
                     raise ClusterProtocolError(
@@ -235,6 +248,21 @@ class ClusterWorker:
         except (ConnectionResetError, BrokenPipeError, RuntimeError):
             return  # connection is gone; the main loop will notice too
 
+    async def _send_goodbye(self, writer: asyncio.StreamWriter) -> None:
+        """Final frame before honouring ``shutdown``: the parting snapshot.
+
+        Best-effort — a coordinator tearing the connection down right
+        after its ``shutdown`` must not turn the clean exit into a
+        traceback.
+        """
+        goodbye: dict = {"type": "goodbye", "worker": self.name}
+        if self.ship_metrics:
+            goodbye["snapshot"] = self._registry.snapshot()
+        try:
+            await self._send(writer, goodbye)
+        except (ConnectionResetError, BrokenPipeError, RuntimeError):
+            pass
+
     # ------------------------------------------------------------------
     async def _run_shard(self, writer: asyncio.StreamWriter, message: dict) -> None:
         shard_id = int(message.get("shard", -1))
@@ -273,9 +301,14 @@ class ClusterWorker:
                         metrics,
                     )
                 await self._report(writer, shard_id, index, metrics, elapsed, False)
-            await self._send(writer, {"type": "shard-done", "shard": shard_id})
             assert self._c_shards is not None  # bound at welcome
             self._c_shards.inc()
+            done: dict = {"type": "shard-done", "shard": shard_id}
+            if self.ship_metrics:
+                # Counted *before* snapshotting so the shipped totals
+                # include the shard they close.
+                done["snapshot"] = self._registry.snapshot()
+            await self._send(writer, done)
         except (ConnectionResetError, BrokenPipeError, asyncio.CancelledError):
             raise
         except Exception as exc:  # the factory failed: report, stay alive

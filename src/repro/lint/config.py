@@ -141,10 +141,12 @@ DEFAULT_LAYERS: Mapping[str, frozenset[str]] = {
     # The linter inspects everything but imports only foundations.
     "lint": frozenset({"errors"}),
     # The backend benchmark harness builds machines and drives sweeps to
-    # time them; it also times the linter itself (``--suite lint``) and
-    # the synthesis pipeline (``--suite synth``) — the sanctioned
-    # bench -> lint / bench -> synth edges.  Like ``benchmarks`` it is a
-    # subject of tooling, not a driver, so it never reaches cli/__main__.
+    # time them; it also times the linter itself (``--suite lint``), the
+    # synthesis pipeline (``--suite synth``), and the sweep service's
+    # submit/persistence paths (``--suite service``) — the sanctioned
+    # bench -> lint / bench -> synth / bench -> service edges.  Like
+    # ``benchmarks`` it is a subject of tooling, not a driver, so it
+    # never reaches cli/__main__.
     "bench": frozenset(
         {
             "errors",
@@ -154,6 +156,7 @@ DEFAULT_LAYERS: Mapping[str, frozenset[str]] = {
             "lint",
             "machine",
             "obs",
+            "service",
             "sweep",
             "synth",
             "workloads",

@@ -91,35 +91,65 @@ _WORKER = "repro.cluster.worker"
 _COORD = "repro.cluster.coordinator"
 
 #: The sweep service's request vocabulary (responses are Event JSONL,
-#: typed by ``"event"``, and are not op frames).
+#: typed by ``"event"``, and are not op frames — except the two refusal
+#: frames below, which the server spells as literals so the lint can
+#: hold sender and handler to them).  Every request may carry a
+#: ``token``; it is read before op dispatch (authentication happens
+#: ahead of the verb), hence informational to the per-op read check.
 SERVICE_OPS: tuple[OpSpec, ...] = (
     _spec(
         "submit", "op", [_CLIENT], [_SERVER],
         required=["op", "spec"],
+        optional=["token"],
+        informational=["token"],
         doc="queue one SweepSpec/ScenarioSweepSpec; answers the job's "
             "event stream through job-done",
     ),
     _spec(
         "cancel", "op", [_CLIENT], [_SERVER],
         required=["op", "job"],
+        optional=["token"],
+        informational=["token"],
         doc="request cancellation of a queued or running job",
     ),
     _spec(
         "ping", "op", [_CLIENT], [_SERVER],
         required=["op"],
+        optional=["token"],
+        informational=["token"],
         doc="liveness check; answers pong with queue counters",
     ),
     _spec(
         "metrics", "op", [_CLIENT], [_SERVER],
         required=["op"],
+        optional=["token"],
+        informational=["token"],
         doc="snapshot the service's metrics registry",
     ),
     _spec(
         "watch", "op", [_CLIENT], [_SERVER],
         required=["op"],
-        optional=["kinds"],
+        optional=["kinds", "token"],
+        informational=["token"],
         doc="subscribe to the service-wide event feed, optionally "
             "filtered to event kinds",
+    ),
+    # server -> client refusals: the only ``"event"``-keyed frames the
+    # server spells as dict literals (everything else rides the Event
+    # stream, whose discriminator is computed and lint-invisible).
+    _spec(
+        "deny", "event", [_SERVER], [_CLIENT],
+        required=["event", "reason", "message"],
+        doc="authentication refused: missing or unknown token; the "
+            "client raises ServiceDeniedError",
+    ),
+    _spec(
+        "quota-exceeded", "event", [_SERVER], [_CLIENT],
+        required=["event", "reason", "message"],
+        optional=["retry_after_s"],
+        doc="submission over the account's quota (active jobs, points "
+            "per job, or submit rate); the client raises "
+            "ServiceQuotaError",
     ),
 )
 
@@ -149,12 +179,24 @@ CLUSTER_OPS: tuple[OpSpec, ...] = (
     _spec(
         "shard-done", "type", [_WORKER], [_COORD],
         required=["type", "shard"],
-        doc="every point of the shard has been reported",
+        optional=["snapshot"],
+        doc="every point of the shard has been reported; optionally "
+            "carries the worker's metrics-registry snapshot for the "
+            "fleet merge",
     ),
     _spec(
         "shard-error", "type", [_WORKER], [_COORD],
         required=["type", "shard", "message"],
         doc="the shard failed (undecodable or the factory raised)",
+    ),
+    _spec(
+        "goodbye", "type", [_WORKER], [_COORD],
+        required=["type", "worker"],
+        optional=["snapshot"],
+        informational=["worker"],  # the coordinator already knows which
+        # connection it is; the name is for humans tailing the wire.
+        doc="the worker is honouring shutdown; optionally carries its "
+            "parting metrics-registry snapshot",
     ),
     # coordinator -> worker
     _spec(

@@ -22,6 +22,7 @@ from repro.obs.registry import (
     Histogram,
     MetricsRegistry,
     get_registry,
+    merge_snapshot,
     set_registry,
     use_registry,
 )
@@ -40,6 +41,7 @@ __all__ = [
     "Span",
     "SpanRecord",
     "get_registry",
+    "merge_snapshot",
     "set_registry",
     "use_registry",
     "snapshot_json",

@@ -44,6 +44,7 @@ __all__ = [
     "MetricsRegistry",
     "DEFAULT_LATENCY_EDGES",
     "get_registry",
+    "merge_snapshot",
     "set_registry",
     "use_registry",
 ]
@@ -348,6 +349,109 @@ class MetricsRegistry:
 
     def __len__(self) -> int:
         return len(self._instruments)
+
+
+# ----------------------------------------------------------------------
+# cross-process merge
+# ----------------------------------------------------------------------
+def merge_snapshot(
+    registry: MetricsRegistry,
+    snapshot: Mapping[str, object],
+    baseline: Mapping[tuple, dict] | None = None,
+) -> dict[tuple, dict]:
+    """Fold one remote :meth:`MetricsRegistry.snapshot` into ``registry``.
+
+    The cluster coordinator uses this to turn per-worker registries
+    into fleet totals: workers ship snapshots in ``shard-done`` and
+    ``goodbye`` frames, and each is merged *delta-style* against the
+    ``baseline`` returned by the previous merge for that source — a
+    counter contributes ``value - baseline_value``, histograms the
+    bucket-wise difference, so re-shipping cumulative state never
+    double-counts.  A value *below* its baseline means the source
+    restarted from zero; the whole value is then treated as fresh.
+    Gauges are last-writer-wins (they describe the source's *current*
+    state).  Returns the new baseline to pass next time.
+
+    Malformed entries are skipped — a snapshot arrives over the wire
+    and must never crash the coordinator.
+    """
+    merged: dict[tuple, dict] = {}
+    entries = snapshot.get("metrics") if isinstance(snapshot, Mapping) else None
+    if not isinstance(entries, list):
+        return merged
+    baseline = baseline or {}
+    for entry in entries:
+        if not isinstance(entry, Mapping):
+            continue
+        name = entry.get("name")
+        tags = entry.get("tags")
+        kind = entry.get("type")
+        if not isinstance(name, str) or not isinstance(tags, Mapping):
+            continue
+        key = (name, _canonical_tags(tags), kind)
+        previous = baseline.get(key)
+        try:
+            if kind == "counter":
+                value = int(entry.get("value", 0))
+                prior = int(previous.get("value", 0)) if previous else 0
+                delta = value - prior if value >= prior else value
+                if delta > 0:
+                    registry.counter(name, **tags).inc(delta)
+                merged[key] = {"value": value}
+            elif kind == "gauge":
+                registry.gauge(name, **tags).set(float(entry.get("value", 0.0)))
+                merged[key] = {"value": entry.get("value", 0.0)}
+            elif kind == "histogram":
+                merged[key] = _merge_histogram(registry, entry, previous)
+        except (ConfigurationError, TypeError, ValueError):
+            continue  # identity clash or junk values: skip, don't crash
+    return merged
+
+
+def _merge_histogram(
+    registry: MetricsRegistry,
+    entry: Mapping[str, object],
+    previous: Mapping[str, object] | None,
+) -> dict:
+    """Bucket-wise delta merge of one remote histogram snapshot."""
+    name = str(entry.get("name"))
+    tags = dict(entry.get("tags") or {})
+    edges = entry.get("edges")
+    buckets = entry.get("buckets")
+    if not isinstance(edges, list) or not isinstance(buckets, list):
+        raise ValueError("histogram snapshot needs edges and buckets")
+    histogram = registry.histogram(name, edges=edges, **tags)
+    if len(buckets) != len(histogram.edges) + 1:
+        raise ValueError("histogram snapshot bucket count mismatch")
+    count = int(entry.get("count", 0))
+    total = float(entry.get("sum", 0.0))
+    prior_count = int(previous.get("count", 0)) if previous else 0
+    if count < prior_count:  # source restarted: everything is fresh
+        previous = None
+    prior_buckets = list(previous.get("buckets", [])) if previous else []
+    if len(prior_buckets) != len(buckets):
+        prior_buckets = [0] * len(buckets)
+    prior_sum = float(previous.get("sum", 0.0)) if previous else 0.0
+    low = entry.get("min")
+    high = entry.get("max")
+    # Same-module direct state merge: observe() can't reproduce bucket
+    # counts, and min/max must survive the trip.
+    with histogram._lock:
+        for i, bucket in enumerate(buckets):
+            histogram._buckets[i] += max(0, int(bucket) - int(prior_buckets[i]))
+        histogram._count += max(0, count - prior_count)
+        histogram._sum += total - prior_sum if count >= prior_count else total
+        if isinstance(low, (int, float)):
+            histogram._min = (
+                float(low) if histogram._min is None
+                else min(histogram._min, float(low))
+            )
+        if isinstance(high, (int, float)):
+            histogram._max = (
+                float(high) if histogram._max is None
+                else max(histogram._max, float(high))
+            )
+    return {"count": count, "sum": total, "buckets": list(buckets)}
 
 
 # ----------------------------------------------------------------------

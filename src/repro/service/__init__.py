@@ -13,8 +13,12 @@ Layers (bottom up):
 * :mod:`repro.service.scheduler` — point claiming, cross-job dedup,
   cache consults, batched dispatch onto
   :meth:`~repro.exec.base.Executor.compute_stream`;
-* :mod:`repro.service.jobs` — :class:`Job` lifecycle and the priority
-  :class:`JobQueue`;
+* :mod:`repro.service.jobs` — :class:`Job` lifecycle and the
+  fair-share :class:`JobQueue`;
+* :mod:`repro.service.store` — the :class:`JobStore` write-ahead log
+  behind ``serve --state-dir`` crash recovery;
+* :mod:`repro.service.auth` — :class:`AuthPolicy` token auth and
+  per-client quotas (``serve --auth``);
 * :mod:`repro.service.service` — the :class:`SweepService` facade;
 * :mod:`repro.service.events` — the JSONL event vocabulary (shared
   with ``repro sweep --progress`` and the cluster coordinator);
@@ -29,20 +33,30 @@ Layers (bottom up):
 See ``docs/service.md`` for the architecture and event schema.
 """
 
+from repro.service.auth import AuthPolicy, ClientAccount, Denial, Quota
 from repro.service.endpoints import Endpoint, parse_endpoint
 from repro.service.events import EVENT_KINDS, Event, jsonl_progress
 from repro.service.jobs import Job, JobQueue, JobStatus
 from repro.service.scheduler import Scheduler
 from repro.service.server import SweepServer
 from repro.service.service import SweepService
-from repro.service.spec import SweepSpec
+from repro.service.spec import SweepSpec, load_spec
+from repro.service.store import JobStore, StoredJob, WalState
 from repro.service.client import (
     ServiceClient,
+    ServiceDeniedError,
+    ServiceError,
+    ServiceProtocolError,
+    ServiceQuotaError,
+    ServiceTimeoutError,
     submit_and_stream,
     watch_and_stream,
 )
 
 __all__ = [
+    "AuthPolicy",
+    "ClientAccount",
+    "Denial",
     "EVENT_KINDS",
     "Endpoint",
     "Event",
@@ -50,12 +64,22 @@ __all__ = [
     "Job",
     "JobQueue",
     "JobStatus",
+    "JobStore",
+    "load_spec",
     "parse_endpoint",
+    "Quota",
     "Scheduler",
     "ServiceClient",
+    "ServiceDeniedError",
+    "ServiceError",
+    "ServiceProtocolError",
+    "ServiceQuotaError",
+    "ServiceTimeoutError",
+    "StoredJob",
     "SweepServer",
     "SweepService",
     "SweepSpec",
     "submit_and_stream",
     "watch_and_stream",
+    "WalState",
 ]

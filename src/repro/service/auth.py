@@ -1,0 +1,328 @@
+"""Token auth, per-client quotas and submit rate limits for the service.
+
+The sweep service's listeners (Unix socket and TCP alike) are
+multi-tenant once an :class:`AuthPolicy` is attached: every request may
+carry a ``"token"`` key, the policy maps it to a :class:`ClientAccount`
+(or refuses it), and submissions are admitted against that account's
+:class:`Quota` — a cap on concurrently active jobs, a cap on points per
+job, and a token-bucket submit rate.  Refusals are values, not
+exceptions: :meth:`AuthPolicy.authenticate` and
+:meth:`AuthPolicy.admit_submit` return a :class:`Denial` that the
+server serialises as a ``deny`` or ``quota-exceeded`` protocol frame
+(see the lint protocol manifest) and the client surfaces as a typed
+exception.
+
+Fairness between admitted tenants is the queue's business, not the
+policy's: see :class:`~repro.service.jobs.JobQueue`'s round-robin.
+
+The policy file (``serve --auth policy.json``)::
+
+    {
+      "allow_anonymous": false,
+      "tokens": {
+        "s3cret-alice": {"name": "alice", "max_active_jobs": 4,
+                          "max_points": 4096,
+                          "submit_rate_per_s": 5, "submit_burst": 10},
+        "s3cret-bob":   {"name": "bob"}
+      }
+    }
+
+Omitted quota fields mean "unlimited".  Rate limiting uses the injected
+clock (the registry's monotonic clock by default), so tests drive it
+with :class:`~repro.obs.ManualClock`.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Mapping
+
+from repro.errors import ConfigurationError
+
+__all__ = ["Quota", "Denial", "ClientAccount", "AuthPolicy"]
+
+
+@dataclass(frozen=True)
+class Quota:
+    """Per-client admission limits; ``None`` fields are unlimited."""
+
+    #: Max jobs queued or running at once.
+    max_active_jobs: int | None = None
+    #: Max grid points a single submission may expand to.
+    max_points: int | None = None
+    #: Sustained submissions per second (token bucket).
+    submit_rate_per_s: float | None = None
+    #: Bucket capacity: submissions a quiet client may burst.
+    submit_burst: int = 2
+
+    def __post_init__(self) -> None:
+        if self.max_active_jobs is not None and self.max_active_jobs < 1:
+            raise ConfigurationError(
+                f"max_active_jobs must be >= 1, got {self.max_active_jobs}"
+            )
+        if self.max_points is not None and self.max_points < 1:
+            raise ConfigurationError(
+                f"max_points must be >= 1, got {self.max_points}"
+            )
+        if self.submit_rate_per_s is not None and self.submit_rate_per_s <= 0:
+            raise ConfigurationError(
+                f"submit_rate_per_s must be > 0, got {self.submit_rate_per_s}"
+            )
+        if self.submit_burst < 1:
+            raise ConfigurationError(
+                f"submit_burst must be >= 1, got {self.submit_burst}"
+            )
+
+
+@dataclass(frozen=True)
+class Denial:
+    """A refusal, ready to serialise as a protocol frame.
+
+    ``kind`` selects the frame (``deny`` for authentication failures,
+    ``quota-exceeded`` for admission failures), ``reason`` is the
+    machine-readable slug clients can branch on, ``message`` the human
+    sentence, and ``retry_after_s`` — set only for rate denials — when
+    the bucket next has a token.
+    """
+
+    kind: str
+    reason: str
+    message: str
+    retry_after_s: float | None = None
+
+
+@dataclass(frozen=True)
+class ClientAccount:
+    """One authenticated tenant: a name and its quota."""
+
+    name: str
+    quota: Quota = Quota()
+
+
+class _Bucket:
+    """Token-bucket state for one client's submit rate."""
+
+    __slots__ = ("tokens", "updated_at")
+
+    def __init__(self, tokens: float, updated_at: float) -> None:
+        self.tokens = tokens
+        self.updated_at = updated_at
+
+
+class AuthPolicy:
+    """Maps tokens to accounts and admits submissions against quotas.
+
+    Parameters
+    ----------
+    tokens:
+        ``token -> ClientAccount``.  Tokens are opaque strings; account
+        names are what jobs, quotas, and fair-share scheduling key on.
+    allow_anonymous:
+        Accept requests without a token as the ``anonymous`` account
+        (with ``anonymous_quota``).  Off by default: attaching a policy
+        means untokened clients get a ``deny`` frame.
+    anonymous_quota:
+        Quota for the anonymous account when allowed.
+    clock:
+        Monotonic time source for rate limiting; defaults to the
+        metrics registry's clock (injectable in tests).
+    """
+
+    def __init__(
+        self,
+        tokens: Mapping[str, ClientAccount],
+        *,
+        allow_anonymous: bool = False,
+        anonymous_quota: Quota | None = None,
+        clock: Callable[[], float] | None = None,
+    ) -> None:
+        self._accounts = dict(tokens)
+        names = [account.name for account in self._accounts.values()]
+        if len(set(names)) != len(names):
+            raise ConfigurationError(
+                "auth policy maps two tokens to the same account name; "
+                "give each tenant one token"
+            )
+        if "anonymous" in names:
+            raise ConfigurationError(
+                'account name "anonymous" is reserved for untokened clients'
+            )
+        self.allow_anonymous = bool(allow_anonymous)
+        self._anonymous = ClientAccount(
+            name="anonymous",
+            quota=anonymous_quota if anonymous_quota is not None else Quota(),
+        )
+        self._clock = clock
+        self._buckets: dict[str, _Bucket] = {}
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_file(
+        cls,
+        path: str | Path,
+        *,
+        clock: Callable[[], float] | None = None,
+    ) -> "AuthPolicy":
+        """Load a policy from the ``serve --auth`` JSON file."""
+        try:
+            payload = json.loads(Path(path).read_text(encoding="utf-8"))
+        except FileNotFoundError:
+            raise ConfigurationError(f"auth policy file not found: {path}")
+        except ValueError as exc:
+            raise ConfigurationError(
+                f"auth policy file {path} is not valid JSON: {exc}"
+            ) from exc
+        if not isinstance(payload, dict):
+            raise ConfigurationError(
+                f"auth policy file {path} must hold a JSON object"
+            )
+        tokens_payload = payload.get("tokens", {})
+        if not isinstance(tokens_payload, dict):
+            raise ConfigurationError('auth policy "tokens" must be an object')
+        accounts: dict[str, ClientAccount] = {}
+        for token, entry in tokens_payload.items():
+            if not isinstance(entry, dict):
+                raise ConfigurationError(
+                    f"auth policy entry for token {token!r} must be an object"
+                )
+            name = entry.get("name")
+            if not isinstance(name, str) or not name:
+                raise ConfigurationError(
+                    f"auth policy entry for token {token!r} needs a name"
+                )
+            accounts[str(token)] = ClientAccount(
+                name=name, quota=cls._quota_from(entry)
+            )
+        anonymous_payload = payload.get("anonymous")
+        anonymous_quota = (
+            cls._quota_from(anonymous_payload)
+            if isinstance(anonymous_payload, dict)
+            else None
+        )
+        return cls(
+            accounts,
+            allow_anonymous=bool(payload.get("allow_anonymous", False)),
+            anonymous_quota=anonymous_quota,
+            clock=clock,
+        )
+
+    @staticmethod
+    def _quota_from(entry: Mapping[str, object]) -> Quota:
+        def number(key: str):
+            value = entry.get(key)
+            if value is None:
+                return None
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                raise ConfigurationError(
+                    f"auth policy quota field {key!r} must be a number, "
+                    f"got {value!r}"
+                )
+            return value
+
+        burst = number("submit_burst")
+        return Quota(
+            max_active_jobs=(
+                int(limit) if (limit := number("max_active_jobs")) is not None
+                else None
+            ),
+            max_points=(
+                int(points) if (points := number("max_points")) is not None
+                else None
+            ),
+            submit_rate_per_s=(
+                float(rate) if (rate := number("submit_rate_per_s")) is not None
+                else None
+            ),
+            submit_burst=int(burst) if burst is not None else 2,
+        )
+
+    # ------------------------------------------------------------------
+    def authenticate(self, token: object) -> "ClientAccount | Denial":
+        """Resolve a request's token; a :class:`Denial` refuses it."""
+        if token is None:
+            if self.allow_anonymous:
+                return self._anonymous
+            return Denial(
+                kind="deny",
+                reason="unauthenticated",
+                message=(
+                    "this service requires a client token; pass one with "
+                    '--token (the request\'s "token" key)'
+                ),
+            )
+        account = self._accounts.get(str(token))
+        if account is None:
+            return Denial(
+                kind="deny",
+                reason="unknown-token",
+                message="unrecognised client token",
+            )
+        return account
+
+    def admit_submit(
+        self, account: ClientAccount, *, points: int, active_jobs: int
+    ) -> "Denial | None":
+        """Admit one submission, or say exactly why not.
+
+        Checks (in order): concurrently active jobs, points per job,
+        then the token bucket — the bucket is only drained by admitted
+        submissions, so a client bouncing off its active-jobs cap does
+        not also burn its rate budget.
+        """
+        quota = account.quota
+        if (
+            quota.max_active_jobs is not None
+            and active_jobs >= quota.max_active_jobs
+        ):
+            return Denial(
+                kind="quota-exceeded",
+                reason="active-jobs",
+                message=(
+                    f"client {account.name!r} already has {active_jobs} "
+                    f"active job(s) (limit {quota.max_active_jobs}); wait "
+                    "for one to finish or cancel it"
+                ),
+            )
+        if quota.max_points is not None and points > quota.max_points:
+            return Denial(
+                kind="quota-exceeded",
+                reason="points-per-job",
+                message=(
+                    f"submission expands to {points} point(s), over client "
+                    f"{account.name!r}'s per-job limit of {quota.max_points}; "
+                    "split the grid"
+                ),
+            )
+        if quota.submit_rate_per_s is not None:
+            now = self._now()
+            bucket = self._buckets.get(account.name)
+            if bucket is None:
+                bucket = _Bucket(float(quota.submit_burst), now)
+                self._buckets[account.name] = bucket
+            refill = (now - bucket.updated_at) * quota.submit_rate_per_s
+            bucket.tokens = min(
+                float(quota.submit_burst), bucket.tokens + max(0.0, refill)
+            )
+            bucket.updated_at = now
+            if bucket.tokens < 1.0:
+                wait = (1.0 - bucket.tokens) / quota.submit_rate_per_s
+                return Denial(
+                    kind="quota-exceeded",
+                    reason="submit-rate",
+                    message=(
+                        f"client {account.name!r} is over its submit rate of "
+                        f"{quota.submit_rate_per_s:g}/s"
+                    ),
+                    retry_after_s=round(wait, 6),
+                )
+            bucket.tokens -= 1.0
+        return None
+
+    def _now(self) -> float:
+        if self._clock is None:
+            from repro.obs import get_registry
+
+            self._clock = get_registry().clock
+        return self._clock()

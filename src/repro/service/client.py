@@ -6,6 +6,15 @@ it submits one :class:`~repro.service.spec.SweepSpec`, mirrors every
 event as a JSONL line on ``events_out`` (stderr in the CLI), and returns
 the terminal ``job-done`` event — whose ``rows`` payload carries the
 aggregated result table.
+
+Server-side refusals arrive as protocol frames and surface here as
+typed exceptions: a ``deny`` frame raises :class:`ServiceDeniedError`,
+``quota-exceeded`` raises :class:`ServiceQuotaError` (carrying
+``retry_after_s`` for rate denials), an undecodable or non-event frame
+raises :class:`ServiceProtocolError` instead of hanging the stream, and
+``timeout_s`` bounds every read with :class:`ServiceTimeoutError`.  The
+server's in-band ``error`` events (a bad spec, an unknown op) still
+stream through as events — they answer a request that *was* accepted.
 """
 
 from __future__ import annotations
@@ -16,18 +25,76 @@ import os
 import sys
 from typing import IO, AsyncIterator
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, ReproError
 from repro.service.endpoints import open_endpoint, parse_endpoint
 from repro.service.events import Event
 from repro.service.spec import SweepSpec
 
 __all__ = [
     "ServiceClient",
+    "ServiceError",
+    "ServiceDeniedError",
+    "ServiceQuotaError",
+    "ServiceTimeoutError",
+    "ServiceProtocolError",
     "submit_and_stream",
     "watch_and_stream",
     "fetch_metrics",
     "render_rows",
 ]
+
+
+class ServiceError(ReproError):
+    """Base of every error the sweep service client raises itself."""
+
+
+class ServiceDeniedError(ServiceError):
+    """The server refused the request (``deny`` frame): bad/missing token."""
+
+    def __init__(self, reason: str, message: str) -> None:
+        super().__init__(f"{message} [{reason}]")
+        self.reason = reason
+
+
+class ServiceQuotaError(ServiceDeniedError):
+    """The request was over quota (``quota-exceeded`` frame)."""
+
+    def __init__(
+        self, reason: str, message: str, retry_after_s: float | None = None
+    ) -> None:
+        super().__init__(reason, message)
+        #: Seconds until a rate-limited client may retry; ``None`` for
+        #: denials (active jobs, points) where waiting alone won't help.
+        self.retry_after_s = retry_after_s
+
+
+class ServiceTimeoutError(ServiceError):
+    """No frame arrived within the client's ``timeout_s``."""
+
+
+class ServiceProtocolError(ServiceError):
+    """The server sent bytes that are not a protocol frame."""
+
+
+def _raise_for_denial(payload: dict) -> None:
+    """Map a refusal frame to its typed exception (no-op otherwise)."""
+    kind = payload.get("event")
+    if kind == "quota-exceeded":
+        retry_after = payload.get("retry_after_s")
+        raise ServiceQuotaError(
+            reason=str(payload.get("reason")),
+            message=str(payload.get("message")),
+            retry_after_s=(
+                float(retry_after)
+                if isinstance(retry_after, (int, float))
+                else None
+            ),
+        )
+    if kind == "deny":
+        raise ServiceDeniedError(
+            reason=str(payload.get("reason")),
+            message=str(payload.get("message")),
+        )
 
 
 class ServiceClient:
@@ -36,18 +103,32 @@ class ServiceClient:
     ``socket_path`` accepts any endpoint string the service can listen
     on: a Unix socket path (the default transport) or ``tcp://host:port``
     / bare ``host:port`` when the server was started with a TCP listener.
+    ``token`` authenticates every request against the server's
+    :class:`~repro.service.auth.AuthPolicy` (omit it for policy-less
+    servers); ``timeout_s`` bounds each frame read.
     """
 
-    def __init__(self, socket_path: str | os.PathLike) -> None:
+    def __init__(
+        self,
+        socket_path: str | os.PathLike,
+        *,
+        token: str | None = None,
+        timeout_s: float | None = None,
+    ) -> None:
         self.socket_path = str(socket_path)
         self.endpoint = parse_endpoint(self.socket_path)
+        self.token = token
+        self.timeout_s = timeout_s
 
     # ------------------------------------------------------------------
     async def submit(self, spec: SweepSpec) -> AsyncIterator[Event]:
         """Submit one spec; yields its events through ``job-done``."""
         reader, writer = await self._connect()
         try:
-            await self._send(writer, {"op": "submit", "spec": spec.to_dict()})
+            request: dict = {"op": "submit", "spec": spec.to_dict()}
+            if self.token is not None:
+                request["token"] = self.token
+            await self._send(writer, request)
             async for event in self._events(reader):
                 yield event
                 if event.kind in ("job-done", "error"):
@@ -61,16 +142,25 @@ class ServiceClient:
 
     async def cancel(self, job_id: str) -> bool:
         """Request cancellation of a job by id; True if it was live."""
-        event = await self._round_trip({"op": "cancel", "job": job_id})
+        cancel_request: dict = {"op": "cancel", "job": job_id}
+        if self.token is not None:
+            cancel_request["token"] = self.token
+        event = await self._round_trip(cancel_request)
         return bool(event.get("ok"))
 
     async def ping(self) -> Event:
         """Liveness check; returns the server's ``pong`` counters."""
-        return await self._round_trip({"op": "ping"})
+        ping_request: dict = {"op": "ping"}
+        if self.token is not None:
+            ping_request["token"] = self.token
+        return await self._round_trip(ping_request)
 
     async def metrics(self) -> Event:
         """The server's metrics snapshot (the ``metrics`` op)."""
-        return await self._round_trip({"op": "metrics"})
+        metrics_request: dict = {"op": "metrics"}
+        if self.token is not None:
+            metrics_request["token"] = self.token
+        return await self._round_trip(metrics_request)
 
     async def watch(self, kinds: list[str] | None = None) -> AsyncIterator[Event]:
         """Stream the service-wide event feed (the ``watch`` op).
@@ -85,6 +175,8 @@ class ServiceClient:
             request: dict = {"op": "watch"}
             if kinds is not None:
                 request["kinds"] = list(kinds)
+            if self.token is not None:
+                request["token"] = self.token
             await self._send(writer, request)
             async for event in self._events(reader):
                 yield event
@@ -110,10 +202,10 @@ class ServiceClient:
         reader, writer = await self._connect()
         try:
             await self._send(writer, request)
-            line = await reader.readline()
+            line = await self._readline(reader)
             if not line:
                 raise ConfigurationError("sweep service closed the connection")
-            return Event.from_json(line.decode())
+            return self._parse_frame(line)
         finally:
             writer.close()
             try:
@@ -121,18 +213,45 @@ class ServiceClient:
             except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
                 pass
 
+    async def _readline(self, reader: asyncio.StreamReader) -> bytes:
+        """One frame line, bounded by ``timeout_s`` when it is set."""
+        if self.timeout_s is None:
+            return await reader.readline()
+        try:
+            return await asyncio.wait_for(reader.readline(), self.timeout_s)
+        except asyncio.TimeoutError:
+            raise ServiceTimeoutError(
+                f"no frame from the sweep service within {self.timeout_s:g}s"
+            ) from None
+
+    @staticmethod
+    def _parse_frame(line: bytes) -> Event:
+        """Decode one frame; refusals and damage raise typed errors."""
+        try:
+            payload = json.loads(line.decode())
+        except (ValueError, UnicodeDecodeError) as exc:
+            raise ServiceProtocolError(
+                f"sweep service sent an undecodable frame: {exc}"
+            ) from exc
+        if not isinstance(payload, dict) or "event" not in payload:
+            raise ServiceProtocolError(
+                f"sweep service sent a non-event frame: {line[:200]!r}"
+            )
+        _raise_for_denial(payload)
+        kind = payload.pop("event")
+        return Event(str(kind), payload)
+
     @staticmethod
     async def _send(writer: asyncio.StreamWriter, request: dict) -> None:
         writer.write(json.dumps(request, separators=(",", ":")).encode() + b"\n")
         await writer.drain()
 
-    @staticmethod
-    async def _events(reader: asyncio.StreamReader) -> AsyncIterator[Event]:
+    async def _events(self, reader: asyncio.StreamReader) -> AsyncIterator[Event]:
         while True:
-            line = await reader.readline()
+            line = await self._readline(reader)
             if not line:
                 return
-            yield Event.from_json(line.decode())
+            yield self._parse_frame(line)
 
 
 def render_rows(
@@ -163,17 +282,19 @@ def submit_and_stream(
     socket_path: str | os.PathLike,
     spec: SweepSpec,
     events_out: IO[str] | None = None,
+    token: str | None = None,
+    timeout_s: float | None = None,
 ) -> Event:
     """Submit a spec and stream its progress (the CLI ``submit`` body).
 
     Every event is mirrored as one JSONL line to ``events_out`` (default
     stderr); returns the terminal event (``job-done``, or the server's
-    ``error``).
+    ``error``).  Refusals raise the client's typed exceptions.
     """
     err = events_out if events_out is not None else sys.stderr
 
     async def run() -> Event:
-        client = ServiceClient(socket_path)
+        client = ServiceClient(socket_path, token=token, timeout_s=timeout_s)
         last: Event | None = None
         async for event in client.submit(spec):
             print(event.to_json(), file=err, flush=True)
@@ -187,7 +308,11 @@ def submit_and_stream(
     return asyncio.run(run())
 
 
-def fetch_metrics(socket_path: str | os.PathLike) -> dict:
+def fetch_metrics(
+    socket_path: str | os.PathLike,
+    token: str | None = None,
+    timeout_s: float | None = None,
+) -> dict:
     """One-shot metrics snapshot from a running service (CLI ``metrics``).
 
     Returns the ``snapshot`` payload of the server's ``metrics`` event —
@@ -197,7 +322,8 @@ def fetch_metrics(socket_path: str | os.PathLike) -> dict:
     """
 
     async def run() -> dict:
-        event = await ServiceClient(socket_path).metrics()
+        client = ServiceClient(socket_path, token=token, timeout_s=timeout_s)
+        event = await client.metrics()
         if event.kind != "metrics":
             raise ConfigurationError(
                 f"service answered {event.kind!r}: {event.get('message')}"
@@ -213,18 +339,21 @@ def watch_and_stream(
     events_out: IO[str] | None = None,
     kinds: list[str] | None = None,
     limit: int | None = None,
+    token: str | None = None,
+    timeout_s: float | None = None,
 ) -> int:
     """Mirror the service's event feed as JSONL (the CLI ``watch`` body).
 
     Prints one line per event to ``events_out`` (default stdout — watch
     output *is* the result) until the server shuts down, the connection
     drops, or ``limit`` events have been seen.  Returns the number of
-    events printed (excluding the ``watching`` acknowledgement).
+    events printed (excluding the ``watching`` acknowledgement).  Note
+    ``timeout_s`` bounds *every* frame read — an idle feed will trip it.
     """
     out = events_out if events_out is not None else sys.stdout
 
     async def run() -> int:
-        client = ServiceClient(socket_path)
+        client = ServiceClient(socket_path, token=token, timeout_s=timeout_s)
         seen = 0
         async for event in client.watch(kinds=kinds):
             print(event.to_json(), file=out, flush=True)

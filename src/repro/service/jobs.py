@@ -1,11 +1,12 @@
-"""Jobs and the priority queue feeding the sweep service.
+"""Jobs and the fair-share queue feeding the sweep service.
 
 A :class:`Job` is one submitted :class:`~repro.sweep.ParameterSweep`
 plus its lifecycle: queued -> running -> done / cancelled / failed.  The
-:class:`JobQueue` hands queued jobs to the service's workers highest
-priority first (FIFO within a priority), and cancellation works at any
-stage — a queued job never starts, a running job stops at the next
-point boundary.
+:class:`JobQueue` hands queued jobs to the service's workers
+round-robin across clients (so one tenant's backlog cannot starve
+another's single job), highest priority first within a client (FIFO
+within a priority), and cancellation works at any stage — a queued job
+never starts, a running job stops at the next point boundary.
 """
 
 from __future__ import annotations
@@ -49,6 +50,12 @@ class Job:
     sweep: "ParameterSweep"
     priority: int = 0
     label: str | None = None
+    #: Tenant that submitted the job (fair-share and quota identity).
+    client: str = "anonymous"
+    #: The JSON submit payload, kept for WAL persistence; ``None`` for
+    #: in-process submissions of raw sweeps (which cannot be replayed
+    #: after a restart and are therefore never logged).
+    spec_payload: dict | None = None
     status: JobStatus = JobStatus.QUEUED
     #: Populated on success.
     table: "SweepTable | None" = None
@@ -97,29 +104,56 @@ class Job:
 
 
 class JobQueue:
-    """Priority queue of submitted jobs (await-able, cancellation-aware).
+    """Fair-share queue of submitted jobs (await-able, cancellation-aware).
 
-    Higher ``priority`` dequeues first; equal priorities keep submission
-    order.  Jobs cancelled while queued are still handed out (so the
-    service can emit their terminal event) but are never executed.
+    One priority heap per client, served round-robin by
+    least-recently-served: each :meth:`get` picks the client that has
+    waited longest since its last dequeue (ties broken by name, so the
+    order is deterministic) and pops that client's best job — higher
+    ``priority`` first, submission order within a priority.  A single
+    client therefore degenerates to the plain priority queue, while a
+    tenant with a thousand queued jobs still yields every other turn to
+    a tenant with one.  Cross-tenant, fairness deliberately outranks
+    priority: a tenant cannot jump another's turn by inflating its
+    priorities (admission quotas live in
+    :class:`~repro.service.auth.AuthPolicy`).
+
+    Jobs cancelled while queued are still handed out (so the service
+    can emit their terminal event) but are never executed.
     """
 
     def __init__(self) -> None:
-        self._heap: list[tuple[int, int, Job]] = []
+        self._heaps: dict[str, list[tuple[int, int, Job]]] = {}
+        self._last_served: dict[str, int] = {}
         self._seq = itertools.count()
+        self._turns = itertools.count()
         self._available = asyncio.Event()
 
     def put(self, job: Job) -> None:
-        heapq.heappush(self._heap, (-job.priority, next(self._seq), job))
+        self._heaps.setdefault(job.client, [])
+        heapq.heappush(
+            self._heaps[job.client], (-job.priority, next(self._seq), job)
+        )
         self._available.set()
 
     async def get(self) -> Job:
-        """Wait for, then pop, the highest-priority queued job."""
-        while not self._heap:
+        """Wait for, then pop, the next job under fair-share order."""
+        while not self._heaps:
             self._available.clear()
             await self._available.wait()
-        _, _, job = heapq.heappop(self._heap)
+        client = min(
+            self._heaps, key=lambda name: (self._last_served.get(name, -1), name)
+        )
+        heap = self._heaps[client]
+        _, _, job = heapq.heappop(heap)
+        # The serve stamp outlives a drained heap on purpose: a client
+        # that resubmits right after its queue empties resumes its slot
+        # in the rotation instead of re-entering as "never served" and
+        # cutting ahead of tenants still waiting their turn.
+        self._last_served[client] = next(self._turns)
+        if not heap:
+            del self._heaps[client]
         return job
 
     def __len__(self) -> int:
-        return len(self._heap)
+        return sum(len(heap) for heap in self._heaps.values())

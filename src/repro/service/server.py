@@ -24,9 +24,14 @@ One request per connection, newline-delimited JSON both ways:
 The primary listener is a Unix domain socket — machine-local and
 permission-guarded by the filesystem.  An *additional* TCP listener can
 be enabled (``tcp="host:port"``) for remote monitoring and submission;
-the protocol is identical, but TCP carries none of the filesystem's
-access control — see ``docs/distributed.md`` before binding beyond
-loopback.
+the protocol is identical, and both listeners honour the same optional
+:class:`~repro.service.auth.AuthPolicy`: every request may carry a
+``"token"`` key, an unacceptable token answers ``{"event": "deny"}``,
+and a submission over the account's quota answers ``{"event":
+"quota-exceeded"}`` (with ``retry_after_s`` for rate denials).  Without
+a policy the Unix socket relies on filesystem permissions as before —
+but see ``docs/distributed.md`` (and ``docs/service.md``) before
+binding TCP beyond loopback.
 """
 
 from __future__ import annotations
@@ -37,6 +42,7 @@ import os
 from pathlib import Path
 
 from repro.errors import ConfigurationError, ReproError
+from repro.service.auth import AuthPolicy, ClientAccount, Denial
 from repro.service.endpoints import (
     LINE_LIMIT,
     Endpoint,
@@ -45,7 +51,7 @@ from repro.service.endpoints import (
 )
 from repro.service.events import Event
 from repro.service.service import SweepService
-from repro.service.spec import SweepSpec
+from repro.service.spec import load_spec
 
 __all__ = ["SweepServer"]
 
@@ -58,8 +64,10 @@ class SweepServer:
         service: SweepService,
         socket_path: str | os.PathLike,
         tcp: str | None = None,
+        auth: AuthPolicy | None = None,
     ) -> None:
         self.service = service
+        self.auth = auth
         self.socket_path = Path(socket_path)
         self._server: asyncio.AbstractServer | None = None
         self._tcp_server: asyncio.AbstractServer | None = None
@@ -86,6 +94,9 @@ class SweepServer:
     async def start(self) -> None:
         await asyncio.to_thread(self._prepare_socket_path)
         self.service.start()
+        # Recover before listening: a client connecting right after the
+        # restart must already see the predecessor's unfinished jobs.
+        await self.service.recover()
         self._server = await asyncio.start_unix_server(
             self._handle, path=str(self.socket_path), limit=LINE_LIMIT
         )
@@ -130,9 +141,16 @@ class SweepServer:
                 request = json.loads(line)
                 if not isinstance(request, dict):
                     raise ValueError("request must be a JSON object")
+                account: ClientAccount | None = None
+                if self.auth is not None:
+                    outcome = self.auth.authenticate(request.get("token"))
+                    if isinstance(outcome, Denial):
+                        await self._refuse(writer, outcome)
+                        return
+                    account = outcome
                 op = request.get("op")
                 if op == "submit":
-                    await self._handle_submit(request, writer)
+                    await self._handle_submit(request, writer, account)
                 elif op == "cancel":
                     await self._send(
                         writer,
@@ -181,22 +199,31 @@ class SweepServer:
                 pass
 
     async def _handle_submit(
-        self, request: dict, writer: asyncio.StreamWriter
+        self,
+        request: dict,
+        writer: asyncio.StreamWriter,
+        account: ClientAccount | None = None,
     ) -> None:
         spec_payload = request.get("spec")
         if not isinstance(spec_payload, dict):
             raise ConfigurationError("submit request needs a spec object")
-        if "scenario" in spec_payload:
-            # Imported lazily: repro.scenarios sits above the service
-            # spec in the layer table, and importing it at module load
-            # would cycle through repro.service.__init__.
-            from repro.scenarios.sweep import ScenarioSweepSpec
-
-            spec = ScenarioSweepSpec.from_dict(spec_payload)
-        else:
-            spec = SweepSpec.from_dict(spec_payload)
+        spec = load_spec(spec_payload)
+        sweep = spec.build_sweep()
+        if self.auth is not None and account is not None:
+            denial = self.auth.admit_submit(
+                account,
+                points=len(sweep.points()),
+                active_jobs=self.service.active_jobs(account.name),
+            )
+            if denial is not None:
+                await self._refuse(writer, denial)
+                return
         job = self.service.submit(
-            spec.build_sweep(), priority=spec.priority, label=spec.label
+            sweep,
+            priority=spec.priority,
+            label=spec.label,
+            client=account.name if account is not None else "anonymous",
+            spec_payload=dict(spec_payload),
         )
         # job.event_queue carries every event from "submitted" onwards
         # (the job is created inside submit(), before any emission), so
@@ -254,6 +281,35 @@ class SweepServer:
                 await self._send(writer, event)
         finally:
             self.service.unsubscribe(queue)
+
+    @staticmethod
+    async def _refuse(writer: asyncio.StreamWriter, denial: Denial) -> None:
+        """Answer one request with its :class:`Denial` frame and stop.
+
+        Frames are spelled as dict literals (not :class:`Event`) so the
+        ``proto-*`` lint sees the senders: deleting either frame, or the
+        manifest entry covering it, fails the build.
+        """
+        if denial.kind == "quota-exceeded":
+            throttled: dict = {
+                "event": "quota-exceeded",
+                "reason": denial.reason,
+                "message": denial.message,
+            }
+            if denial.retry_after_s is not None:
+                throttled["retry_after_s"] = denial.retry_after_s
+            writer.write(
+                json.dumps(throttled, separators=(",", ":")).encode() + b"\n"
+            )
+            await writer.drain()
+            return
+        refusal = {
+            "event": "deny",
+            "reason": denial.reason,
+            "message": denial.message,
+        }
+        writer.write(json.dumps(refusal, separators=(",", ":")).encode() + b"\n")
+        await writer.drain()
 
     @staticmethod
     async def _send(writer: asyncio.StreamWriter, event: Event) -> None:

@@ -31,6 +31,7 @@ from repro.obs import MetricsRegistry, get_registry
 from repro.service.events import Event
 from repro.service.jobs import Job, JobQueue, JobStatus
 from repro.service.scheduler import Resolution, Scheduler
+from repro.service.store import JobStore, StoredJob, WalState
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.exec.cache import ResultCache
@@ -66,6 +67,13 @@ class SweepService:
         into (queue depth, dedup counters, job latency); the ``{"op":
         "metrics"}`` verb snapshots it.  Defaults to the process
         registry.
+    store:
+        Optional :class:`~repro.service.store.JobStore` write-ahead
+        log.  When attached, every spec-backed submission and state
+        transition is logged, and :meth:`recover` resubmits the jobs a
+        crashed predecessor left unfinished (their computed points
+        replay from the shared cache).  In-process submissions of raw
+        sweeps have no JSON spec to persist and are never logged.
     """
 
     def __init__(
@@ -77,6 +85,7 @@ class SweepService:
         job_ttl_s: float | None = None,
         clock: Callable[[], float] | None = None,
         registry: MetricsRegistry | None = None,
+        store: JobStore | None = None,
     ) -> None:
         if job_ttl_s is not None and job_ttl_s < 0:
             from repro.errors import ConfigurationError
@@ -92,8 +101,9 @@ class SweepService:
         self.job_ttl_s = job_ttl_s
         self.registry = registry if registry is not None else get_registry()
         self._clock = clock if clock is not None else self.registry.clock
+        self.store = store
         self.jobs: dict[str, Job] = {}
-        self._job_ids = itertools.count(1)
+        self._next_job_id = 1
         self._seq = itertools.count()
         self._worker_tasks: list[asyncio.Task] = []
         self._subscribers: list[asyncio.Queue] = []
@@ -146,27 +156,67 @@ class SweepService:
         sweep: "ParameterSweep",
         priority: int = 0,
         label: str | None = None,
+        *,
+        client: str = "anonymous",
+        spec_payload: dict | None = None,
+        job_id: str | None = None,
+        record: bool = True,
     ) -> Job:
-        """Queue one sweep; returns immediately with the live job."""
+        """Queue one sweep; returns immediately with the live job.
+
+        ``client`` is the tenant identity fair-share scheduling and
+        quotas key on; ``spec_payload`` is the JSON submit payload kept
+        for WAL persistence (``None`` skips logging — a raw in-process
+        sweep cannot be replayed after a restart).  ``job_id`` and
+        ``record=False`` are recovery's hooks: resubmit under the
+        original id without re-logging a job record the WAL already
+        holds.
+        """
         self.gc()
+        if job_id is None:
+            job_id = f"job-{self._next_job_id}"
+            self._next_job_id += 1
+        else:
+            from repro.service.store import _job_index
+
+            self._next_job_id = max(self._next_job_id, _job_index(job_id) + 1)
         job = Job(
-            id=f"job-{next(self._job_ids)}",
+            id=job_id,
             sweep=sweep,
             priority=int(priority),
             label=label,
+            client=str(client),
+            spec_payload=spec_payload,
         )
         self.jobs[job.id] = job
+        if record and self.store is not None and spec_payload is not None:
+            self.store.record_job(
+                job.id,
+                spec_payload,
+                priority=job.priority,
+                label=job.label,
+                client=job.client,
+            )
         self._emit(
             job,
             "submitted",
             points=len(sweep.points()),
             priority=job.priority,
             label=job.label,
+            client=job.client,
         )
         self.queue.put(job)
         self.registry.counter("service.jobs_submitted").inc()
         self._g_queue_depth.set(len(self.queue))
         return job
+
+    def active_jobs(self, client: str) -> int:
+        """How many of ``client``'s jobs are queued or running."""
+        return sum(
+            1
+            for job in self.jobs.values()
+            if job.client == client and not job.status.terminal
+        )
 
     def cancel(self, job_id: str) -> bool:
         """Request cancellation of a queued or running job."""
@@ -221,7 +271,87 @@ class SweepService:
         ]
         for job_id in expired:
             del self.jobs[job_id]
+        if expired and self.store is not None:
+            # Evicted jobs must leave the WAL too, or the log would
+            # replay ghosts the service no longer knows about.
+            self._checkpoint()
         return len(expired)
+
+    # ------------------------------------------------------------------
+    # persistence
+    # ------------------------------------------------------------------
+    def restore(self, state: WalState) -> list[Job]:
+        """Resubmit a recovered WAL's pending jobs under their old ids.
+
+        The id counter always advances to the log's watermark — even
+        when nothing is pending — so a restarted service never reissues
+        an id a cache entry or client transcript might still reference.
+        """
+        # Deferred: spec.py pulls in the channel/machine stack, which a
+        # store-less in-process service never needs.
+        from repro.service.spec import load_spec
+
+        self._next_job_id = max(self._next_job_id, state.next_job_index)
+        recovered: list[Job] = []
+        for stored in state.pending():
+            spec = load_spec(stored.spec)
+            job = self.submit(
+                spec.build_sweep(),
+                priority=stored.priority,
+                label=stored.label,
+                client=stored.client,
+                spec_payload=dict(stored.spec),
+                job_id=stored.id,
+                record=False,
+            )
+            recovered.append(job)
+        return recovered
+
+    async def recover(self) -> list[Job]:
+        """Replay the WAL, resubmit unfinished jobs, compact the log.
+
+        A no-op without a store.  The closing compaction folds the
+        replayed history (including any torn tail) into a clean log, so
+        repeated crash/restart cycles cannot grow the WAL unboundedly.
+        """
+        if self.store is None:
+            return []
+        state = await asyncio.to_thread(self.store.replay)
+        recovered = self.restore(state)
+        await asyncio.to_thread(self._checkpoint)
+        if recovered or state.dropped:
+            self.registry.counter("service.jobs_recovered").inc(len(recovered))
+        return recovered
+
+    def _record_state(self, job: Job) -> None:
+        """Log one job's current status; compact when the WAL is due."""
+        if self.store is None or job.spec_payload is None:
+            return
+        self.store.record_state(job.id, job.status.value)
+        if self.store.should_compact():
+            self._checkpoint()
+
+    def _store_entries(self) -> list[StoredJob]:
+        """The retained spec-backed jobs, as compaction should write them."""
+        return [
+            StoredJob(
+                id=job.id,
+                spec=job.spec_payload,
+                priority=job.priority,
+                label=job.label,
+                client=job.client,
+                status=job.status.value,
+            )
+            for job in self.jobs.values()
+            if job.spec_payload is not None
+        ]
+
+    def _checkpoint(self) -> None:
+        if self.store is None:
+            return
+        self.store.compact(
+            self._store_entries(), next_job_index=self._next_job_id
+        )
 
     # ------------------------------------------------------------------
     # internals
@@ -249,6 +379,7 @@ class SweepService:
             self._finish(job, JobStatus.CANCELLED, points=0)
             return
         job.status = JobStatus.RUNNING
+        self._record_state(job)
         start = self._clock()
         points = job.sweep.points()
         total = len(points)
@@ -385,6 +516,7 @@ class SweepService:
 
     def _finish(self, job: Job, status: JobStatus, **data) -> None:
         job.finish(status, at=self._clock())
+        self._record_state(job)
         self.registry.counter("service.jobs_finished", status=status.value).inc()
         self._emit(job, "job-done", status=status.value, **data)
         self.gc()
@@ -393,6 +525,7 @@ class SweepService:
         job.error = f"{type(exc).__name__}: {exc}"
         self._emit(job, "error", message=job.error)
         job.finish(JobStatus.FAILED, at=self._clock())
+        self._record_state(job)
         self.registry.counter(
             "service.jobs_finished", status=JobStatus.FAILED.value
         ).inc()

@@ -48,6 +48,7 @@ __all__ = [
     "CHANNEL_DEFAULTS",
     "SweepSpec",
     "build_channel",
+    "load_spec",
     "sweep_config",
     "sweep_point_metrics",
     "parse_param_axis",
@@ -229,3 +230,23 @@ class SweepSpec:
         if not isinstance(grid, Mapping):
             raise ConfigurationError("sweep spec needs a grid object")
         return cls(**{**payload, "grid": {str(k): list(v) for k, v in grid.items()}})
+
+
+def load_spec(payload: Mapping[str, object]):
+    """Parse one JSON submit payload into a buildable spec.
+
+    The single dispatch point shared by the socket server and WAL
+    recovery, so a spec that was accepted over the wire always replays
+    after a restart: a ``"scenario"`` key selects
+    :class:`~repro.scenarios.sweep.ScenarioSweepSpec`, anything else is
+    a plain :class:`SweepSpec`.
+    """
+    if not isinstance(payload, Mapping):
+        raise ConfigurationError(f"sweep spec must be an object: {payload!r}")
+    if "scenario" in payload:
+        # Deferred import: scenarios sits above this module in the
+        # layering, and only scenario submissions need it.
+        from repro.scenarios.sweep import ScenarioSweepSpec
+
+        return ScenarioSweepSpec.from_dict(payload)
+    return SweepSpec.from_dict(payload)

@@ -1,0 +1,258 @@
+"""Fault-injection helpers for the crash-safety suite.
+
+The crash-safe service's contract is only worth what the faults it
+survives are worth, so the harness injects real ones:
+
+* :class:`ServiceProcess` runs ``python -m repro serve`` as a child
+  process that can be ``SIGKILL``-ed mid-job — no atexit handlers, no
+  flush-on-exit, exactly the crash the WAL claims to survive;
+* :func:`truncate_tail` / :func:`append_junk` corrupt a WAL the way a
+  crashed writer does (torn final record) and the way disk rot does
+  (undecodable bytes);
+* :func:`send_partial_frame` opens a real client connection, writes
+  half a frame, and vanishes — the server must drop the connection,
+  not the service;
+* :func:`wait_for` / :func:`poll_metric` are the polling primitives
+  the recovery assertions are built from.
+
+Like ``tests/_replay.py`` this module is standalone (stdlib + repro
+only, no pytest) so the benchmark smoke suite can load it by path.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+__all__ = [
+    "REPO_ROOT",
+    "ServiceProcess",
+    "append_junk",
+    "poll_metric",
+    "read_frames",
+    "send_partial_frame",
+    "truncate_tail",
+    "wait_for",
+    "wal_path",
+]
+
+
+def wait_for(predicate, timeout_s: float = 20.0, interval_s: float = 0.05):
+    """Poll ``predicate`` until it returns a truthy value (and return it)."""
+    deadline = time.monotonic() + timeout_s
+    while True:
+        value = predicate()
+        if value:
+            return value
+        if time.monotonic() >= deadline:
+            raise AssertionError(
+                f"condition not reached within {timeout_s:.1f}s: {predicate}"
+            )
+        time.sleep(interval_s)
+
+
+class ServiceProcess:
+    """One ``python -m repro serve`` child, killable mid-job.
+
+    The process inherits the repo root as cwd and ``src`` on
+    ``PYTHONPATH``; stderr (the service's log channel) is captured to
+    ``<state_dir or cwd>/serve-<n>.log`` for post-mortems.  ``kill()``
+    delivers ``SIGKILL`` — the only signal a crash actually sends.
+    """
+
+    _count = 0
+
+    def __init__(
+        self,
+        socket_path: str | Path,
+        *,
+        state_dir: str | Path | None = None,
+        auth: str | Path | None = None,
+        cache_dir: str | Path | None = None,
+        jobs: int = 1,
+        workers: int = 2,
+        job_ttl: float | None = None,
+        extra_args: tuple[str, ...] = (),
+    ) -> None:
+        self.socket_path = str(socket_path)
+        self.state_dir = str(state_dir) if state_dir is not None else None
+        self.auth = str(auth) if auth is not None else None
+        self.cache_dir = str(cache_dir) if cache_dir is not None else None
+        self.jobs = jobs
+        self.workers = workers
+        self.job_ttl = job_ttl
+        self.extra_args = tuple(extra_args)
+        self.process: subprocess.Popen | None = None
+        self.log_path: Path | None = None
+
+    # -- lifecycle -----------------------------------------------------
+    def start(self) -> "ServiceProcess":
+        if self.process is not None and self.process.poll() is None:
+            raise RuntimeError("service process already running")
+        argv = [
+            sys.executable,
+            "-m",
+            "repro",
+            "serve",
+            "--socket",
+            self.socket_path,
+            "--jobs",
+            str(self.jobs),
+            "--workers",
+            str(self.workers),
+        ]
+        if self.cache_dir is not None:
+            argv += ["--cache-dir", self.cache_dir]
+        else:
+            argv += ["--no-cache"]
+        if self.state_dir is not None:
+            argv += ["--state-dir", self.state_dir]
+        if self.auth is not None:
+            argv += ["--auth", self.auth]
+        if self.job_ttl is not None:
+            argv += ["--job-ttl", str(self.job_ttl)]
+        argv += list(self.extra_args)
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+        log_dir = Path(self.state_dir) if self.state_dir else REPO_ROOT
+        log_dir.mkdir(parents=True, exist_ok=True)
+        ServiceProcess._count += 1
+        self.log_path = log_dir / f"serve-{ServiceProcess._count}.log"
+        with open(self.log_path, "wb") as log:
+            self.process = subprocess.Popen(
+                argv,
+                cwd=REPO_ROOT,
+                env=env,
+                stdout=log,
+                stderr=subprocess.STDOUT,
+            )
+        return self
+
+    def wait_ready(self, timeout_s: float = 20.0) -> None:
+        """Block until the socket answers (any response frame counts)."""
+
+        def probe() -> bool:
+            assert self.process is not None
+            if self.process.poll() is not None:
+                raise AssertionError(
+                    f"service exited with {self.process.returncode} before "
+                    f"becoming ready; log: {self.read_log()!r}"
+                )
+            try:
+                with socket.socket(socket.AF_UNIX, socket.SOCK_STREAM) as sock:
+                    sock.settimeout(2.0)
+                    sock.connect(self.socket_path)
+                    sock.sendall(b'{"op": "ping"}\n')
+                    return bool(sock.makefile("rb").readline())
+            except OSError:
+                return False
+
+        wait_for(probe, timeout_s=timeout_s)
+
+    def kill(self) -> None:
+        """SIGKILL — the crash the WAL exists for.  Idempotent."""
+        if self.process is not None and self.process.poll() is None:
+            self.process.send_signal(signal.SIGKILL)
+            self.process.wait(timeout=10)
+
+    def terminate(self) -> None:
+        """Polite shutdown (SIGTERM), for test teardown paths."""
+        if self.process is not None and self.process.poll() is None:
+            self.process.terminate()
+            try:
+                self.process.wait(timeout=10)
+            except subprocess.TimeoutExpired:  # pragma: no cover - stuck
+                self.kill()
+
+    def read_log(self) -> str:
+        if self.log_path is None or not self.log_path.exists():
+            return ""
+        return self.log_path.read_text(errors="replace")
+
+    def __enter__(self) -> "ServiceProcess":
+        self.start()
+        self.wait_ready()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.terminate()
+
+
+# -- WAL corruption ----------------------------------------------------
+def wal_path(state_dir: str | Path) -> Path:
+    """The service's write-ahead log inside ``state_dir``."""
+    return Path(state_dir) / "jobs.wal"
+
+
+def truncate_tail(path: str | Path, nbytes: int) -> int:
+    """Chop ``nbytes`` off the end of ``path`` (a torn final write)."""
+    path = Path(path)
+    size = path.stat().st_size
+    keep = max(0, size - nbytes)
+    with open(path, "r+b") as handle:
+        handle.truncate(keep)
+    return keep
+
+
+def append_junk(path: str | Path, data: bytes = b"{not json\n") -> None:
+    """Append undecodable bytes — a corrupted trailing record."""
+    with open(path, "ab") as handle:
+        handle.write(data)
+
+
+# -- connection faults -------------------------------------------------
+def send_partial_frame(
+    socket_path: str | Path, data: bytes = b'{"op": "submit", "spec": {'
+) -> None:
+    """Write half a frame and drop the connection without a newline."""
+    with socket.socket(socket.AF_UNIX, socket.SOCK_STREAM) as sock:
+        sock.settimeout(5.0)
+        sock.connect(str(socket_path))
+        sock.sendall(data)
+    # closing without the terminating newline is the fault
+
+
+# -- metrics polling ---------------------------------------------------
+def poll_metric(
+    socket_path: str | Path,
+    name: str,
+    *,
+    minimum: float = 1.0,
+    token: str | None = None,
+    timeout_s: float = 30.0,
+) -> float:
+    """Wait until counter ``name`` on the live service reaches ``minimum``."""
+    from repro.service.client import fetch_metrics
+
+    def probe():
+        try:
+            snapshot = fetch_metrics(str(socket_path), token=token)
+        except OSError:
+            return None
+        total = sum(
+            float(m.get("value", 0.0))
+            for m in snapshot.get("metrics", [])
+            if m.get("name") == name
+        )
+        return total if total >= minimum else None
+
+    return wait_for(probe, timeout_s=timeout_s)
+
+
+def read_frames(raw: bytes) -> list[dict]:
+    """Decode captured JSONL bytes into frames (helper for raw probes)."""
+    frames = []
+    for line in raw.splitlines():
+        if line.strip():
+            frames.append(json.loads(line))
+    return frames

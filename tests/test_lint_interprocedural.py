@@ -713,6 +713,31 @@ class TestRealProtocolAcceptance:
         assert "proto-missing-handler" in active_rules(report)
         assert any("metrics" in v.message for v in report.active)
 
+    @pytest.mark.parametrize("event", ["deny", "quota-exceeded"])
+    def test_deleting_an_auth_refusal_sender_fails_the_lint(
+        self, tmp_path, event
+    ):
+        """The auth refusal frames are load-bearing protocol surface.
+
+        ``deny`` and ``quota-exceeded`` are what an unauthenticated or
+        over-quota client *sees*; silently dropping either sender from
+        ``server.py`` would strand typed client errors on a read
+        timeout.  The manifest declares both, so the lint must flag the
+        orphaned declaration (and the renamed literal as undeclared).
+        """
+        _copy_real_protocol_tree(tmp_path)
+        server = tmp_path / "src/repro/service/server.py"
+        server.write_text(
+            server.read_text().replace(
+                f'"event": "{event}"', '"event": "zz-refused"'
+            )
+        )
+        report = lint_tree(tmp_path, PROTOCOL_RULES, config=default_config())
+        rules = active_rules(report)
+        assert "proto-missing-handler" in rules
+        assert "proto-unknown-op" in rules
+        assert any(event in v.message for v in report.active)
+
 
 # ----------------------------------------------------------------------
 # --changed scoping
