@@ -71,6 +71,17 @@ class ScenarioSweepSpec:
             )
 
     # ------------------------------------------------------------------
+    def point_count(self) -> int:
+        """Points this spec expands to: axis-length product × trials.
+
+        Same contract as :meth:`SweepSpec.point_count` — cheap enough
+        that quota admission can run before the grid is materialised.
+        """
+        count = int(self.trials)
+        for values in self.grid.values():
+            count *= len(values)
+        return count
+
     def build_sweep(self) -> ParameterSweep:
         """Materialise as a runnable :class:`ParameterSweep`."""
         factory = functools.partial(scenario_point_metrics, self.scenario)

@@ -23,11 +23,14 @@ The policy file (``serve --auth policy.json``)::
         "s3cret-alice": {"name": "alice", "max_active_jobs": 4,
                           "max_points": 4096,
                           "submit_rate_per_s": 5, "submit_burst": 10},
-        "s3cret-bob":   {"name": "bob"}
+        "s3cret-bob":   {"name": "bob"},
+        "s3cret-ops":   {"name": "ops", "admin": true}
       }
     }
 
-Omitted quota fields mean "unlimited".  Rate limiting uses the injected
+Omitted quota fields mean "unlimited"; ``"admin": true`` marks an
+operator account that may cancel any tenant's jobs and watch the
+unscoped event feed.  Rate limiting uses the injected
 clock (the registry's monotonic clock by default), so tests drive it
 with :class:`~repro.obs.ManualClock`.
 """
@@ -95,10 +98,14 @@ class Denial:
 
 @dataclass(frozen=True)
 class ClientAccount:
-    """One authenticated tenant: a name and its quota."""
+    """One authenticated tenant: a name, its quota, and its powers."""
 
     name: str
     quota: Quota = Quota()
+    #: Operator accounts: may cancel any tenant's jobs and watch the
+    #: unscoped service-wide event feed.  Ordinary tenants only see and
+    #: control their own jobs.
+    admin: bool = False
 
 
 class _Bucket:
@@ -193,7 +200,9 @@ class AuthPolicy:
                     f"auth policy entry for token {token!r} needs a name"
                 )
             accounts[str(token)] = ClientAccount(
-                name=name, quota=cls._quota_from(entry)
+                name=name,
+                quota=cls._quota_from(entry),
+                admin=bool(entry.get("admin", False)),
             )
         anonymous_payload = payload.get("anonymous")
         anonymous_quota = (

@@ -7,7 +7,9 @@ One request per connection, newline-delimited JSON both ways:
   job's events until ``job-done`` (which is enriched with the result
   rows so clients can render the table without a second round trip);
 * ``{"op": "cancel", "job": "job-3"}`` — request cancellation; answers
-  ``{"event": "cancel", "job": ..., "ok": true/false}``;
+  ``{"event": "cancel", "job": ..., "ok": true/false}``.  Under an
+  auth policy only the submitting tenant (or an admin account) may
+  cancel a job — anyone else gets a ``deny`` frame (``not-owner``);
 * ``{"op": "ping"}`` — liveness check, answers ``{"event": "pong"}``
   with queue/scheduler counters;
 * ``{"op": "metrics"}`` — answers ``{"event": "metrics"}`` carrying the
@@ -15,11 +17,13 @@ One request per connection, newline-delimited JSON both ways:
   :class:`~repro.obs.MetricsRegistry` (exec, service, and — when the
   executor is distributed — cluster instruments; see
   ``docs/observability.md``);
-* ``{"op": "watch"}`` — subscribe to the service-wide event feed: after
-  an initial ``watching`` acknowledgement, every event from every job
-  streams to the client until it hangs up or the service stops (the
-  stream then ends cleanly).  Any number of watchers may be connected
-  at once; an optional ``"kinds": [...]`` list filters the stream.
+* ``{"op": "watch"}`` — subscribe to the service event feed: after an
+  initial ``watching`` acknowledgement, events stream to the client
+  until it hangs up or the service stops (the stream then ends
+  cleanly).  Any number of watchers may be connected at once; an
+  optional ``"kinds": [...]`` list filters the stream.  Under an auth
+  policy the feed is tenant-scoped — a non-admin account sees only its
+  own jobs' events; admin accounts see every tenant's.
 
 The primary listener is a Unix domain socket — machine-local and
 permission-guarded by the filesystem.  An *additional* TCP listener can
@@ -93,10 +97,13 @@ class SweepServer:
 
     async def start(self) -> None:
         await asyncio.to_thread(self._prepare_socket_path)
-        self.service.start()
-        # Recover before listening: a client connecting right after the
-        # restart must already see the predecessor's unfinished jobs.
+        # Recover before the workers spin up and before listening: the
+        # restored queue must not be consumed (appending new WAL state
+        # records) while recovery's closing compaction rewrites the
+        # log, and a client connecting right after the restart must
+        # already see the predecessor's unfinished jobs.
         await self.service.recover()
+        self.service.start()
         self._server = await asyncio.start_unix_server(
             self._handle, path=str(self.socket_path), limit=LINE_LIMIT
         )
@@ -152,16 +159,7 @@ class SweepServer:
                 if op == "submit":
                     await self._handle_submit(request, writer, account)
                 elif op == "cancel":
-                    await self._send(
-                        writer,
-                        Event(
-                            "cancel",
-                            {
-                                "job": request.get("job"),
-                                "ok": self.service.cancel(str(request.get("job"))),
-                            },
-                        ),
-                    )
+                    await self._handle_cancel(request, writer, account)
                 elif op == "ping":
                     await self._send(
                         writer,
@@ -184,7 +182,7 @@ class SweepServer:
                         ),
                     )
                 elif op == "watch":
-                    await self._handle_watch(request, writer)
+                    await self._handle_watch(request, writer, account)
                 else:
                     raise ValueError(f"unknown op {op!r}")
             except (ValueError, ReproError) as exc:
@@ -208,16 +206,20 @@ class SweepServer:
         if not isinstance(spec_payload, dict):
             raise ConfigurationError("submit request needs a spec object")
         spec = load_spec(spec_payload)
-        sweep = spec.build_sweep()
         if self.auth is not None and account is not None:
+            # Admit on the grid's axis-length product, *before*
+            # build_sweep() materialises the cross-product: the points
+            # quota must bound the expansion cost, not audit a
+            # potentially huge list the server already paid for.
             denial = self.auth.admit_submit(
                 account,
-                points=len(sweep.points()),
+                points=spec.point_count(),
                 active_jobs=self.service.active_jobs(account.name),
             )
             if denial is not None:
                 await self._refuse(writer, denial)
                 return
+        sweep = spec.build_sweep()
         job = self.service.submit(
             sweep,
             priority=spec.priority,
@@ -244,14 +246,61 @@ class SweepServer:
                 )
             await self._send(writer, event)
 
-    async def _handle_watch(
-        self, request: dict, writer: asyncio.StreamWriter
+    async def _handle_cancel(
+        self,
+        request: dict,
+        writer: asyncio.StreamWriter,
+        account: ClientAccount | None = None,
     ) -> None:
-        """Stream the service-wide event feed until hangup or shutdown.
+        """Cancel a job — but only the requesting tenant's own.
+
+        Job ids are predictable (``job-1``, ``job-2``, ...), so without
+        the ownership check any authenticated client could kill every
+        other tenant's work with a trivial id sweep.  Another tenant's
+        job answers a ``deny`` frame (``not-owner``); admin accounts
+        may cancel anything.  Unknown ids answer ``ok: false`` as
+        before.
+        """
+        job_id = str(request.get("job"))
+        if account is not None and not account.admin:
+            job = self.service.jobs.get(job_id)
+            if job is not None and job.client != account.name:
+                await self._refuse(
+                    writer,
+                    Denial(
+                        kind="deny",
+                        reason="not-owner",
+                        message=(
+                            f"job {job_id} belongs to another tenant; only "
+                            "its submitter (or an admin account) may cancel "
+                            "it"
+                        ),
+                    ),
+                )
+                return
+        await self._send(
+            writer,
+            Event(
+                "cancel",
+                {"job": job_id, "ok": self.service.cancel(job_id)},
+            ),
+        )
+
+    async def _handle_watch(
+        self,
+        request: dict,
+        writer: asyncio.StreamWriter,
+        account: ClientAccount | None = None,
+    ) -> None:
+        """Stream the service event feed until hangup or shutdown.
 
         Each watcher gets its own subscriber queue, so any number can be
         connected concurrently without slowing each other (or the
         service: emission is a non-blocking ``put_nowait`` per queue).
+        Under an auth policy the feed is tenant-scoped: a non-admin
+        account only receives its own jobs' events — the service-wide
+        stream (including other tenants' labels and result rows) is
+        reserved for admin accounts and policy-less servers.
         """
         kinds_payload = request.get("kinds")
         kinds: frozenset[str] | None = None
@@ -259,7 +308,12 @@ class SweepServer:
             if not isinstance(kinds_payload, list):
                 raise ConfigurationError("watch 'kinds' must be a list of strings")
             kinds = frozenset(str(kind) for kind in kinds_payload)
-        queue = self.service.subscribe()
+        scope = (
+            account.name
+            if account is not None and not account.admin
+            else None
+        )
+        queue = self.service.subscribe(client=scope)
         try:
             await self._send(
                 writer,

@@ -106,7 +106,9 @@ class SweepService:
         self._next_job_id = 1
         self._seq = itertools.count()
         self._worker_tasks: list[asyncio.Task] = []
-        self._subscribers: list[asyncio.Queue] = []
+        #: ``(queue, client)`` pairs; ``client=None`` sees every event,
+        #: a named client only its own jobs' (tenant-scoped watchers).
+        self._subscribers: list[tuple[asyncio.Queue, str | None]] = []
         self._g_queue_depth = self.registry.gauge("service.queue_depth")
         self._h_job_latency = self.registry.histogram("service.job_latency_s")
 
@@ -145,7 +147,7 @@ class SweepService:
                 pass
         await self.scheduler.stop()
         subscribers, self._subscribers = self._subscribers, []
-        for queue in subscribers:
+        for queue, _ in subscribers:
             queue.put_nowait(None)
 
     # ------------------------------------------------------------------
@@ -226,10 +228,18 @@ class SweepService:
         job.cancel()
         return True
 
-    def subscribe(self) -> "asyncio.Queue[Event | None]":
-        """Service-wide event feed; ``None`` marks service shutdown."""
+    def subscribe(
+        self, client: str | None = None
+    ) -> "asyncio.Queue[Event | None]":
+        """Service-wide event feed; ``None`` marks service shutdown.
+
+        With ``client`` the feed carries only that tenant's jobs — the
+        socket server scopes authenticated non-admin watchers this way,
+        so one tenant cannot observe another's progress, labels, or
+        result rows.
+        """
         queue: asyncio.Queue = asyncio.Queue()
-        self._subscribers.append(queue)
+        self._subscribers.append((queue, client))
         return queue
 
     def unsubscribe(self, queue: "asyncio.Queue[Event | None]") -> None:
@@ -239,10 +249,9 @@ class SweepService:
         queue behind that :meth:`_emit` keeps filling forever.  Unknown
         queues are ignored — shutdown already cleared the list.
         """
-        try:
-            self._subscribers.remove(queue)
-        except ValueError:
-            pass
+        self._subscribers = [
+            entry for entry in self._subscribers if entry[0] is not queue
+        ]
 
     @property
     def subscriber_count(self) -> int:
@@ -286,6 +295,11 @@ class SweepService:
         The id counter always advances to the log's watermark — even
         when nothing is pending — so a restarted service never reissues
         an id a cache entry or client transcript might still reference.
+        A record whose JSON parsed but whose spec no longer loads (bit
+        damage inside the payload, or a schema from another version) is
+        skipped and counted in ``state.dropped`` — one bad record must
+        cost one job, never crash-loop every restart until the WAL is
+        hand-edited.
         """
         # Deferred: spec.py pulls in the channel/machine stack, which a
         # store-less in-process service never needs.
@@ -294,33 +308,45 @@ class SweepService:
         self._next_job_id = max(self._next_job_id, state.next_job_index)
         recovered: list[Job] = []
         for stored in state.pending():
-            spec = load_spec(stored.spec)
-            job = self.submit(
-                spec.build_sweep(),
-                priority=stored.priority,
-                label=stored.label,
-                client=stored.client,
-                spec_payload=dict(stored.spec),
-                job_id=stored.id,
-                record=False,
-            )
+            try:
+                job = self.submit(
+                    load_spec(stored.spec).build_sweep(),
+                    priority=stored.priority,
+                    label=stored.label,
+                    client=stored.client,
+                    spec_payload=dict(stored.spec),
+                    job_id=stored.id,
+                    record=False,
+                )
+            except Exception:
+                state.dropped += 1
+                continue
             recovered.append(job)
         return recovered
 
     async def recover(self) -> list[Job]:
         """Replay the WAL, resubmit unfinished jobs, compact the log.
 
-        A no-op without a store.  The closing compaction folds the
-        replayed history (including any torn tail) into a clean log, so
-        repeated crash/restart cycles cannot grow the WAL unboundedly.
+        A no-op without a store.  Run it **before** :meth:`start`, so
+        the restored queue is complete before workers begin consuming
+        it (:class:`~repro.service.server.SweepServer` orders its
+        startup this way).  The closing compaction folds the replayed
+        history — torn tail, unloadable specs and all — into a clean
+        log, so repeated crash/restart cycles cannot grow the WAL
+        unboundedly; it runs on the event loop deliberately: WAL
+        appends (:meth:`_record_state`) happen there too, so a running
+        worker's append can never interleave with the rewrite and land
+        in the replaced file.
         """
         if self.store is None:
             return []
         state = await asyncio.to_thread(self.store.replay)
         recovered = self.restore(state)
-        await asyncio.to_thread(self._checkpoint)
-        if recovered or state.dropped:
+        self._checkpoint()
+        if recovered:
             self.registry.counter("service.jobs_recovered").inc(len(recovered))
+        if state.dropped:
+            self.registry.counter("service.recover_dropped").inc(state.dropped)
         return recovered
 
     def _record_state(self, job: Job) -> None:
@@ -364,7 +390,9 @@ class SweepService:
             job.event_queue.put_nowait(event)
             if kind == "job-done":
                 job.event_queue.put_nowait(None)
-        for queue in self._subscribers:
+        for queue, client in self._subscribers:
+            if client is not None and (job is None or job.client != client):
+                continue
             queue.put_nowait(event)
         return event
 

@@ -191,6 +191,18 @@ class SweepSpec:
             raise ConfigurationError("sweep spec needs a non-empty grid")
 
     # ------------------------------------------------------------------
+    def point_count(self) -> int:
+        """Points this spec expands to: axis-length product × trials.
+
+        Computed from the grid's axis lengths alone — no cross-product
+        is materialised — so quota admission can bound a submission's
+        cost *before* the server pays it.
+        """
+        count = int(self.trials)
+        for values in self.grid.values():
+            count *= len(values)
+        return count
+
     def build_sweep(self) -> ParameterSweep:
         """Materialise the spec as a runnable :class:`ParameterSweep`."""
         factory = functools.partial(

@@ -329,6 +329,29 @@ class TestEvents:
 
         assert run(scenario()) == {"job-1", "job-2"}
 
+    def test_tenant_scoped_subscription_filters_other_clients(self):
+        factory = CountingFactory()
+
+        async def scenario():
+            async with SweepService() as service:
+                feed = service.subscribe(client="alice")
+                job_a = service.submit(
+                    make_sweep(factory, xs=(1, 2)), client="alice"
+                )
+                job_b = service.submit(
+                    make_sweep(factory, xs=(3, 4)), client="bob"
+                )
+                await asyncio.gather(job_a.wait(), job_b.wait())
+                seen = set()
+                while not feed.empty():
+                    event = feed.get_nowait()
+                    if event is not None:
+                        seen.add(event["job"])
+                return job_a.id, seen
+
+        job_a_id, seen = run(scenario())
+        assert seen == {job_a_id}
+
     def test_priority_orders_job_starts(self):
         factory = CountingFactory(delay_s=0.005)
 
@@ -657,6 +680,11 @@ class TestSweepSpec:
         assert len(points) == 1 and points[0]["d"] == 2
         metrics = sweep.factory(points[0])
         assert set(metrics) == {"kbps", "error"}
+
+    def test_point_count_matches_expansion_without_building(self):
+        spec = SweepSpec(grid={"d": [1, 2, 4], "M": [8, 16]}, trials=3)
+        assert spec.point_count() == 18
+        assert spec.point_count() == len(spec.build_sweep().points())
 
     def test_rejects_unknown_channel_and_fields(self):
         with pytest.raises(ConfigurationError):

@@ -14,6 +14,10 @@ The service's new contract, proven fault by fault:
   ``deny`` frame (:class:`ServiceDeniedError`), an over-quota one a
   typed ``quota-exceeded`` frame (:class:`ServiceQuotaError`), and
   admitted work is unaffected;
+* **tenancy** — cancel is owner-scoped (guessable ``job-N`` ids cannot
+  be swept by another tenant), watch feeds are tenant-scoped unless
+  the account is an admin, and the points quota is enforced *before*
+  the grid cross-product is materialised;
 * **fairness** — tenants share the queue round-robin, so a storm from
   one cannot starve another;
 * **clock skew** — a stepped coordinator clock evicts only the
@@ -266,6 +270,47 @@ class TestWalFaults:
         assert state.dropped == 1
         assert sorted(state.jobs) == ["job-1", "job-2"]
 
+    def test_unloadable_spec_costs_one_job_not_the_restart(self, tmp_path):
+        """A record whose JSON parses but whose spec is damaged is skipped.
+
+        Bit rot *inside* the spec payload (or a schema from another
+        version) must cost exactly that job — not raise out of
+        ``recover()`` and crash-loop the service on every restart until
+        the WAL is hand-edited.  The bad record is counted and the
+        closing compaction drops it from the log for good.
+        """
+        self._seed_store(tmp_path, jobs=2)
+        wal = wal_path(tmp_path)
+        lines = []
+        for line in wal.read_text(encoding="utf-8").splitlines():
+            record = json.loads(line)
+            if record.get("record") == "job" and record["id"] == "job-1":
+                record["spec"]["channel"] = "tlb"  # damaged: unknown channel
+            lines.append(json.dumps(record))
+        wal.write_text("\n".join(lines) + "\n", encoding="utf-8")
+
+        async def scenario():
+            registry = MetricsRegistry()
+            service = SweepService(
+                store=JobStore(str(tmp_path)), registry=registry
+            )
+            recovered = await service.recover()
+            service.start()
+            try:
+                statuses = await asyncio.gather(
+                    *(job.wait() for job in recovered)
+                )
+            finally:
+                await service.stop()
+            return recovered, statuses, registry.snapshot()
+
+        recovered, statuses, snapshot = run(scenario())
+        assert [job.id for job in recovered] == ["job-2"]
+        assert all(status.value == "ok" for status in statuses)
+        by_name = {m["name"]: m.get("value") for m in snapshot["metrics"]}
+        assert by_name.get("service.recover_dropped") == 1
+        assert "job-1" not in JobStore(str(tmp_path)).replay().jobs
+
     def test_recovery_from_torn_tail_still_serves(self, tmp_path):
         """A service restarted on a torn WAL resumes the surviving jobs."""
         self._seed_store(tmp_path, jobs=2)
@@ -421,6 +466,182 @@ class TestAuth:
         assert policy.admit_submit(account, points=1, active_jobs=1) is None
         denial = policy.admit_submit(account, points=1, active_jobs=2)
         assert denial is not None and denial.reason == "active-jobs"
+
+    def test_points_quota_applies_before_grid_expansion(
+        self, tmp_path, monkeypatch
+    ):
+        """The points quota bounds the expansion *cost*, not just size.
+
+        A denied submission must never materialise the cross-product:
+        admission runs on the grid's axis-length product, so a hostile
+        client cannot make the server build an arbitrarily large point
+        list just to be told no.
+        """
+        sock = str(tmp_path / "svc.sock")
+        huge = SweepSpec(
+            grid={
+                "d": list(range(64)),
+                "M": list(range(64)),
+                "p": list(range(64)),
+            },
+            channel="eviction",
+            variant="fast",
+            bits=8,
+        )
+
+        def never(self):
+            raise AssertionError("grid expanded before quota admission")
+
+        monkeypatch.setattr(SweepSpec, "build_sweep", never)
+
+        async def scenario():
+            service = SweepService()
+            server = SweepServer(service, sock, auth=_policy(max_points=1024))
+            await server.start()
+            try:
+                client = ServiceClient(sock, token="tok-alice")
+                with pytest.raises(ServiceQuotaError) as denied:
+                    async for _ in client.submit(huge):
+                        pass
+                return denied.value
+            finally:
+                await server.stop()
+
+        assert run(scenario()).reason == "points-per-job"
+
+    def test_policy_file_parses_admin_flag(self, tmp_path):
+        path = tmp_path / "policy.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "tokens": {
+                        "t-a": {"name": "alice"},
+                        "t-o": {"name": "ops", "admin": True},
+                    }
+                }
+            ),
+            encoding="utf-8",
+        )
+        policy = AuthPolicy.from_file(path)
+        alice = policy.authenticate("t-a")
+        ops = policy.authenticate("t-o")
+        assert isinstance(alice, ClientAccount) and not alice.admin
+        assert isinstance(ops, ClientAccount) and ops.admin
+
+
+# ----------------------------------------------------------------------
+# tenant isolation
+# ----------------------------------------------------------------------
+def _tenant_policy() -> AuthPolicy:
+    return AuthPolicy(
+        {
+            "tok-alice": ClientAccount(name="alice"),
+            "tok-bob": ClientAccount(name="bob"),
+            "tok-ops": ClientAccount(name="ops", admin=True),
+        }
+    )
+
+
+class TestTenantIsolation:
+    """Auth isolates tenants: cancel and watch are owner-scoped."""
+
+    def test_cancel_is_owner_scoped(self, tmp_path):
+        """Job ids are guessable, so cancel must check ownership.
+
+        bob sweeping alice's (predictable) job id gets a typed
+        ``not-owner`` deny; alice cancels her own job, the admin
+        account cancels anyone's, and unknown ids still answer
+        ``ok: false``.
+        """
+        sock = str(tmp_path / "svc.sock")
+        gate = threading.Event()
+
+        def gated(point):
+            gate.wait(10)
+            return {"y": float(point["x"])}
+
+        async def scenario():
+            service = SweepService(workers=2)
+            server = SweepServer(service, sock, auth=_tenant_policy())
+            await server.start()
+            try:
+                alices = service.submit(
+                    ParameterSweep(gated, {"x": [1]}), client="alice"
+                )
+                bobs = service.submit(
+                    ParameterSweep(gated, {"x": [2]}), client="bob"
+                )
+                with pytest.raises(ServiceDeniedError) as cross:
+                    await ServiceClient(sock, token="tok-bob").cancel(
+                        alices.id
+                    )
+                own = await ServiceClient(sock, token="tok-alice").cancel(
+                    alices.id
+                )
+                admin = await ServiceClient(sock, token="tok-ops").cancel(
+                    bobs.id
+                )
+                unknown = await ServiceClient(sock, token="tok-bob").cancel(
+                    "job-999"
+                )
+                gate.set()
+                await asyncio.gather(alices.wait(), bobs.wait())
+                return cross.value, own, admin, unknown
+            finally:
+                gate.set()
+                await server.stop()
+
+        cross, own, admin, unknown = run(scenario())
+        assert cross.reason == "not-owner"
+        assert own is True
+        assert admin is True
+        assert unknown is False
+
+    def test_watch_is_tenant_scoped(self, tmp_path):
+        """A non-admin watcher only sees its own jobs; an admin sees all.
+
+        bob's job runs *first*, so if alice's feed were unscoped his
+        ``job-done`` (result rows and all) would reach her before her
+        own job even starts.
+        """
+        sock = str(tmp_path / "svc.sock")
+
+        async def collect(token: str, stop_after: int):
+            seen = []
+            async for event in ServiceClient(sock, token=token).watch():
+                if event.kind == "watching":
+                    continue
+                seen.append(event)
+                if event.kind == "job-done":
+                    stop_after -= 1
+                    if stop_after == 0:
+                        break
+            return seen
+
+        async def scenario():
+            service = SweepService()
+            server = SweepServer(service, sock, auth=_tenant_policy())
+            await server.start()
+            try:
+                alice_feed = asyncio.ensure_future(collect("tok-alice", 1))
+                ops_feed = asyncio.ensure_future(collect("tok-ops", 2))
+                while service.subscriber_count < 2:
+                    await asyncio.sleep(0.01)
+                bob_job = service.submit(make_sweep(xs=(1,)), client="bob")
+                await bob_job.wait()
+                alice_job = service.submit(make_sweep(xs=(2,)), client="alice")
+                await alice_job.wait()
+                alice_events, ops_events = await asyncio.gather(
+                    asyncio.wait_for(alice_feed, 10),
+                    asyncio.wait_for(ops_feed, 10),
+                )
+                return bob_job.id, alice_job.id, alice_events, ops_events
+            finally:
+                await server.stop()
+
+        bob_id, alice_id, alice_events, ops_events = run(scenario())
+        assert {e["job"] for e in alice_events} == {alice_id}
+        assert {e["job"] for e in ops_events} == {bob_id, alice_id}
 
 
 # ----------------------------------------------------------------------
